@@ -1,0 +1,136 @@
+//! The (input, output) sample container shared by all estimators.
+
+/// A channel dataset: discrete input symbols paired with continuous output
+/// observations.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    inputs: Vec<usize>,
+    outputs: Vec<f64>,
+    n_symbols: usize,
+}
+
+impl Dataset {
+    /// Create an empty dataset over `n_symbols` input symbols
+    /// (`0..n_symbols`).
+    #[must_use]
+    pub fn new(n_symbols: usize) -> Self {
+        Dataset { inputs: Vec::new(), outputs: Vec::new(), n_symbols }
+    }
+
+    /// Record one observation.
+    ///
+    /// # Panics
+    /// Panics if `input >= n_symbols` or `output` is not finite.
+    pub fn push(&mut self, input: usize, output: f64) {
+        assert!(input < self.n_symbols, "symbol {input} out of range");
+        assert!(output.is_finite(), "non-finite output");
+        self.inputs.push(input);
+        self.outputs.push(output);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the dataset is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Number of input symbols.
+    #[must_use]
+    pub fn n_symbols(&self) -> usize {
+        self.n_symbols
+    }
+
+    /// The input symbols.
+    #[must_use]
+    pub fn inputs(&self) -> &[usize] {
+        &self.inputs
+    }
+
+    /// The output observations.
+    #[must_use]
+    pub fn outputs(&self) -> &[f64] {
+        &self.outputs
+    }
+
+    /// Outputs belonging to one input symbol.
+    #[must_use]
+    pub fn class(&self, symbol: usize) -> Vec<f64> {
+        self.inputs
+            .iter()
+            .zip(&self.outputs)
+            .filter(|(i, _)| **i == symbol)
+            .map(|(_, o)| *o)
+            .collect()
+    }
+
+    /// Per-symbol sample counts.
+    #[must_use]
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut c = vec![0usize; self.n_symbols];
+        for &i in &self.inputs {
+            c[i] += 1;
+        }
+        c
+    }
+
+    /// Build directly from parallel vectors.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or out-of-range symbols.
+    #[must_use]
+    pub fn from_parts(n_symbols: usize, inputs: Vec<usize>, outputs: Vec<f64>) -> Self {
+        assert_eq!(inputs.len(), outputs.len());
+        assert!(inputs.iter().all(|&i| i < n_symbols));
+        Dataset { inputs, outputs, n_symbols }
+    }
+
+    /// A copy with the outputs permuted by `perm` (the shuffle test).
+    ///
+    /// # Panics
+    /// Panics if `perm` is not a permutation of `0..len`.
+    #[must_use]
+    pub fn permuted(&self, perm: &[usize]) -> Self {
+        assert_eq!(perm.len(), self.len());
+        let outputs = perm.iter().map(|&j| self.outputs[j]).collect();
+        Dataset { inputs: self.inputs.clone(), outputs, n_symbols: self.n_symbols }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_partition_the_data() {
+        let mut d = Dataset::new(3);
+        d.push(0, 1.0);
+        d.push(1, 2.0);
+        d.push(0, 3.0);
+        d.push(2, 4.0);
+        assert_eq!(d.class(0), vec![1.0, 3.0]);
+        assert_eq!(d.class(1), vec![2.0]);
+        assert_eq!(d.class_counts(), vec![2, 1, 1]);
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_symbol() {
+        let mut d = Dataset::new(2);
+        d.push(2, 1.0);
+    }
+
+    #[test]
+    fn permutation_moves_outputs_not_inputs() {
+        let d = Dataset::from_parts(2, vec![0, 1, 0], vec![10.0, 20.0, 30.0]);
+        let p = d.permuted(&[2, 0, 1]);
+        assert_eq!(p.inputs(), d.inputs());
+        assert_eq!(p.outputs(), &[30.0, 10.0, 20.0]);
+    }
+}

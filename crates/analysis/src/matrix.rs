@@ -1,0 +1,118 @@
+//! Channel matrices: conditional probability of outputs given inputs,
+//! rendered as a text heat map (the format of Figures 3, 5 and 6).
+
+use crate::dataset::Dataset;
+
+/// A discretised channel matrix `P(output_bin | input)`.
+#[derive(Debug, Clone)]
+pub struct ChannelMatrix {
+    /// Rows: one per input symbol; columns: output bins.
+    pub rows: Vec<Vec<f64>>,
+    /// The output value at the lower edge of each bin.
+    pub bin_edges: Vec<f64>,
+}
+
+impl ChannelMatrix {
+    /// Build the matrix with `bins` output bins.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty or `bins == 0`.
+    #[must_use]
+    pub fn from_dataset(data: &Dataset, bins: usize) -> Self {
+        assert!(bins > 0 && !data.is_empty());
+        let (lo, hi) = crate::stats::min_max(data.outputs());
+        let span = (hi - lo).max(1e-9);
+        let width = span / bins as f64;
+        let mut rows = vec![vec![0.0f64; bins]; data.n_symbols()];
+        for (&i, &o) in data.inputs().iter().zip(data.outputs()) {
+            let b = (((o - lo) / width) as usize).min(bins - 1);
+            rows[i][b] += 1.0;
+        }
+        for row in &mut rows {
+            let total: f64 = row.iter().sum();
+            if total > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= total;
+                }
+            }
+        }
+        let bin_edges = (0..=bins).map(|b| lo + b as f64 * width).collect();
+        ChannelMatrix { rows, bin_edges }
+    }
+
+    /// Probability mass at `(input, bin)`.
+    #[must_use]
+    pub fn p(&self, input: usize, bin: usize) -> f64 {
+        self.rows[input][bin]
+    }
+
+    /// Render as a text heat map: one row per input symbol, darkness scaled
+    /// by conditional probability (log-scaled like the paper's colour bar).
+    #[must_use]
+    pub fn render(&self, labels: &[&str]) -> String {
+        const SHADES: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '@'];
+        let mut out = String::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            let label = labels.get(i).copied().unwrap_or("?");
+            out.push_str(&format!("{label:>16} |"));
+            for &p in row {
+                let idx = if p <= 0.0 {
+                    0
+                } else {
+                    // Map 1e-4..1 log-scale onto the shade ramp.
+                    let l = (p.log10() + 4.0).clamp(0.0, 4.0) / 4.0;
+                    1 + (l * (SHADES.len() - 2) as f64).round() as usize
+                };
+                out.push(SHADES[idx.min(SHADES.len() - 1)]);
+            }
+            out.push('\n');
+        }
+        let lo = self.bin_edges.first().copied().unwrap_or(0.0);
+        let hi = self.bin_edges.last().copied().unwrap_or(0.0);
+        out.push_str(&format!(
+            "{:>16} +{}\n{:>16}  {:<10.0}{:>width$.0}\n",
+            "",
+            "-".repeat(self.rows[0].len()),
+            "",
+            lo,
+            hi,
+            width = self.rows[0].len().saturating_sub(10)
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_conditional_distributions() {
+        let mut d = Dataset::new(2);
+        for i in 0..50 {
+            d.push(0, (i % 5) as f64);
+            d.push(1, 100.0 + (i % 3) as f64);
+        }
+        let m = ChannelMatrix::from_dataset(&d, 16);
+        for row in &m.rows {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+        // Symbol 0 mass is in low bins, symbol 1 in high bins.
+        assert!(m.p(0, 0) > 0.0);
+        assert!(m.p(1, 15) > 0.0);
+        assert_eq!(m.p(0, 15), 0.0);
+    }
+
+    #[test]
+    fn render_produces_one_line_per_symbol() {
+        let mut d = Dataset::new(3);
+        for i in 0..30 {
+            d.push(i % 3, i as f64);
+        }
+        let m = ChannelMatrix::from_dataset(&d, 8);
+        let s = m.render(&["a", "b", "c"]);
+        assert_eq!(s.lines().count(), 5); // 3 rows + axis + scale
+        assert!(s.contains('a') && s.contains('c'));
+    }
+}

@@ -1,0 +1,166 @@
+//! Continuous mutual information between discrete inputs and continuous
+//! outputs, integrated with the rectangle method (§5.1).
+//!
+//! `M = Σ_i p(i) ∫ f(o|i) log2( f(o|i) / f(o) ) do`
+//!
+//! with a uniform input distribution `p(i) = 1/|I|` and
+//! `f(o) = Σ_i p(i) f(o|i)`. The paper writes the estimate as `M`, in bits
+//! per input symbol; `1 mb = 10⁻³ bits`.
+
+use crate::dataset::Dataset;
+use crate::kde::Kde;
+
+/// Number of rectangle-method integration points.
+const GRID: usize = 512;
+
+/// A mutual-information estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MiEstimate {
+    /// Mutual information in bits per input symbol.
+    pub bits: f64,
+    /// Number of samples used.
+    pub n: usize,
+}
+
+impl MiEstimate {
+    /// The estimate in millibits (the paper's unit for small channels).
+    #[must_use]
+    pub fn millibits(&self) -> f64 {
+        self.bits * 1000.0
+    }
+}
+
+/// Estimate the continuous MI of a dataset.
+///
+/// Symbols with no samples are skipped (treated as never sent). Returns 0
+/// for datasets with fewer than two populated symbols.
+#[must_use]
+pub fn mutual_information(data: &Dataset) -> MiEstimate {
+    let n = data.len();
+    let counts = data.class_counts();
+    let populated: Vec<usize> = (0..data.n_symbols()).filter(|&s| counts[s] > 0).collect();
+    if populated.len() < 2 || n == 0 {
+        return MiEstimate { bits: 0.0, n };
+    }
+
+    let (lo, hi) = crate::stats::min_max(data.outputs());
+    // Extend the support a little beyond the data so kernels integrate
+    // fully.
+    let span = (hi - lo).max(1e-9);
+    let lo = lo - 0.05 * span;
+    let hi = hi + 0.05 * span;
+    let width = (hi - lo) / GRID as f64;
+    let grid: Vec<f64> = (0..GRID).map(|i| lo + (i as f64 + 0.5) * width).collect();
+
+    // Conditional densities per populated symbol.
+    let class_density: Vec<Vec<f64>> = populated
+        .iter()
+        .map(|&s| {
+            let class = data.class(s);
+            // Floor the bandwidth at the integration resolution so narrow
+            // classes cannot fall between grid points.
+            Kde::fit(&class, lo, hi, width).density_grid(&grid)
+        })
+        .collect();
+
+    // Uniform prior over populated symbols; mixture density.
+    let p = 1.0 / populated.len() as f64;
+    let mut mix = vec![0.0f64; GRID];
+    for cd in &class_density {
+        for (m, d) in mix.iter_mut().zip(cd) {
+            *m += p * d;
+        }
+    }
+
+    // Rectangle-method integral.
+    let mut bits = 0.0;
+    for cd in &class_density {
+        let mut integral = 0.0;
+        for (d, m) in cd.iter().zip(&mix) {
+            if *d > 0.0 && *m > 0.0 {
+                integral += d * (d / m).log2() * width;
+            }
+        }
+        bits += p * integral;
+    }
+    MiEstimate { bits: bits.max(0.0), n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn gaussian(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+        // Box-Muller.
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen();
+        mu + sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    #[test]
+    fn perfectly_separated_symbols_give_log2_of_count() {
+        let mut d = Dataset::new(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let s = rng.gen_range(0..4usize);
+            d.push(s, gaussian(&mut rng, 100.0 * s as f64, 1.0));
+        }
+        let mi = mutual_information(&d);
+        // 4 perfectly distinguishable symbols: 2 bits.
+        assert!((mi.bits - 2.0).abs() < 0.1, "MI {}", mi.bits);
+    }
+
+    #[test]
+    fn independent_outputs_give_near_zero() {
+        let mut d = Dataset::new(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..4000 {
+            let s = rng.gen_range(0..4usize);
+            d.push(s, gaussian(&mut rng, 50.0, 5.0));
+        }
+        let mi = mutual_information(&d);
+        assert!(mi.bits < 0.02, "MI {} should be ~0", mi.bits);
+    }
+
+    #[test]
+    fn partial_overlap_is_between_extremes() {
+        let mut d = Dataset::new(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..4000 {
+            let s = rng.gen_range(0..2usize);
+            // One sigma apart: substantially overlapping.
+            d.push(s, gaussian(&mut rng, s as f64, 1.0));
+        }
+        let mi = mutual_information(&d);
+        assert!(mi.bits > 0.05 && mi.bits < 0.5, "MI {}", mi.bits);
+    }
+
+    #[test]
+    fn single_symbol_is_zero() {
+        let mut d = Dataset::new(3);
+        for i in 0..100 {
+            d.push(1, i as f64);
+        }
+        assert_eq!(mutual_information(&d).bits, 0.0);
+    }
+
+    #[test]
+    fn mi_bounded_by_symbol_entropy() {
+        let mut d = Dataset::new(2);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..3000 {
+            let s = rng.gen_range(0..2usize);
+            d.push(s, gaussian(&mut rng, 1000.0 * s as f64, 0.5));
+        }
+        let mi = mutual_information(&d);
+        assert!(mi.bits <= 1.0 + 0.05, "MI {} exceeds 1 bit", mi.bits);
+    }
+
+    #[test]
+    fn millibits_conversion() {
+        let e = MiEstimate { bits: 0.05, n: 10 };
+        assert!((e.millibits() - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,332 @@
+//! The ElGamal decryption victim (§5.3.3).
+//!
+//! The paper attacks GnuPG 1.4.13's square-and-multiply modular
+//! exponentiation. We implement the same algorithm over our own
+//! multi-precision integers: decryption is functionally real, and the
+//! *sequence of square/multiply operations* — the side channel — is
+//! surfaced through a hook so the simulated victim can execute the
+//! corresponding instruction fetches against the machine.
+
+/// A little-endian multi-precision unsigned integer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// From a u64.
+    #[must_use]
+    pub fn from_u64(x: u64) -> Self {
+        BigUint { limbs: vec![x] }.normalised()
+    }
+
+    /// From little-endian limbs.
+    #[must_use]
+    pub fn from_limbs(limbs: Vec<u64>) -> Self {
+        BigUint { limbs }.normalised()
+    }
+
+    fn normalised(mut self) -> Self {
+        while self.limbs.len() > 1 && *self.limbs.last().unwrap() == 0 {
+            self.limbs.pop();
+        }
+        if self.limbs.is_empty() {
+            self.limbs.push(0);
+        }
+        self
+    }
+
+    /// The limbs (little-endian).
+    #[must_use]
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Zero test.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Bit length.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        let top = *self.limbs.last().unwrap();
+        if top == 0 && self.limbs.len() == 1 {
+            return 0;
+        }
+        (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros())
+    }
+
+    /// Test bit `i` (0 = LSB).
+    #[must_use]
+    pub fn bit(&self, i: u32) -> bool {
+        let limb = (i / 64) as usize;
+        limb < self.limbs.len() && (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    fn cmp_mag(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => {}
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Subtraction (`self - other`), assuming `self >= other`.
+    ///
+    /// # Panics
+    /// Panics on underflow.
+    #[must_use]
+    pub fn sub(&self, other: &Self) -> Self {
+        assert!(self.cmp_mag(other) != std::cmp::Ordering::Less, "underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let o = *other.limbs.get(i).unwrap_or(&0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(o);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        BigUint { limbs: out }.normalised()
+    }
+
+    /// Shift left by `n` bits.
+    #[must_use]
+    pub fn shl(&self, n: u32) -> Self {
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = n % 64;
+        let mut out = vec![0u64; limb_shift];
+        let mut carry = 0u64;
+        for &l in &self.limbs {
+            out.push((l << bit_shift) | carry);
+            carry = if bit_shift == 0 { 0 } else { l >> (64 - bit_shift) };
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        BigUint { limbs: out }.normalised()
+    }
+
+    /// Schoolbook multiplication.
+    #[must_use]
+    pub fn mul(&self, other: &Self) -> Self {
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = u128::from(out[i + j]) + u128::from(a) * u128::from(b) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let cur = u128::from(out[k]) + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        BigUint { limbs: out }.normalised()
+    }
+
+    /// Remainder `self mod m` by binary long division.
+    ///
+    /// # Panics
+    /// Panics if `m` is zero.
+    #[must_use]
+    pub fn rem(&self, m: &Self) -> Self {
+        assert!(!m.is_zero(), "mod zero");
+        if self.cmp_mag(m) == std::cmp::Ordering::Less {
+            return self.clone();
+        }
+        let mut r = self.clone();
+        let shift = self.bits() - m.bits();
+        for s in (0..=shift).rev() {
+            let shifted = m.shl(s);
+            if r.cmp_mag(&shifted) != std::cmp::Ordering::Less {
+                r = r.sub(&shifted);
+            }
+        }
+        r
+    }
+
+    /// Modular multiplication.
+    #[must_use]
+    pub fn modmul(&self, other: &Self, m: &Self) -> Self {
+        self.mul(other).rem(m)
+    }
+}
+
+/// One step of square-and-multiply, reported to the side-channel hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpOp {
+    /// A squaring (every exponent bit).
+    Square,
+    /// A multiplication (bits that are 1).
+    Multiply,
+}
+
+/// Left-to-right square-and-multiply modular exponentiation, invoking
+/// `hook` for every operation — the exact structure the LLC attack
+/// observes: the interval between squarings reveals whether a multiply
+/// happened, i.e. the exponent bit.
+///
+/// # Panics
+/// Panics if the exponent is zero.
+#[must_use]
+pub fn modexp_with_hook(
+    base: &BigUint,
+    exp: &BigUint,
+    m: &BigUint,
+    mut hook: impl FnMut(ExpOp),
+) -> BigUint {
+    assert!(!exp.is_zero(), "zero exponent");
+    let nbits = exp.bits();
+    let mut acc = base.rem(m);
+    for i in (0..nbits - 1).rev() {
+        hook(ExpOp::Square);
+        acc = acc.modmul(&acc, m);
+        if exp.bit(i) {
+            hook(ExpOp::Multiply);
+            acc = acc.modmul(base, m);
+        }
+    }
+    acc
+}
+
+/// The sequence of exponent bits below the leading one, MSB-first — the
+/// ground truth the attack tries to recover.
+#[must_use]
+pub fn key_bits(exp: &BigUint) -> Vec<u8> {
+    let nbits = exp.bits();
+    (0..nbits - 1).rev().map(|i| u8::from(exp.bit(i))).collect()
+}
+
+/// An ElGamal private key and public parameters (toy sizes: the attack
+/// structure is independent of the key length).
+#[derive(Debug, Clone)]
+pub struct ElGamalKey {
+    /// The prime modulus.
+    pub p: BigUint,
+    /// The secret exponent.
+    pub x: BigUint,
+}
+
+impl ElGamalKey {
+    /// A fixed demonstration key with a 48-bit secret exponent.
+    #[must_use]
+    pub fn demo() -> Self {
+        ElGamalKey {
+            // A 127-bit prime.
+            p: BigUint::from_limbs(vec![0xffff_ffff_ffff_ff13, 0x7fff_ffff_ffff_ffff]),
+            x: BigUint::from_u64(0xB5D3_9A1E_C2F7),
+        }
+    }
+
+    /// ElGamal decryption step: `c1^x mod p` (the shared-secret recovery,
+    /// where the side channel lives), with the side-channel hook.
+    #[must_use]
+    pub fn decrypt_shared(&self, c1: &BigUint, hook: impl FnMut(ExpOp)) -> BigUint {
+        modexp_with_hook(c1, &self.x, &self.p, hook)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(x: u64) -> BigUint {
+        BigUint::from_u64(x)
+    }
+
+    #[test]
+    fn arithmetic_matches_u128() {
+        let a = b(0xdead_beef_1234);
+        let c = b(0xfeed_f00d);
+        let m = b(1_000_000_007);
+        let prod = a.mul(&c);
+        let expect = 0xdead_beef_1234u128 * 0xfeed_f00du128;
+        assert_eq!(
+            prod.limbs(),
+            &[(expect & u128::from(u64::MAX)) as u64, (expect >> 64) as u64]
+        );
+        let r = a.rem(&m);
+        assert_eq!(r.limbs()[0], 0xdead_beef_1234u64 % 1_000_000_007);
+        assert_eq!(a.modmul(&c, &m).limbs()[0] as u128, expect % 1_000_000_007);
+    }
+
+    #[test]
+    fn modexp_matches_reference() {
+        fn pow_mod(mut b: u64, mut e: u64, m: u64) -> u64 {
+            let mut r = 1u128;
+            let mut bb = u128::from(b % m);
+            while e > 0 {
+                if e & 1 == 1 {
+                    r = r * bb % u128::from(m);
+                }
+                bb = bb * bb % u128::from(m);
+                e >>= 1;
+            }
+            b = r as u64;
+            b
+        }
+        let base = b(7);
+        let exp = b(0b1011_0110_1101);
+        let m = b(1_000_000_007);
+        let got = modexp_with_hook(&base, &exp, &m, |_| {});
+        assert_eq!(got.limbs()[0], pow_mod(7, 0b1011_0110_1101, 1_000_000_007));
+    }
+
+    #[test]
+    fn hook_sequence_encodes_the_exponent() {
+        let exp = b(0b1101); // bits after MSB: 1, 0, 1
+        let mut ops = Vec::new();
+        let _ = modexp_with_hook(&b(3), &exp, &b(97), |op| ops.push(op));
+        assert_eq!(
+            ops,
+            vec![
+                ExpOp::Square,
+                ExpOp::Multiply, // bit 1
+                ExpOp::Square,   // bit 0
+                ExpOp::Square,
+                ExpOp::Multiply, // bit 1
+            ]
+        );
+        assert_eq!(key_bits(&exp), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn big_operands_roundtrip() {
+        let key = ElGamalKey::demo();
+        let c1 = BigUint::from_limbs(vec![0x1234_5678_9abc_def0, 0x0fed_cba9]);
+        let mut squares = 0;
+        let s = key.decrypt_shared(&c1, |op| {
+            if op == ExpOp::Square {
+                squares += 1;
+            }
+        });
+        assert!(!s.is_zero());
+        assert_eq!(squares, key.x.bits() - 1);
+        // Determinism.
+        let s2 = key.decrypt_shared(&c1, |_| {});
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn shl_and_sub_edge_cases() {
+        let a = b(u64::MAX);
+        let s = a.shl(1);
+        assert_eq!(s.limbs(), &[u64::MAX - 1, 1]);
+        assert_eq!(s.sub(&a).limbs(), &[u64::MAX]);
+        assert_eq!(a.sub(&a).limbs(), &[0]);
+        assert!(a.sub(&a).is_zero());
+    }
+}

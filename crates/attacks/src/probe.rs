@@ -1,0 +1,257 @@
+//! Prime&probe machinery (after Mastik [Yarom 2017]).
+//!
+//! A probe buffer is an ordered list of virtual addresses covering a chosen
+//! part of a cache: for the (physically-page-sized-indexed) L1s the page
+//! offset selects the set directly; for physically-indexed L2/LLC sets the
+//! attacker needs lines whose *physical* addresses map to the target sets,
+//! found during an untimed profiling phase (the [`tp_core::UserEnv::translate`]
+//! oracle stands in for timing-based eviction-set construction).
+
+use tp_core::UserEnv;
+use tp_sim::cache::phys_set;
+use tp_sim::machine::slice_index;
+use tp_sim::{CacheGeom, VAddr, FRAME_SIZE};
+
+/// An ordered set of probe addresses.
+#[derive(Debug, Clone)]
+pub struct ProbeBuf {
+    /// The probe addresses, grouped by target set.
+    pub lines: Vec<VAddr>,
+    /// Lines per target set.
+    pub per_set: usize,
+}
+
+impl ProbeBuf {
+    /// Probe with loads; returns the total latency in cycles.
+    #[must_use]
+    pub fn probe(&self, env: &mut UserEnv) -> u64 {
+        self.lines.iter().map(|&va| env.load(va)).sum()
+    }
+
+    /// Probe with stores (dirties the lines).
+    #[must_use]
+    pub fn probe_write(&self, env: &mut UserEnv) -> u64 {
+        self.lines.iter().map(|&va| env.store(va)).sum()
+    }
+
+    /// Probe with instruction fetches.
+    #[must_use]
+    pub fn probe_exec(&self, env: &mut UserEnv) -> u64 {
+        self.lines.iter().map(|&va| env.exec(va)).sum()
+    }
+
+    /// Probe with loads, counting accesses slower than `threshold` (cache
+    /// misses at the monitored level).
+    #[must_use]
+    pub fn probe_misses(&self, env: &mut UserEnv, threshold: u64) -> u64 {
+        self.lines.iter().filter(|&&va| env.load(va) >= threshold).count() as u64
+    }
+
+    /// Probe a sub-range `[0, n)` of the buffer's lines with loads.
+    #[must_use]
+    pub fn probe_prefix(&self, env: &mut UserEnv, n: usize) -> u64 {
+        self.lines[..n.min(self.lines.len())]
+            .iter()
+            .map(|&va| env.load(va))
+            .sum()
+    }
+
+    /// Dirty the first `n` lines (the §5.3.4 sender).
+    pub fn dirty_prefix(&self, env: &mut UserEnv, n: usize) {
+        for &va in &self.lines[..n.min(self.lines.len())] {
+            env.store(va);
+        }
+    }
+
+    /// Number of probe lines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+/// Build a probe buffer covering the L1 cache (`sets × ways` lines). The L1
+/// set index is a pure page-offset function, so any `ways` pages suffice.
+#[must_use]
+pub fn l1_probe(env: &mut UserEnv, geom: CacheGeom) -> ProbeBuf {
+    let sets = geom.sets();
+    let ways = geom.ways as u64;
+    let line = geom.line;
+    let lines_per_page = FRAME_SIZE / line;
+    let pages_per_way = (sets * line).div_ceil(FRAME_SIZE).max(1);
+    let (va, _) = env.map_pages((ways * pages_per_way) as usize);
+    let mut lines = Vec::with_capacity((sets * ways) as usize);
+    for set in 0..sets {
+        for w in 0..ways {
+            // The address within way-w's page group whose offset selects
+            // `set`.
+            let page = w * pages_per_way + set / lines_per_page;
+            let off = (set % lines_per_page) * line;
+            lines.push(VAddr(va.0 + page * FRAME_SIZE + off));
+        }
+    }
+    ProbeBuf { lines, per_set: ways as usize }
+}
+
+/// Build a probe buffer for a set of physically-indexed cache sets.
+///
+/// Allocates `pool_pages` pages from the domain pool and selects, per
+/// target set, up to `ways` lines whose physical addresses map there
+/// (profiling phase; untimed). Target sets with no reachable lines (e.g.
+/// off-colour sets under partitioning) are simply not covered — exactly the
+/// situation of a coloured attacker.
+#[must_use]
+pub fn phys_probe(
+    env: &mut UserEnv,
+    geom: CacheGeom,
+    target_sets: &[usize],
+    ways: usize,
+    pool_pages: usize,
+) -> ProbeBuf {
+    let line = geom.line;
+    let lines_per_page = FRAME_SIZE / line;
+    let (va, frames) = env.map_pages(pool_pages);
+    let mut per_set: std::collections::HashMap<usize, Vec<VAddr>> = std::collections::HashMap::new();
+    'outer: for (pi, pfn) in frames.iter().enumerate() {
+        for l in 0..lines_per_page {
+            let pa = pfn * FRAME_SIZE + l * line;
+            let set = phys_set(geom, pa);
+            if target_sets.contains(&set) {
+                let v = per_set.entry(set).or_default();
+                if v.len() < ways {
+                    v.push(VAddr(va.0 + pi as u64 * FRAME_SIZE + l * line));
+                }
+            }
+        }
+        if per_set.len() == target_sets.len() && per_set.values().all(|v| v.len() >= ways) {
+            break 'outer;
+        }
+    }
+    let mut lines = Vec::new();
+    for set in target_sets {
+        if let Some(v) = per_set.get(set) {
+            lines.extend_from_slice(v);
+        }
+    }
+    ProbeBuf { lines, per_set: ways }
+}
+
+/// Build a probe buffer for one (slice, set) position of the sliced LLC —
+/// the cross-core attack's monitored set (§5.3.3).
+#[must_use]
+pub fn llc_slice_probe(
+    env: &mut UserEnv,
+    per_slice_geom: CacheGeom,
+    slices: u64,
+    target_slice: usize,
+    target_set: usize,
+    ways: usize,
+    pool_pages: usize,
+) -> ProbeBuf {
+    let line = per_slice_geom.line;
+    let lines_per_page = FRAME_SIZE / line;
+    let (va, frames) = env.map_pages(pool_pages);
+    let mut lines = Vec::new();
+    'outer: for (pi, pfn) in frames.iter().enumerate() {
+        for l in 0..lines_per_page {
+            let pa = pfn * FRAME_SIZE + l * line;
+            if phys_set(per_slice_geom, pa) == target_set
+                && slice_index(pa / line, slices) == target_slice
+            {
+                lines.push(VAddr(va.0 + pi as u64 * FRAME_SIZE + l * line));
+                if lines.len() >= ways {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    ProbeBuf { lines, per_set: ways }
+}
+
+/// The latency threshold distinguishing a hit at `inner` from a miss that
+/// went at least to `outer`.
+#[must_use]
+pub fn miss_threshold(inner: u64, outer: u64) -> u64 {
+    (inner + outer) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+    use tp_core::{ProtectionConfig, SystemBuilder};
+    use tp_sim::Platform;
+
+    #[test]
+    fn l1_probe_covers_every_set() {
+        let hits: Arc<Mutex<(usize, u64, u64)>> = Arc::new(Mutex::new((0, 0, 0)));
+        let hits2 = Arc::clone(&hits);
+        let mut b = SystemBuilder::new(Platform::Haswell, ProtectionConfig::raw())
+            .max_cycles(50_000_000);
+        let d = b.domain(None);
+        b.spawn(d, 0, 100, move |env: &mut UserEnv| {
+            let geom = env.platform().l1d;
+            let buf = l1_probe(env, geom);
+            let cold = buf.probe(env);
+            let warm = buf.probe(env);
+            *hits2.lock() = (buf.len(), cold, warm);
+        });
+        let _ = b.run();
+        let (len, cold, warm) = *hits.lock();
+        assert_eq!(len, 512, "64 sets x 8 ways");
+        // Second pass must be nearly all L1 hits: the buffer exactly fills
+        // the cache.
+        assert!(warm < cold / 2, "warm {warm} vs cold {cold}");
+        assert!(warm <= 512 * 8, "warm probe {warm} not hitting L1");
+    }
+
+    #[test]
+    fn phys_probe_respects_colour_partitioning() {
+        let found: Arc<Mutex<(usize, usize)>> = Arc::new(Mutex::new((0, 0)));
+        let found2 = Arc::clone(&found);
+        let mut b = SystemBuilder::new(Platform::Haswell, ProtectionConfig::protected())
+            .max_cycles(50_000_000);
+        let d0 = b.domain(None); // colours 0..4
+        let _d1 = b.domain(None); // colours 4..8
+        b.spawn(d0, 0, 100, move |env: &mut UserEnv| {
+            let geom = env.platform().l2;
+            // L2 colour = set/64 on Haswell (512 sets, 8 colours).
+            // Sets 0..64 are colour 0 (ours); sets 256..320 are colour 4
+            // (the other domain's).
+            let ours: Vec<usize> = (0..64).collect();
+            let theirs: Vec<usize> = (256..320).collect();
+            let buf_ours = phys_probe(env, geom, &ours, 8, 128);
+            let buf_theirs = phys_probe(env, geom, &theirs, 8, 128);
+            *found2.lock() = (buf_ours.len(), buf_theirs.len());
+        });
+        let _ = b.run();
+        let (ours, theirs) = *found.lock();
+        assert_eq!(ours, 64 * 8, "full coverage of own-colour sets");
+        assert_eq!(theirs, 0, "no reachable lines in foreign colours");
+    }
+
+    #[test]
+    fn llc_slice_probe_finds_target() {
+        let found: Arc<Mutex<usize>> = Arc::new(Mutex::new(0));
+        let found2 = Arc::clone(&found);
+        let mut b = SystemBuilder::new(Platform::Haswell, ProtectionConfig::raw())
+            .max_cycles(50_000_000);
+        let d = b.domain(None);
+        b.spawn(d, 0, 100, move |env: &mut UserEnv| {
+            let cfg = env.platform().clone();
+            let llc = cfg.llc.unwrap();
+            let per_slice = CacheGeom { size: llc.size / u64::from(cfg.llc_slices), ..llc };
+            let buf = llc_slice_probe(env, per_slice, cfg.llc_slices.into(), 2, 100, 16, 4096);
+            *found2.lock() = buf.len();
+        });
+        let _ = b.run();
+        assert_eq!(*found.lock(), 16, "eviction set must reach full ways");
+    }
+}

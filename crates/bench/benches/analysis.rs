@@ -1,0 +1,39 @@
+//! Criterion benchmarks of the analysis toolchain: MI estimation dominates
+//! the shuffle test (100 re-estimates per channel).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use tp_analysis::{leakage_test, mutual_information, Dataset};
+
+fn dataset(n: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut d = Dataset::new(8);
+    for _ in 0..n {
+        let s = rng.gen_range(0..8);
+        let o: f64 = rng.gen_range(0.0..100.0) + s as f64 * 10.0;
+        d.push(s, o);
+    }
+    d
+}
+
+fn bench_mi(c: &mut Criterion) {
+    let d = dataset(1_000);
+    c.bench_function("mutual_information_1k", |b| {
+        b.iter(|| black_box(mutual_information(&d)));
+    });
+}
+
+fn bench_shuffle(c: &mut Criterion) {
+    let d = dataset(400);
+    let mut g = c.benchmark_group("shuffle_test");
+    g.sample_size(10);
+    g.bench_function("leakage_test_400", |b| {
+        b.iter(|| black_box(leakage_test(&d, 9)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mi, bench_shuffle);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmarks of kernel paths: syscall dispatch, the domain
+//! switch, and kernel cloning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tp_core::kernel::{Kernel, Syscall};
+use tp_core::objects::{CapObject, Capability, Rights};
+use tp_core::ProtectionConfig;
+use tp_sim::{ColorSet, Machine, Platform};
+
+fn setup(prot: ProtectionConfig) -> (Machine, Kernel) {
+    let cfg = Platform::Haswell.config();
+    let m = Machine::new(cfg.clone(), 3);
+    let k = Kernel::new(cfg, prot, 16_384, u64::MAX / 4);
+    (m, k)
+}
+
+fn bench_syscall(c: &mut Criterion) {
+    let (mut m, mut k) = setup(ProtectionConfig::raw());
+    let t = k.create_thread(k.boot_domain, 0, 100).unwrap();
+    let n = k.create_notification(k.boot_domain).unwrap();
+    let cap = k.grant_cap(t, Capability { obj: CapObject::Notification(n), rights: Rights::all() });
+    k.cores[0].cur = Some(t);
+    c.bench_function("syscall_signal", |b| {
+        b.iter(|| black_box(k.syscall(&mut m, 0, t, Syscall::Signal { cap })));
+    });
+}
+
+fn bench_domain_switch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("domain_switch");
+    for (name, prot) in [
+        ("raw", ProtectionConfig::raw()),
+        ("protected", ProtectionConfig::protected()),
+    ] {
+        g.bench_function(name, |b| {
+            let (mut m, mut k) = setup(prot.clone());
+            let d0 = k.create_domain(ColorSet::range(0, 4), 1024).unwrap();
+            let d1 = k.create_domain(ColorSet::range(4, 8), 1024).unwrap();
+            if prot.clone_kernel {
+                k.clone_kernel_for_domain(&mut m, 0, d0).unwrap();
+                k.clone_kernel_for_domain(&mut m, 0, d1).unwrap();
+            }
+            let _t0 = k.create_thread(d0, 0, 100).unwrap();
+            let _t1 = k.create_thread(d1, 0, 100).unwrap();
+            b.iter(|| black_box(k.handle_tick(&mut m, 0)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_clone(c: &mut Criterion) {
+    c.bench_function("kernel_clone_and_destroy", |b| {
+        let (mut m, mut k) = setup(ProtectionConfig::protected());
+        let d = k.create_domain(ColorSet::range(0, 4), 4096).unwrap();
+        b.iter(|| {
+            let img = k.clone_kernel_for_domain(&mut m, 0, d).unwrap();
+            k.kernel_destroy(&mut m, 0, img).unwrap();
+        });
+    });
+}
+
+criterion_group!(benches, bench_syscall, bench_domain_switch, bench_clone);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benchmarks of the hot simulator paths: these bound how fast
+//! the channel experiments can run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tp_sim::{Asid, Machine, PAddr, Platform, VAddr};
+
+fn bench_data_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine");
+    g.bench_function("data_access_l1_hit", |b| {
+        let mut m = Machine::new(Platform::Haswell.config(), 1);
+        m.data_access(0, Asid(1), VAddr(0x1000), PAddr(0x1000), false, false);
+        b.iter(|| {
+            black_box(m.data_access(0, Asid(1), VAddr(0x1000), PAddr(0x1000), false, false))
+        });
+    });
+    g.bench_function("data_access_streaming", |b| {
+        let mut m = Machine::new(Platform::Haswell.config(), 1);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(64);
+            let a = 0x10_0000 + (i % (64 * 1024 * 1024));
+            black_box(m.data_access(0, Asid(1), VAddr(a), PAddr(a), false, false))
+        });
+    });
+    g.bench_function("branch_predicted", |b| {
+        let mut m = Machine::new(Platform::Haswell.config(), 1);
+        for _ in 0..32 {
+            m.branch(0, VAddr(0x400), VAddr(0x800), true, true);
+        }
+        b.iter(|| black_box(m.branch(0, VAddr(0x400), VAddr(0x800), true, true)));
+    });
+    g.finish();
+}
+
+fn bench_flush(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flush");
+    g.bench_function("wbinvd", |b| {
+        let mut m = Machine::new(Platform::Haswell.config(), 1);
+        b.iter(|| {
+            for i in 0..256u64 {
+                let a = 0x20_0000 + i * 64;
+                m.data_access(0, Asid(1), VAddr(a), PAddr(a), true, false);
+            }
+            black_box(tp_sim::flush::wbinvd(&mut m, 0))
+        });
+    });
+    g.bench_function("manual_l1d", |b| {
+        let mut m = Machine::new(Platform::Haswell.config(), 1);
+        b.iter(|| black_box(tp_sim::flush::manual_flush_l1d(&mut m, 0, PAddr(0x10_0000))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_data_access, bench_flush);
+criterion_main!(benches);

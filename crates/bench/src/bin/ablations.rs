@@ -1,0 +1,4 @@
+//! Per-mechanism ablations of the time-protection suite (see DESIGN.md).
+fn main() {
+    println!("{}", tp_bench::channels::ablations());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig3 (see DESIGN.md experiment index).
+fn main() {
+    println!("{}", tp_bench::channels::fig3());
+}

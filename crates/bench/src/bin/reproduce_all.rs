@@ -1,0 +1,29 @@
+//! Regenerates every table and figure of the paper in one run.
+//!
+//! Set `TP_SAMPLES=0.25` for a quick pass or `TP_SAMPLES=4` for higher
+//! statistical resolution.
+fn main() {
+    let experiments: Vec<(&str, fn() -> String)> = vec![
+        ("table1", tp_bench::tables::table1),
+        ("table2", tp_bench::tables::table2),
+        ("fig3", tp_bench::channels::fig3),
+        ("table3", tp_bench::channels::table3),
+        ("fig4", tp_bench::channels::fig4),
+        ("fig5", tp_bench::channels::fig5),
+        ("table4", tp_bench::channels::table4),
+        ("fig6", tp_bench::channels::fig6),
+        ("table5", tp_bench::tables::table5),
+        ("table6", tp_bench::tables::table6),
+        ("table7", tp_bench::tables::table7),
+        ("fig7", tp_bench::splash::fig7),
+        ("table8", tp_bench::splash::table8),
+        ("ablations", tp_bench::channels::ablations),
+    ];
+    for (name, f) in experiments {
+        let t0 = std::time::Instant::now();
+        let report = f();
+        println!("==================== {name} ====================");
+        println!("{report}");
+        eprintln!("[{name} took {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table7 (see DESIGN.md experiment index).
+fn main() {
+    println!("{}", tp_bench::tables::table7());
+}

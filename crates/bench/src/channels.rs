@@ -1,0 +1,331 @@
+//! The channel experiments: Figures 3–6 and Tables 3–4.
+
+use crate::util::{fmt_mb, samples, Table};
+use tp_analysis::ChannelMatrix;
+use tp_attacks::harness::{ChannelOutcome, IntraCoreSpec, Scenario};
+use tp_attacks::{branchchan, cache, flush_latency, interrupt, kernel_image, llc, tlbchan};
+use tp_core::ProtectionConfig;
+use tp_sim::Platform;
+
+/// Figure 3: the kernel-image channel matrix and MI, coloured-userland
+/// (shared kernel) vs full time protection, on both platforms.
+#[must_use]
+pub fn fig3() -> String {
+    let mut out = String::from("Figure 3: Kernel timing-channel matrix (conditional probability\nof LLC misses given the sender's system call).\n\n");
+    for platform in [Platform::Haswell, Platform::Sabre] {
+        for (name, prot) in [
+            ("coloured userland only (shared kernel)", kernel_image::coloured_userland_config()),
+            ("full time protection (cloned kernels)", ProtectionConfig::protected()),
+        ] {
+            let spec = IntraCoreSpec {
+                platform,
+                prot,
+                n_symbols: 4,
+                samples: samples(300),
+                slice_us: 50.0,
+                seed: 0x5EED,
+            };
+            let o = kernel_image::kernel_image_channel(&spec);
+            out.push_str(&format!("{} — {}\n", platform.name(), name));
+            if o.dataset.len() >= 8 {
+                let m = ChannelMatrix::from_dataset(&o.dataset, 48);
+                out.push_str(&m.render(&kernel_image::SYMBOLS));
+            }
+            out.push_str(&format!("  {}\n\n", o.summary()));
+        }
+    }
+    out
+}
+
+/// The six intra-core channels of Table 3.
+fn run_channel(name: &str, spec: &IntraCoreSpec) -> ChannelOutcome {
+    match name {
+        "L1-D" => cache::l1d_channel(spec),
+        "L1-I" => cache::l1i_channel(spec),
+        "TLB" => tlbchan::tlb_channel(spec),
+        "BTB" => branchchan::btb_channel(spec),
+        "BHB" => branchchan::bhb_channel(spec),
+        "L2" => cache::l2_channel(spec),
+        _ => unreachable!(),
+    }
+}
+
+fn channel_spec(platform: Platform, scenario: Scenario, name: &str, n: usize) -> IntraCoreSpec {
+    let n_symbols = if name == "BHB" { 2 } else { 8 };
+    let mut spec = IntraCoreSpec::new(platform, scenario, n_symbols, n);
+    // The Arm L2 probe is large; give it longer slices.
+    if name == "L2" && platform == Platform::Sabre {
+        spec = spec.with_slice_us(400.0);
+    }
+    spec
+}
+
+/// Table 3: MI of the intra-core channels under raw / full flush /
+/// protected, on both platforms. The residual protected x86 L2 channel is
+/// additionally re-measured with the data prefetcher disabled (the §5.3.2
+/// follow-up).
+#[must_use]
+pub fn table3() -> String {
+    let mut t = Table::new(&[
+        "Platform", "Cache", "Raw M", "FullFlush M", "(M0)", "Protected M", "(M0)",
+    ]);
+    let n = samples(250);
+    let mut residual_note = String::new();
+    for platform in [Platform::Haswell, Platform::Sabre] {
+        for name in ["L1-D", "L1-I", "TLB", "BTB", "BHB", "L2"] {
+            let raw = run_channel(name, &channel_spec(platform, Scenario::Raw, name, n));
+            let ff = run_channel(name, &channel_spec(platform, Scenario::FullFlush, name, n));
+            let prot = run_channel(name, &channel_spec(platform, Scenario::Protected, name, n));
+            t.row(&[
+                platform_short(platform),
+                name.to_string(),
+                fmt_mb(raw.verdict.m.millibits(), raw.verdict.leaks),
+                fmt_mb(ff.verdict.m.millibits(), ff.verdict.leaks),
+                format!("{:.1}", ff.verdict.m0_millibits()),
+                fmt_mb(prot.verdict.m.millibits(), prot.verdict.leaks),
+                format!("{:.1}", prot.verdict.m0_millibits()),
+            ]);
+            // §5.3.2 follow-up: the protected x86 L2 channel with the data
+            // prefetcher disabled. In the paper the prefetcher *carries* a
+            // residual 50 mb channel; in this model the analogous
+            // unresettable-state channel flows through the brittle manual
+            // L1 flush (pseudo-LRU stragglers), and the prefetcher's fill
+            // noise *masks* it — disabling the prefetcher exposes it. Both
+            // stories share the paper's root cause (x86's missing
+            // architected L1 flush) and conclusion (only the full-hierarchy
+            // flush closes the residue); see EXPERIMENTS.md.
+            if name == "L2" && platform == Platform::Haswell {
+                let mut spec = channel_spec(platform, Scenario::Protected, name, 3 * n);
+                spec.prot = spec.prot.with_prefetcher_disabled();
+                let nopf = run_channel(name, &spec);
+                residual_note = format!(
+                    "x86 L2 protected, data prefetcher disabled (n = {}): M = {} mb (M0 = {:.1} mb)\n",
+                    nopf.dataset.len(),
+                    fmt_mb(nopf.verdict.m.millibits(), nopf.verdict.leaks),
+                    nopf.verdict.m0_millibits()
+                );
+            }
+        }
+    }
+    format!(
+        "Table 3: Mutual information (mb) of intra-core timing channels.\n('*' marks a definite channel, M > M0.)\n\n{}\n{}",
+        t.render(),
+        residual_note
+    )
+}
+
+fn platform_short(p: Platform) -> String {
+    match p {
+        Platform::Haswell => "x86".into(),
+        Platform::Sabre => "Arm".into(),
+    }
+}
+
+/// Figure 4: the cross-core LLC side channel against ElGamal, raw and
+/// protected.
+#[must_use]
+pub fn fig4() -> String {
+    let slots = samples(6_000).max(3_000);
+    let raw = llc::llc_attack(ProtectionConfig::raw(), slots, 42);
+    let prot = llc::llc_attack(ProtectionConfig::protected(), slots / 2, 42);
+    let mut out = String::from("Figure 4: Cross-core LLC side channel against ElGamal\n(square-and-multiply exponentiation, Liu et al. prime&probe).\n\n");
+    out.push_str(&format!(
+        "raw:       eviction set {:2} lines, activity {}, {} bits recovered, key-bit accuracy {:.1}%\n",
+        raw.eviction_set_size,
+        raw.activity_detected,
+        raw.recovered_bits.len(),
+        raw.accuracy * 100.0
+    ));
+    out.push_str(&format!(
+        "protected: eviction set {:2} lines, activity {}, {} bits recovered, key-bit accuracy {:.1}%\n\n",
+        prot.eviction_set_size,
+        prot.activity_detected,
+        prot.recovered_bits.len(),
+        prot.accuracy * 100.0
+    ));
+    // A sparkline of the raw trace: the dot pattern of Figure 4.
+    out.push_str("raw probe trace (first 160 probes; '#' = monitored-set activity):\n  ");
+    let lats: Vec<f64> = raw.trace.iter().map(|&(_, l)| l as f64).collect();
+    if !lats.is_empty() {
+        let floor = tp_analysis::stats::percentile(&lats, 20.0);
+        for &(_, l) in raw.trace.iter().take(160) {
+            out.push(if (l as f64) > floor + 120.0 { '#' } else { '.' });
+        }
+    }
+    out.push('\n');
+    out
+}
+
+/// Figure 5: the unmitigated cache-flush channel on Arm (receiver-observed
+/// offline time vs the sender's dirty-cache footprint).
+#[must_use]
+pub fn fig5() -> String {
+    let spec = IntraCoreSpec {
+        platform: Platform::Sabre,
+        prot: flush_latency::flush_channel_config(None),
+        n_symbols: 8,
+        samples: samples(300),
+        slice_us: 50.0,
+        seed: 0x5EED,
+    };
+    let o = flush_latency::flush_channel(&spec, flush_latency::Timing::Offline);
+    let mut out = String::from(
+        "Figure 5: Unmitigated cache-flush channel on Arm: receiver-observed\noffline time vs sender cache footprint (8 symbols = 0..256 dirty sets).\n\n",
+    );
+    if o.dataset.len() >= 8 {
+        let m = ChannelMatrix::from_dataset(&o.dataset, 48);
+        out.push_str(&m.render(&["0", "32", "64", "96", "128", "160", "192", "224"]));
+    }
+    out.push_str(&format!("  {}\n", o.summary()));
+    out
+}
+
+/// Table 4: the flush-latency channel, online/offline timing, with and
+/// without padding.
+#[must_use]
+pub fn table4() -> String {
+    let mut t = Table::new(&["Platform", "Timing", "No pad M", "(M0)", "Protected M", "(M0)"]);
+    let n = samples(250);
+    for platform in [Platform::Haswell, Platform::Sabre] {
+        let pad = flush_latency::table4_pad_us(platform);
+        for timing in [flush_latency::Timing::Online, flush_latency::Timing::Offline] {
+            let mk = |pad_us: Option<f64>| IntraCoreSpec {
+                platform,
+                prot: flush_latency::flush_channel_config(pad_us),
+                n_symbols: 8,
+                samples: n,
+                slice_us: 50.0,
+                seed: 0x5EED,
+            };
+            let no_pad = flush_latency::flush_channel(&mk(None), timing);
+            let padded = flush_latency::flush_channel(&mk(Some(pad)), timing);
+            t.row(&[
+                format!("{} (pad {pad} µs)", platform_short(platform)),
+                format!("{timing:?}"),
+                fmt_mb(no_pad.verdict.m.millibits(), no_pad.verdict.leaks),
+                format!("{:.1}", no_pad.verdict.m0_millibits()),
+                fmt_mb(padded.verdict.m.millibits(), padded.verdict.leaks),
+                format!("{:.1}", padded.verdict.m0_millibits()),
+            ]);
+        }
+    }
+    format!(
+        "Table 4: Channel through cache-flush latency (mb) without and with\ntime padding.\n\n{}",
+        t.render()
+    )
+}
+
+/// Figure 6: the interrupt channel (spy online time vs the Trojan's timer
+/// value), unmitigated and with IRQ partitioning.
+#[must_use]
+pub fn fig6() -> String {
+    let n = samples(250);
+    let raw = interrupt::interrupt_channel(&interrupt::paper_spec(Platform::Haswell, false, n));
+    let part = interrupt::interrupt_channel(&interrupt::paper_spec(Platform::Haswell, true, n));
+    let mut out = String::from(
+        "Figure 6: Interrupt channel: spy-observed online time vs the timer\ninterrupt configured by the Trojan (13..17 ms, 10 ms tick).\n\n",
+    );
+    if raw.dataset.len() >= 8 {
+        let m = ChannelMatrix::from_dataset(&raw.dataset, 48);
+        out.push_str("unmitigated:\n");
+        out.push_str(&m.render(&["13ms", "14ms", "15ms", "16ms", "17ms"]));
+    }
+    out.push_str(&format!("  raw:         {}\n", raw.summary()));
+    out.push_str(&format!("  partitioned: {}\n", part.summary()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The individual channels are tested in tp-attacks; here we exercise
+    // the reporting glue at reduced sample counts.
+
+    #[test]
+    fn fig4_report_contains_both_scenarios() {
+        std::env::set_var("TP_SAMPLES", "0.5");
+        let s = fig4();
+        assert!(s.contains("raw:"));
+        assert!(s.contains("protected:"));
+        assert!(s.contains('#'), "raw trace should show activity: {s}");
+    }
+}
+
+/// Per-mechanism ablations: switching off each Requirement's mechanism
+/// (with the rest of time protection intact) re-opens exactly its channel
+/// — and the interconnect channel stays open no matter what (§6.1).
+#[must_use]
+pub fn ablations() -> String {
+    use tp_attacks::bus;
+    let n = samples(150);
+    let mut t = Table::new(&["Mechanism disabled", "Re-opened channel", "M (mb)", "M0 (mb)", "leak?"]);
+
+    // Requirement 1: on-core flush off -> L1-D channel.
+    let mut prot = ProtectionConfig::protected();
+    prot.flush = tp_core::FlushMode::None;
+    let o = cache::l1d_channel(&IntraCoreSpec {
+        platform: Platform::Haswell,
+        prot,
+        n_symbols: 8,
+        samples: n,
+        slice_us: 50.0,
+        seed: 0x5EED,
+    });
+    push_ablation(&mut t, "R1 on-core flush", "L1-D prime&probe", &o);
+
+    // Requirement 2: kernel clone off — the Figure 3 "coloured userland
+    // only" configuration. (With the on-core flush also active, the manual
+    // flush buffers blanket the L2 every switch and strongly attenuate the
+    // differential kernel footprint; the channel the paper demonstrates is
+    // against the colouring-only baseline.)
+    let o = kernel_image::kernel_image_channel(&IntraCoreSpec {
+        platform: Platform::Haswell,
+        prot: kernel_image::coloured_userland_config(),
+        n_symbols: 4,
+        samples: n,
+        slice_us: 50.0,
+        seed: 0x5EED,
+    });
+    push_ablation(&mut t, "R2 kernel clone (+R1)", "kernel-image syscalls", &o);
+
+    // Requirement 4: padding off -> flush-latency channel (Arm).
+    let o = flush_latency::flush_channel(
+        &IntraCoreSpec {
+            platform: Platform::Sabre,
+            prot: flush_latency::flush_channel_config(None),
+            n_symbols: 8,
+            samples: n,
+            slice_us: 50.0,
+            seed: 0x5EED,
+        },
+        flush_latency::Timing::Offline,
+    );
+    push_ablation(&mut t, "R4 switch padding", "flush write-back latency", &o);
+
+    // Requirement 5: interrupt partitioning off.
+    let o = interrupt::interrupt_channel(&interrupt::paper_spec(Platform::Haswell, false, n));
+    push_ablation(&mut t, "R5 IRQ partitioning", "timer-interrupt placement", &o);
+
+    // The limitation: nothing disables the bus channel's defence, because
+    // there is none (§2.3: no bandwidth-partitioning hardware exists).
+    let o = bus::bus_channel(
+        &IntraCoreSpec::new(Platform::Haswell, Scenario::Protected, 2, n).with_slice_us(30.0),
+    );
+    push_ablation(&mut t, "(none: unpartitionable)", "cross-core memory bus", &o);
+
+    format!(
+        "Ablations: each time-protection mechanism individually disabled\n(everything else active). The re-opened channel demonstrates what the\nmechanism defends; the bus row is the paper's declared hardware\nlimitation — it leaks under FULL protection.\n\n{}",
+        t.render()
+    )
+}
+
+fn push_ablation(t: &mut Table, mech: &str, chan: &str, o: &ChannelOutcome) {
+    t.row(&[
+        mech.to_string(),
+        chan.to_string(),
+        format!("{:.1}", o.verdict.m.millibits()),
+        format!("{:.1}", o.verdict.m0_millibits()),
+        if o.verdict.leaks { "YES".into() } else { "no".into() },
+    ]);
+}

@@ -1,0 +1,18 @@
+//! # tp-bench — the evaluation harness
+//!
+//! One module per group of results from §5 of the paper; each experiment
+//! returns a printable report. The `src/bin/` binaries are thin wrappers
+//! (`cargo run --release -p tp-bench --bin table3`), and `reproduce_all`
+//! regenerates every table and figure in one run.
+//!
+//! Sample sizes default to values that finish in minutes; set the
+//! environment variable `TP_SAMPLES` (a scale factor, e.g. `0.25` or `4`)
+//! to trade precision for time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channels;
+pub mod splash;
+pub mod tables;
+pub mod util;

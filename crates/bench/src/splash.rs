@@ -1,0 +1,153 @@
+//! Figure 7 and Table 8: the Splash-2 colouring cost study.
+
+use crate::util::{samples, Table};
+use tp_analysis::stats;
+use tp_core::ProtectionConfig;
+use tp_sim::Platform;
+use tp_workloads::{all_benchmarks, run_workload, WorkloadRun};
+
+/// The five Figure 7 configurations, relative to the 100%-colour baseline
+/// on the standard kernel.
+const CASES: [(&str, bool, (u64, u64)); 5] = [
+    ("75% colours base", false, (3, 4)),
+    ("50% colours base", false, (1, 2)),
+    ("100% colours clone", true, (1, 1)),
+    ("75% colours clone", true, (3, 4)),
+    ("50% colours clone", true, (1, 2)),
+];
+
+fn prot_for(clone: bool) -> ProtectionConfig {
+    if clone {
+        ProtectionConfig::protected()
+    } else {
+        ProtectionConfig::raw()
+    }
+}
+
+/// Figure 7: per-benchmark slowdowns of cache colouring and kernel
+/// cloning, plus the geometric mean.
+#[must_use]
+pub fn fig7() -> String {
+    let ops = samples(60_000);
+    let mut out = String::from(
+        "Figure 7: Slowdowns of Splash-2 benchmarks against the baseline\nkernel without partitioning (single process on the system).\n\n",
+    );
+    for platform in [Platform::Haswell, Platform::Sabre] {
+        let mut t = Table::new(&[
+            "benchmark", CASES[0].0, CASES[1].0, CASES[2].0, CASES[3].0, CASES[4].0,
+        ]);
+        let mut per_case: Vec<Vec<f64>> = vec![Vec::new(); CASES.len()];
+        for bench in all_benchmarks() {
+            let base = run_workload(
+                &bench,
+                &WorkloadRun::solo(platform, ProtectionConfig::raw(), (1, 1)).with_ops(ops),
+            );
+            let mut cells = vec![bench.name.to_string()];
+            for (i, (_, clone, colors)) in CASES.iter().enumerate() {
+                let r = run_workload(
+                    &bench,
+                    &WorkloadRun::solo(platform, prot_for(*clone), *colors).with_ops(ops),
+                );
+                let slow = r.slowdown_vs(base);
+                per_case[i].push(1.0 + slow);
+                cells.push(format!("{:.2}%", slow * 100.0));
+            }
+            t.row(&cells);
+        }
+        let mut mean_cells = vec!["GEOMEAN".to_string()];
+        for case in &per_case {
+            let g = stats::geomean(case) - 1.0;
+            mean_cells.push(format!("{:.2}%", g * 100.0));
+        }
+        t.row(&mean_cells);
+        out.push_str(&format!("{}\n{}\n", platform.name(), t.render()));
+    }
+    out
+}
+
+/// Table 8: the impact of time protection with 50% colours when
+/// time-sharing with an idle domain, with and without padding. Slowdowns
+/// are relative to the 100%-colour unprotected baseline, counting only the
+/// benchmark's own share of the processor.
+#[must_use]
+pub fn table8() -> String {
+    let ops = samples(60_000);
+    let mut out = String::from(
+        "Table 8: Performance impact on Splash-2 of time protection with 50%\ncolours, time-shared with an idle domain, with and without padding.\n\n",
+    );
+    for platform in [Platform::Haswell, Platform::Sabre] {
+        let pad = tp_attacks::flush_latency::table4_pad_us(platform);
+        let mut rows: Vec<(String, f64, f64)> = Vec::new();
+        for bench in all_benchmarks() {
+            // Baseline: raw kernel time-shared with the same idle domain —
+            // isolates the *protection* cost from the CPU-share cost.
+            let base = run_workload(
+                &bench,
+                &WorkloadRun::shared(platform, ProtectionConfig::raw(), (1, 2)).with_ops(ops),
+            );
+            let no_pad = run_workload(
+                &bench,
+                &WorkloadRun::shared(platform, ProtectionConfig::protected(), (1, 2))
+                    .with_ops(ops),
+            );
+            let padded = run_workload(
+                &bench,
+                &WorkloadRun::shared(
+                    platform,
+                    ProtectionConfig::protected().with_pad_us(pad),
+                    (1, 2),
+                )
+                .with_ops(ops),
+            );
+            rows.push((
+                bench.name.to_string(),
+                no_pad.slowdown_vs(base),
+                padded.slowdown_vs(base),
+            ));
+        }
+        let mut t = Table::new(&["Pad", "Max", "Min", "Mean"]);
+        for (pad_name, idx) in [("no", 1usize), ("yes", 2usize)] {
+            let vals: Vec<f64> = rows
+                .iter()
+                .map(|r| if idx == 1 { r.1 } else { r.2 })
+                .collect();
+            let max_row = rows
+                .iter()
+                .max_by(|a, b| pick(a, idx).total_cmp(&pick(b, idx)))
+                .expect("rows");
+            let min_row = rows
+                .iter()
+                .min_by(|a, b| pick(a, idx).total_cmp(&pick(b, idx)))
+                .expect("rows");
+            let gmean = stats::geomean(&vals.iter().map(|v| 1.0 + v).collect::<Vec<_>>()) - 1.0;
+            t.row(&[
+                pad_name.to_string(),
+                format!("{:.2}% ({})", pick(max_row, idx) * 100.0, max_row.0),
+                format!("{:.2}% ({})", pick(min_row, idx) * 100.0, min_row.0),
+                format!("{:.2}%", gmean * 100.0),
+            ]);
+        }
+        out.push_str(&format!("{}\n{}\n", platform.name(), t.render()));
+    }
+    out
+}
+
+fn pick(row: &(String, f64, f64), idx: usize) -> f64 {
+    if idx == 1 {
+        row.1
+    } else {
+        row.2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_cases_cover_the_paper() {
+        assert_eq!(CASES.len(), 5);
+        assert!(CASES.iter().any(|c| c.0.contains("50% colours base")));
+        assert!(CASES.iter().any(|c| c.0.contains("100% colours clone")));
+    }
+}

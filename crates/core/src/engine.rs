@@ -1,0 +1,575 @@
+//! The execution engine: deterministic thread-per-process co-simulation.
+//!
+//! Each simulated user program runs on its own host thread, but **all**
+//! hardware and kernel interaction goes through [`UserEnv`], which holds a
+//! single global simulation lock and only admits the thread that the
+//! simulated kernel has scheduled (and, on multicore, whose core holds the
+//! window token). Preemption, blocking IPC and idle-time skipping happen
+//! *inside* env calls, so attack code is written as natural straight-line
+//! loops reading the simulated cycle counter — exactly like real attack
+//! code against real hardware.
+//!
+//! Determinism: the scheduling admission predicate is a pure function of
+//! simulation state, all randomness is seeded, and cross-core interleaving
+//! is quantised to a fixed cycle window.
+
+use crate::kernel::{Kernel, KernelError, Syscall, SysReturn};
+use crate::objects::{DomainId, TcbId, ThreadState};
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use tp_sim::{ColorSet, Machine, PAddr, PlatformConfig, VAddr};
+
+/// Default cross-core interleaving window (cycles).
+pub const DEFAULT_WINDOW: u64 = 4_000;
+
+/// Unwind payload used to terminate worker threads when the simulation
+/// stops.
+pub struct SimExit;
+
+/// A kernel-level event pending on a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvKind {
+    /// The preemption timer.
+    Tick,
+    /// A one-shot user timer bound to an IRQ.
+    Timer {
+        /// The IRQ line.
+        irq: u32,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ev {
+    cycle: u64,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.cycle, self.seq).cmp(&(other.cycle, other.seq))
+    }
+}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The shared simulation state.
+pub struct SimInner {
+    /// The hardware.
+    pub machine: Machine,
+    /// The kernel.
+    pub kernel: Kernel,
+    events: Vec<BinaryHeap<Reverse<Ev>>>,
+    /// Which core currently holds the execution token.
+    pub token: usize,
+    /// Cross-core window in cycles.
+    pub window: u64,
+    /// Global stop flag.
+    pub stop: bool,
+    /// Cycle budget; exceeded ⇒ stop.
+    pub max_cycles: u64,
+    /// Primary (non-daemon) programs still running.
+    pub primaries_left: usize,
+    /// Bumped on every scheduling-relevant change; waiters recheck on it.
+    pub epoch: u64,
+    /// First error reported by a worker, if any.
+    pub error: Option<String>,
+    seq: u64,
+}
+
+impl SimInner {
+    /// Create the inner state.
+    #[must_use]
+    pub fn new(machine: Machine, kernel: Kernel, window: u64, max_cycles: u64) -> Self {
+        let cores = machine.cfg.cores;
+        SimInner {
+            machine,
+            kernel,
+            events: (0..cores).map(|_| BinaryHeap::new()).collect(),
+            token: 0,
+            window,
+            stop: false,
+            max_cycles,
+            primaries_left: 0,
+            epoch: 0,
+            error: None,
+            seq: 0,
+        }
+    }
+
+    /// Schedule an event on a core at an absolute cycle.
+    pub fn push_event(&mut self, core: usize, cycle: u64, kind: EvKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events[core].push(Reverse(Ev { cycle, seq, kind }));
+    }
+
+    /// Earliest pending event cycle on a core.
+    #[must_use]
+    pub fn next_event_cycle(&self, core: usize) -> Option<u64> {
+        self.events[core].peek().map(|Reverse(e)| e.cycle)
+    }
+
+    /// Process all events on `core` that are due at its current cycle.
+    pub fn process_due(&mut self, core: usize) {
+        while let Some(&Reverse(ev)) = self.events[core].peek() {
+            if ev.cycle > self.machine.cycles(core) {
+                break;
+            }
+            self.events[core].pop();
+            self.handle_event(core, ev);
+        }
+        if self.machine.cycles(core) >= self.max_cycles {
+            self.stop = true;
+            self.epoch += 1;
+        }
+    }
+
+    fn handle_event(&mut self, core: usize, ev: Ev) {
+        match ev.kind {
+            EvKind::Tick => {
+                let out = self.kernel.handle_tick(&mut self.machine, core);
+                self.push_event(core, out.next_tick_at, EvKind::Tick);
+            }
+            EvKind::Timer { irq } => {
+                self.kernel.irq_arrives(&mut self.machine, core, irq);
+            }
+        }
+        self.epoch += 1;
+    }
+
+    /// Whether any core has a current thread.
+    #[must_use]
+    pub fn any_current(&self) -> bool {
+        self.kernel.cores.iter().any(|c| c.cur.is_some())
+    }
+
+    /// While no thread is runnable anywhere, jump the laggard core to its
+    /// next event and process it. Stops the simulation if the system is
+    /// permanently idle.
+    pub fn idle_advance(&mut self) {
+        while !self.stop && !self.any_current() {
+            let next = (0..self.events.len())
+                .filter_map(|c| self.next_event_cycle(c).map(|cy| (cy, c)))
+                .min();
+            match next {
+                Some((cycle, core)) => {
+                    if self.machine.cycles(core) < cycle {
+                        let delta = cycle - self.machine.cycles(core);
+                        self.machine.advance(core, delta);
+                    }
+                    self.process_due(core);
+                }
+                None => {
+                    self.stop = true;
+                    self.epoch += 1;
+                }
+            }
+        }
+    }
+
+    /// Move the token if the holder ran ahead of the laggard active core by
+    /// more than the window, or stopped being active.
+    pub fn rotate_token(&mut self) {
+        let active: Vec<usize> = self
+            .kernel
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.cur.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        if active.is_empty() {
+            return;
+        }
+        let laggard = *active
+            .iter()
+            .min_by_key(|&&c| self.machine.cycles(c))
+            .expect("nonempty");
+        if !active.contains(&self.token) {
+            if self.token != laggard {
+                self.token = laggard;
+                self.epoch += 1;
+            } else {
+                self.token = laggard;
+            }
+            return;
+        }
+        if self.machine.cycles(self.token) > self.machine.cycles(laggard) + self.window
+            && laggard != self.token
+        {
+            self.token = laggard;
+            self.epoch += 1;
+        }
+    }
+}
+
+/// The control block shared by all workers.
+pub struct SimCtl {
+    /// The state.
+    pub inner: Mutex<SimInner>,
+    /// Wakes waiting workers on scheduling changes.
+    pub cv: Condvar,
+}
+
+impl SimCtl {
+    /// Wrap inner state.
+    #[must_use]
+    pub fn new(inner: SimInner) -> Arc<Self> {
+        Arc::new(SimCtl { inner: Mutex::new(inner), cv: Condvar::new() })
+    }
+}
+
+/// A user program: the body of a simulated thread.
+pub trait UserProgram: Send + 'static {
+    /// Run to completion against the environment.
+    fn run(&mut self, env: &mut UserEnv);
+}
+
+impl<F: FnMut(&mut UserEnv) + Send + 'static> UserProgram for F {
+    fn run(&mut self, env: &mut UserEnv) {
+        self(env);
+    }
+}
+
+/// The mediated hardware/kernel interface handed to user programs.
+pub struct UserEnv {
+    ctl: Arc<SimCtl>,
+    /// This thread.
+    pub tcb: TcbId,
+    /// The core the thread is pinned to.
+    pub core: usize,
+    /// The thread's domain.
+    pub domain: DomainId,
+    cfg: PlatformConfig,
+    colors: ColorSet,
+}
+
+impl UserEnv {
+    /// Build an environment for a thread (used by the system builder).
+    #[must_use]
+    pub fn new(
+        ctl: Arc<SimCtl>,
+        tcb: TcbId,
+        core: usize,
+        domain: DomainId,
+        cfg: PlatformConfig,
+        colors: ColorSet,
+    ) -> Self {
+        UserEnv { ctl, tcb, core, domain, cfg, colors }
+    }
+
+    /// Platform configuration.
+    #[must_use]
+    pub fn platform(&self) -> &PlatformConfig {
+        &self.cfg
+    }
+
+    /// The domain's page colours.
+    #[must_use]
+    pub fn my_colors(&self) -> ColorSet {
+        self.colors
+    }
+
+    fn wait_turn<'a>(
+        &self,
+        g: &mut parking_lot::MutexGuard<'a, SimInner>,
+    ) {
+        loop {
+            if g.stop {
+                std::panic::panic_any(SimExit);
+            }
+            if g.kernel.cores[self.core].cur == Some(self.tcb) && g.token == self.core {
+                return;
+            }
+            if !g.any_current() {
+                g.idle_advance();
+                g.rotate_token();
+                self.ctl.cv.notify_all();
+                continue;
+            }
+            self.ctl.cv.wait(g);
+        }
+    }
+
+    fn op<R>(&self, sched: bool, f: impl FnOnce(&mut SimInner) -> R) -> R {
+        let mut g = self.ctl.inner.lock();
+        self.wait_turn(&mut g);
+        let e0 = g.epoch;
+        let r = f(&mut g);
+        if sched {
+            g.epoch += 1;
+        }
+        g.process_due(self.core);
+        if !g.any_current() {
+            g.idle_advance();
+        }
+        g.rotate_token();
+        if g.epoch != e0 || g.stop {
+            self.ctl.cv.notify_all();
+        }
+        r
+    }
+
+    /// Read the cycle counter (models `rdtsc` / `PMCCNTR`, including its
+    /// cost and a little jitter).
+    pub fn now(&self) -> u64 {
+        self.op(false, |g| {
+            let j = {
+                use rand::Rng;
+                g.machine.rng().gen_range(0..3)
+            };
+            g.machine.advance(self.core, 20 + j);
+            g.machine.cycles(self.core)
+        })
+    }
+
+    fn translate_or_die(g: &SimInner, tcb: TcbId, va: VAddr) -> PAddr {
+        g.kernel
+            .translate(tcb, va)
+            .unwrap_or_else(|| panic!("page fault at {va:?}"))
+    }
+
+    fn user_asid(g: &SimInner, tcb: TcbId) -> tp_sim::Asid {
+        let t = g.kernel.tcbs.get(tcb.0).expect("live thread");
+        g.kernel.vspaces.get(t.vspace.0).expect("live vspace").asid
+    }
+
+    /// Load from a user virtual address; returns the access latency in
+    /// cycles (what a real attacker measures with two counter reads).
+    pub fn load(&self, va: VAddr) -> u64 {
+        self.op(false, |g| {
+            let pa = Self::translate_or_die(g, self.tcb, va);
+            let asid = Self::user_asid(g, self.tcb);
+            g.machine.data_access(self.core, asid, va, pa, false, false)
+        })
+    }
+
+    /// Store to a user virtual address; returns the latency.
+    pub fn store(&self, va: VAddr) -> u64 {
+        self.op(false, |g| {
+            let pa = Self::translate_or_die(g, self.tcb, va);
+            let asid = Self::user_asid(g, self.tcb);
+            g.machine.data_access(self.core, asid, va, pa, true, false)
+        })
+    }
+
+    /// Fetch/execute an instruction at a user virtual address.
+    pub fn exec(&self, va: VAddr) -> u64 {
+        self.op(false, |g| {
+            let pa = Self::translate_or_die(g, self.tcb, va);
+            let asid = Self::user_asid(g, self.tcb);
+            g.machine.insn_fetch(self.core, asid, va, pa, false)
+        })
+    }
+
+    /// Execute a branch instruction; returns its latency.
+    pub fn branch(&self, pc: VAddr, target: VAddr, taken: bool, conditional: bool) -> u64 {
+        self.op(false, |g| g.machine.branch(self.core, pc, target, taken, conditional))
+    }
+
+    /// Pure computation for `n` cycles.
+    pub fn compute(&self, n: u64) {
+        self.op(false, |g| g.machine.advance(self.core, n));
+    }
+
+    /// Map `n` fresh pages of the domain's (coloured) memory; returns the
+    /// base VA and backing frames. Untimed setup operation.
+    ///
+    /// # Panics
+    /// Panics if the domain pool is exhausted.
+    pub fn map_pages(&self, n: usize) -> (VAddr, Vec<u64>) {
+        self.op(false, |g| {
+            g.kernel.map_user_pages(self.tcb, n).expect("domain pool exhausted")
+        })
+    }
+
+    /// Translation oracle: the physical address behind a user VA.
+    ///
+    /// Real attackers recover this information with timing-based
+    /// eviction-set construction (e.g. Liu et al. [2015]); the oracle
+    /// stands in for that untimed profiling phase.
+    #[must_use]
+    pub fn translate(&self, va: VAddr) -> PAddr {
+        self.op(false, |g| Self::translate_or_die(g, self.tcb, va))
+    }
+
+    /// Issue a system call. Blocking calls return when the thread is next
+    /// scheduled with the delivered value.
+    ///
+    /// # Errors
+    /// Kernel errors (bad capability, rights, types) are returned verbatim.
+    pub fn syscall(&self, sys: Syscall) -> Result<u64, KernelError> {
+        let ret = self.op(true, |g| {
+            let SimInner { machine, kernel, .. } = g;
+            let out = kernel.syscall(machine, self.core, self.tcb, sys);
+            if let Some((at, irq)) = out.arm_timer {
+                g.push_event(self.core, at, EvKind::Timer { irq });
+            }
+            out.ret
+        });
+        match ret {
+            SysReturn::Val(v) => Ok(v),
+            SysReturn::Err(e) => Err(e),
+            SysReturn::Blocked => Ok(self.wait_unblocked()),
+        }
+    }
+
+    fn wait_unblocked(&self) -> u64 {
+        let mut g = self.ctl.inner.lock();
+        self.wait_turn(&mut g);
+        debug_assert_eq!(
+            g.kernel.tcbs.get(self.tcb.0).map(|t| t.state),
+            Some(ThreadState::Ready)
+        );
+        g.kernel.tcbs.get(self.tcb.0).expect("live thread").ipc_msg
+    }
+
+    /// Yield the rest of the slice within the domain.
+    pub fn yield_now(&self) {
+        let _ = self.syscall(Syscall::Yield);
+    }
+
+    /// Sleep until the domain's next time slot.
+    pub fn sleep_slice(&self) {
+        let _ = self.syscall(Syscall::SleepSlice);
+    }
+
+    /// Spin on the cycle counter until this thread is preempted (or another
+    /// kernel event interrupts it) and then rescheduled.
+    ///
+    /// Returns `(gap_start, resume)`: the cycle at which the thread lost
+    /// the core and the cycle at which it got it back. This is the O(1)
+    /// equivalent of the receiver loop in §5.3.4 ("observes its progress by
+    /// monitoring a cycle counter, waiting for a large jump").
+    pub fn wait_preempt(&self) -> (u64, u64) {
+        // A spinning receiver's loop period: counter jumps smaller than
+        // this are indistinguishable from normal execution. Kernel events
+        // that consume no observable time (e.g. an interrupt deferred by
+        // partitioning) therefore do NOT end the wait.
+        const OBSERVABLE: u64 = 150;
+        let mut g = self.ctl.inner.lock();
+        loop {
+            self.wait_turn(&mut g);
+            let Some(evc) = g.next_event_cycle(self.core) else {
+                // Nothing will ever preempt us: treat as end of simulation.
+                g.stop = true;
+                g.epoch += 1;
+                self.ctl.cv.notify_all();
+                std::panic::panic_any(SimExit);
+            };
+            let now = g.machine.cycles(self.core);
+            if now < evc {
+                g.machine.advance(self.core, evc - now);
+            }
+            let before = g.machine.cycles(self.core);
+            g.process_due(self.core);
+            if !g.any_current() {
+                g.idle_advance();
+            }
+            g.rotate_token();
+            self.ctl.cv.notify_all();
+            if g.kernel.cores[self.core].cur != Some(self.tcb) {
+                // Preempted: wait to be scheduled again.
+                self.wait_turn(&mut g);
+                return (before, g.machine.cycles(self.core));
+            }
+            let after = g.machine.cycles(self.core);
+            if after - before > OBSERVABLE {
+                // An in-slice kernel intrusion (e.g. interrupt handling)
+                // long enough to show up as a cycle-counter jump.
+                return (before, after);
+            }
+            // Invisible event: keep spinning.
+        }
+    }
+
+    /// Arm the domain's one-shot timer IRQ (capability index `cap`) to fire
+    /// after `us` microseconds.
+    ///
+    /// # Errors
+    /// Propagates kernel errors.
+    pub fn set_timer_us(&self, cap: usize, us: f64) -> Result<u64, KernelError> {
+        self.syscall(Syscall::SetTimer { cap, us })
+    }
+}
+
+/// Run the set of programs to completion and return the final state.
+///
+/// `programs[i]` = (tcb, core, domain, colors, program, primary). The
+/// simulation stops when all primary programs finish, `max_cycles` elapses,
+/// or the system goes permanently idle.
+#[must_use]
+pub fn run_programs(
+    ctl: Arc<SimCtl>,
+    programs: Vec<(TcbId, usize, DomainId, ColorSet, Box<dyn UserProgram>, bool)>,
+) -> Arc<SimCtl> {
+    install_quiet_panic_hook();
+    let cfg = ctl.inner.lock().machine.cfg.clone();
+    {
+        let mut g = ctl.inner.lock();
+        g.primaries_left = programs.iter().filter(|p| p.5).count();
+    }
+    let mut handles = Vec::new();
+    for (tcb, core, domain, colors, mut prog, primary) in programs {
+        let ctl2 = Arc::clone(&ctl);
+        let cfg2 = cfg.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut env = UserEnv::new(Arc::clone(&ctl2), tcb, core, domain, cfg2, colors);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                prog.run(&mut env);
+            }));
+            let mut g = ctl2.inner.lock();
+            if let Err(p) = result {
+                if !p.is::<SimExit>() {
+                    let msg = p
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| p.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                        .unwrap_or_else(|| "worker panicked".to_string());
+                    g.stop = true;
+                    if g.error.is_none() {
+                        g.error = Some(msg);
+                    }
+                }
+            }
+            let SimInner { machine, kernel, .. } = &mut *g;
+            kernel.thread_exited(machine, tcb);
+            if primary {
+                g.primaries_left = g.primaries_left.saturating_sub(1);
+                if g.primaries_left == 0 {
+                    g.stop = true;
+                }
+            }
+            g.epoch += 1;
+            if !g.any_current() {
+                g.idle_advance();
+            }
+            g.rotate_token();
+            ctl2.cv.notify_all();
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    ctl
+}
+
+fn install_quiet_panic_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<SimExit>() {
+                return;
+            }
+            default(info);
+        }));
+    });
+}

@@ -1,0 +1,157 @@
+//! Scheduler ready queues.
+//!
+//! seL4's scheduler keeps an array of per-priority ready-queue head
+//! pointers plus a bitmap used to find the highest-priority thread in
+//! constant time — these two structures are the first items of the §4.1
+//! shared-data list (they remain shared between all kernel images). Here
+//! each `(core, domain)` pair owns one [`ReadyQueues`] instance; the
+//! *shared* nature of the hardware-visible structure is modelled by the
+//! kernel's cache footprint touching the shared-data region on scheduling
+//! operations.
+
+use crate::objects::TcbId;
+use std::collections::VecDeque;
+
+/// Number of priorities, matching seL4.
+pub const NUM_PRIOS: usize = 256;
+
+/// Per-priority ready queues with a constant-time highest-priority lookup
+/// bitmap.
+#[derive(Debug, Clone)]
+pub struct ReadyQueues {
+    queues: Vec<VecDeque<TcbId>>,
+    bitmap: [u64; NUM_PRIOS / 64],
+}
+
+impl Default for ReadyQueues {
+    fn default() -> Self {
+        ReadyQueues { queues: (0..NUM_PRIOS).map(|_| VecDeque::new()).collect(), bitmap: [0; 4] }
+    }
+}
+
+impl ReadyQueues {
+    /// Create empty queues.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue a thread at the tail of its priority queue (round-robin).
+    pub fn enqueue(&mut self, prio: u8, t: TcbId) {
+        let p = prio as usize;
+        self.queues[p].push_back(t);
+        self.bitmap[p / 64] |= 1u64 << (p % 64);
+    }
+
+    /// Enqueue at the head (used when a thread is preempted mid-operation
+    /// and must resume first).
+    pub fn enqueue_front(&mut self, prio: u8, t: TcbId) {
+        let p = prio as usize;
+        self.queues[p].push_front(t);
+        self.bitmap[p / 64] |= 1u64 << (p % 64);
+    }
+
+    /// Highest ready priority, if any (constant-time via the bitmap).
+    #[must_use]
+    pub fn highest(&self) -> Option<u8> {
+        for w in (0..self.bitmap.len()).rev() {
+            if self.bitmap[w] != 0 {
+                let bit = 63 - self.bitmap[w].leading_zeros() as usize;
+                return Some((w * 64 + bit) as u8);
+            }
+        }
+        None
+    }
+
+    /// Dequeue the highest-priority thread.
+    pub fn dequeue(&mut self) -> Option<TcbId> {
+        let p = self.highest()? as usize;
+        let t = self.queues[p].pop_front();
+        if self.queues[p].is_empty() {
+            self.bitmap[p / 64] &= !(1u64 << (p % 64));
+        }
+        t
+    }
+
+    /// Remove a specific thread (e.g. on destruction or suspension).
+    pub fn remove(&mut self, prio: u8, t: TcbId) -> bool {
+        let p = prio as usize;
+        let before = self.queues[p].len();
+        self.queues[p].retain(|&x| x != t);
+        if self.queues[p].is_empty() {
+            self.bitmap[p / 64] &= !(1u64 << (p % 64));
+        }
+        self.queues[p].len() != before
+    }
+
+    /// Whether no thread is ready.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bitmap.iter().all(|&w| w == 0)
+    }
+
+    /// Total ready threads.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn highest_priority_wins() {
+        let mut q = ReadyQueues::new();
+        q.enqueue(10, TcbId(1));
+        q.enqueue(200, TcbId(2));
+        q.enqueue(10, TcbId(3));
+        assert_eq!(q.highest(), Some(200));
+        assert_eq!(q.dequeue(), Some(TcbId(2)));
+        assert_eq!(q.dequeue(), Some(TcbId(1)));
+        assert_eq!(q.dequeue(), Some(TcbId(3)));
+        assert_eq!(q.dequeue(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn round_robin_within_priority() {
+        let mut q = ReadyQueues::new();
+        q.enqueue(5, TcbId(1));
+        q.enqueue(5, TcbId(2));
+        let first = q.dequeue().unwrap();
+        q.enqueue(5, first);
+        assert_eq!(q.dequeue(), Some(TcbId(2)), "rotation must be fair");
+    }
+
+    #[test]
+    fn enqueue_front_preempts_rotation() {
+        let mut q = ReadyQueues::new();
+        q.enqueue(5, TcbId(1));
+        q.enqueue_front(5, TcbId(2));
+        assert_eq!(q.dequeue(), Some(TcbId(2)));
+    }
+
+    #[test]
+    fn remove_clears_bitmap() {
+        let mut q = ReadyQueues::new();
+        q.enqueue(7, TcbId(1));
+        assert!(q.remove(7, TcbId(1)));
+        assert!(q.is_empty());
+        assert_eq!(q.highest(), None);
+        assert!(!q.remove(7, TcbId(1)));
+    }
+
+    #[test]
+    fn bitmap_boundaries() {
+        let mut q = ReadyQueues::new();
+        for p in [0u8, 63, 64, 127, 128, 191, 192, 255] {
+            q.enqueue(p, TcbId(p as usize));
+        }
+        assert_eq!(q.highest(), Some(255));
+        for expect in [255u8, 192, 191, 128, 127, 64, 63, 0] {
+            assert_eq!(q.dequeue(), Some(TcbId(expect as usize)));
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! High-level system construction: the role of the initial user process.
+//!
+//! §3.3: "the initial process separates all free memory into coloured
+//! pools, one per domain, clones a kernel for each partition into memory
+//! from the domain's pool, starts a child process in each pool, and
+//! associates the child with the corresponding kernel image." The
+//! [`SystemBuilder`] plays that initial process.
+
+use crate::config::ProtectionConfig;
+use crate::engine::{run_programs, EvKind, SimCtl, SimInner, UserProgram, DEFAULT_WINDOW};
+use crate::kernel::{EngineMode, Kernel, KernelStats};
+use crate::objects::{DomainId, TcbId};
+
+use tp_sim::{ColorSet, Machine, Platform, PlatformConfig};
+
+/// Default simulated RAM in frames (128 MiB — ample for every experiment).
+pub const DEFAULT_RAM_FRAMES: u64 = 32_768;
+
+/// Default per-domain memory pool in frames.
+pub const DEFAULT_DOMAIN_FRAMES: usize = 8_000;
+
+struct DomainSpec {
+    colors: Option<ColorSet>,
+    max_frames: usize,
+}
+
+struct ThreadSpec {
+    domain: usize,
+    core: usize,
+    prio: u8,
+    prog: Box<dyn UserProgram>,
+    primary: bool,
+}
+
+/// Handle to a domain being described.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomainHandle(usize);
+
+/// Post-setup hook: runs after all threads exist, before the simulation
+/// starts (grant capabilities, create endpoints, configure padding, ...).
+pub type SetupFn = Box<dyn FnOnce(&mut Kernel, &mut Machine, &[TcbId], &[DomainId]) + Send>;
+
+/// Builder for a complete simulated system.
+pub struct SystemBuilder {
+    platform: Platform,
+    prot: ProtectionConfig,
+    seed: u64,
+    slice_us: f64,
+    ram_frames: u64,
+    window: u64,
+    max_cycles: u64,
+    mode: EngineMode,
+    domains: Vec<DomainSpec>,
+    threads: Vec<ThreadSpec>,
+    setup: Option<SetupFn>,
+}
+
+impl SystemBuilder {
+    /// Start describing a system on `platform` with a protection config.
+    #[must_use]
+    pub fn new(platform: Platform, prot: ProtectionConfig) -> Self {
+        SystemBuilder {
+            platform,
+            prot,
+            seed: 0xC0FFEE,
+            slice_us: 1_000.0,
+            ram_frames: DEFAULT_RAM_FRAMES,
+            window: DEFAULT_WINDOW,
+            max_cycles: u64::MAX,
+            mode: EngineMode::Slotted,
+            domains: Vec::new(),
+            threads: Vec::new(),
+            setup: None,
+        }
+    }
+
+    /// Set the RNG seed (experiments vary it across runs).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the preemption time slice in microseconds (paper experiments
+    /// use 1 ms or 10 ms).
+    #[must_use]
+    pub fn slice_us(mut self, us: f64) -> Self {
+        self.slice_us = us;
+        self
+    }
+
+    /// Cap the simulation length in cycles.
+    #[must_use]
+    pub fn max_cycles(mut self, c: u64) -> Self {
+        self.max_cycles = c;
+        self
+    }
+
+    /// Select open (thread-level, IPC-switched) scheduling instead of the
+    /// default strict domain slots.
+    #[must_use]
+    pub fn open_scheduling(mut self) -> Self {
+        self.mode = EngineMode::Open;
+        self
+    }
+
+    /// Simulated RAM size in frames.
+    #[must_use]
+    pub fn ram_frames(mut self, frames: u64) -> Self {
+        self.ram_frames = frames;
+        self
+    }
+
+    /// Cross-core interleaving window in cycles (smaller = finer-grained
+    /// cross-core timing at more host-side synchronisation cost).
+    #[must_use]
+    pub fn window(mut self, cycles: u64) -> Self {
+        self.window = cycles;
+        self
+    }
+
+    /// Declare a domain. With colouring enabled and `colors == None`, the
+    /// available colours are split evenly across declared domains.
+    pub fn domain(&mut self, colors: Option<ColorSet>) -> DomainHandle {
+        self.domain_sized(colors, DEFAULT_DOMAIN_FRAMES)
+    }
+
+    /// Declare a domain with an explicit memory-pool size in frames.
+    pub fn domain_sized(&mut self, colors: Option<ColorSet>, max_frames: usize) -> DomainHandle {
+        self.domains.push(DomainSpec { colors, max_frames });
+        DomainHandle(self.domains.len() - 1)
+    }
+
+    /// Spawn a primary program in a domain; the simulation ends when all
+    /// primary programs finish.
+    pub fn spawn(&mut self, domain: DomainHandle, core: usize, prio: u8, prog: impl UserProgram) {
+        self.threads.push(ThreadSpec { domain: domain.0, core, prio, prog: Box::new(prog), primary: true });
+    }
+
+    /// Spawn a daemon program (victims, idlers): it does not keep the
+    /// simulation alive.
+    pub fn spawn_daemon(
+        &mut self,
+        domain: DomainHandle,
+        core: usize,
+        prio: u8,
+        prog: impl UserProgram,
+    ) {
+        self.threads.push(ThreadSpec { domain: domain.0, core, prio, prog: Box::new(prog), primary: false });
+    }
+
+    /// Install the post-setup hook.
+    pub fn setup(&mut self, f: SetupFn) {
+        self.setup = Some(f);
+    }
+
+    /// Build and run the system to completion.
+    ///
+    /// # Panics
+    /// Panics if a worker program panicked (other than normal shutdown) or
+    /// if construction fails (e.g. pool exhaustion).
+    #[must_use]
+    pub fn run(self) -> SystemReport {
+        let cfg = self.platform.config();
+        let mut machine = Machine::new(cfg.clone(), self.seed);
+        let slice_cycles = cfg.us_to_cycles(self.slice_us);
+        let mut kernel = Kernel::new(cfg.clone(), self.prot.clone(), self.ram_frames, slice_cycles);
+
+        if self.prot.disable_data_prefetcher {
+            for c in &mut machine.cores {
+                c.dpf.set_enabled(false);
+            }
+        }
+
+        // Colour assignment.
+        let n_colors = cfg.partition_colors();
+        let n_domains = self.domains.len().max(1) as u64;
+        let per = (n_colors / n_domains).max(1);
+        let mut domain_ids = Vec::new();
+        for (i, spec) in self.domains.iter().enumerate() {
+            let colors = spec.colors.unwrap_or_else(|| {
+                if self.prot.color_userland {
+                    let lo = i as u64 * per;
+                    ColorSet::range(lo, (lo + per).min(n_colors))
+                } else {
+                    ColorSet::all(n_colors)
+                }
+            });
+            let d = kernel
+                .create_domain(colors, spec.max_frames)
+                .expect("domain memory");
+            if self.prot.clone_kernel {
+                kernel
+                    .clone_kernel_for_domain(&mut machine, 0, d)
+                    .expect("kernel clone");
+            }
+            domain_ids.push(d);
+        }
+
+        if let Some(pad_us) = self.prot.pad_us {
+            let pad = cfg.us_to_cycles(pad_us);
+            let ids: Vec<usize> = kernel.images.iter().map(|(i, _)| i).collect();
+            for i in ids {
+                kernel.set_pad_cycles(crate::objects::ImageId(i), pad);
+            }
+        }
+
+        // Threads.
+        let mut tcbs = Vec::new();
+        let mut specs = Vec::new();
+        for spec in self.threads {
+            let d = domain_ids[spec.domain];
+            let t = kernel.create_thread(d, spec.core, spec.prio).expect("thread");
+            tcbs.push(t);
+            specs.push((t, spec.core, d, spec.prog, spec.primary));
+        }
+
+        if let Some(setup) = self.setup {
+            setup(&mut kernel, &mut machine, &tcbs, &domain_ids);
+        }
+
+        // Engine mode + initial schedule per core.
+        for core in 0..cfg.cores {
+            kernel.cores[core].mode = self.mode;
+            if kernel.cores[core].slots.is_empty() {
+                continue;
+            }
+            kernel.cores[core].slot_idx = 0;
+            let first = kernel.schedule_same_slot(&mut machine, core);
+            if let Some(t) = first {
+                let (img, dom) = {
+                    let tcb = kernel.tcbs.get(t.0).expect("live thread");
+                    (tcb.image, tcb.domain)
+                };
+                kernel.cores[core].cur_domain = Some(dom);
+                if img != kernel.cores[core].cur_image {
+                    let from = kernel.cores[core].cur_image;
+                    kernel.switch_image_fast(&mut machine, core, from, img);
+                }
+            }
+        }
+
+        let mut inner = SimInner::new(machine, kernel, self.window, self.max_cycles);
+        if self.mode == EngineMode::Slotted {
+            for core in 0..cfg.cores {
+                if !inner.kernel.cores[core].slots.is_empty() {
+                    inner.push_event(core, slice_cycles, EvKind::Tick);
+                }
+            }
+        }
+        let ctl = SimCtl::new(inner);
+
+        let programs = specs
+            .into_iter()
+            .map(|(t, core, d, prog, primary)| {
+                let colors = ctl.inner.lock().kernel.domains.get(d.0).expect("domain").colors;
+                (t, core, d, colors, prog, primary)
+            })
+            .collect();
+
+        let ctl = run_programs(ctl, programs);
+        let g = ctl.inner.lock();
+        if let Some(e) = &g.error {
+            panic!("simulated program failed: {e}");
+        }
+        SystemReport {
+            cfg: g.machine.cfg.clone(),
+            stats: g.kernel.stats,
+            cycles: (0..g.machine.cfg.cores).map(|c| g.machine.cycles(c)).collect(),
+            domains: domain_ids,
+        }
+    }
+}
+
+/// Final state of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SystemReport {
+    /// Platform configuration.
+    pub cfg: PlatformConfig,
+    /// Kernel statistics.
+    pub stats: KernelStats,
+    /// Final cycle counters per core.
+    pub cycles: Vec<u64>,
+    /// The domains, in declaration order.
+    pub domains: Vec<DomainId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_thread_runs_to_completion() {
+        let done = Arc::new(Mutex::new(0u64));
+        let done2 = Arc::clone(&done);
+        let mut b = SystemBuilder::new(Platform::Haswell, ProtectionConfig::raw());
+        let d = b.domain(None);
+        b.spawn(d, 0, 100, move |env: &mut crate::engine::UserEnv| {
+            let (va, _) = env.map_pages(2);
+            let mut sum = 0;
+            for i in 0..64u64 {
+                sum += env.load(tp_sim::VAddr(va.0 + i * 64));
+            }
+            *done2.lock() = sum.max(1);
+        });
+        let report = b.run();
+        assert!(*done.lock() > 0, "program must have run");
+        assert!(report.cycles[0] > 0);
+    }
+
+    #[test]
+    fn two_domains_alternate_with_protection() {
+        let log: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let log2 = Arc::clone(&log);
+        let mut b = SystemBuilder::new(Platform::Haswell, ProtectionConfig::protected())
+            .slice_us(100.0)
+            .max_cycles(40_000_000);
+        let d0 = b.domain(None);
+        let d1 = b.domain(None);
+        b.spawn(d0, 0, 100, move |env: &mut crate::engine::UserEnv| {
+            for _ in 0..5 {
+                let (gap, resume) = env.wait_preempt();
+                log2.lock().push((gap, resume));
+            }
+        });
+        b.spawn_daemon(d1, 0, 100, move |env: &mut crate::engine::UserEnv| {
+            loop {
+                env.compute(1000);
+            }
+        });
+        let report = b.run();
+        let log = log.lock();
+        assert_eq!(log.len(), 5);
+        for (gap, resume) in log.iter() {
+            // Offline time ≈ one slice of the other domain plus switch work.
+            let offline = resume - gap;
+            let slice = report.cfg.us_to_cycles(100.0);
+            assert!(offline > slice / 2, "offline {offline} vs slice {slice}");
+            assert!(offline < 4 * slice, "offline {offline} vs slice {slice}");
+        }
+        assert!(report.stats.domain_switches >= 10);
+    }
+
+    #[test]
+    fn daemon_does_not_block_completion() {
+        let mut b = SystemBuilder::new(Platform::Sabre, ProtectionConfig::raw())
+            .slice_us(50.0)
+            .max_cycles(20_000_000);
+        let d = b.domain(None);
+        b.spawn(d, 0, 100, |env: &mut crate::engine::UserEnv| {
+            env.compute(10_000);
+        });
+        b.spawn_daemon(d, 0, 100, |env: &mut crate::engine::UserEnv| loop {
+            env.compute(500);
+        });
+        let _ = b.run();
+    }
+
+    #[test]
+    fn ipc_ping_pong_across_domains_open_mode() {
+        use crate::kernel::Syscall;
+        use crate::objects::{CapObject, Capability, Rights};
+        let count = Arc::new(Mutex::new(0u32));
+        let count2 = Arc::clone(&count);
+        let mut b = SystemBuilder::new(Platform::Haswell, ProtectionConfig::protected())
+            .max_cycles(200_000_000);
+        let d0 = b.domain(None);
+        let d1 = b.domain(None);
+        b.setup(Box::new(|k, _m, tcbs, domains| {
+            let ep = k.create_endpoint(domains[0]).unwrap();
+            let cap = Capability { obj: CapObject::Endpoint(ep), rights: Rights::all() };
+            let c0 = k.grant_cap(tcbs[0], cap);
+            let c1 = k.grant_cap(tcbs[1], cap);
+            assert_eq!(c0, 0);
+            assert_eq!(c1, 0);
+        }));
+        let mut b = b.open_scheduling();
+        b.spawn(d0, 0, 100, move |env: &mut crate::engine::UserEnv| {
+            for i in 0..10u64 {
+                let r = env.syscall(Syscall::Call { cap: 0, msg: i }).unwrap();
+                assert_eq!(r, i + 1);
+            }
+            *count2.lock() = 10;
+        });
+        b.spawn_daemon(d1, 0, 100, |env: &mut crate::engine::UserEnv| {
+            let first = env.syscall(Syscall::Recv { cap: 0 }).unwrap();
+            let mut msg = first;
+            loop {
+                msg = env.syscall(Syscall::ReplyRecv { cap: 0, msg: msg + 1 }).unwrap();
+            }
+        });
+        let report = b.run();
+        assert_eq!(*count.lock(), 10);
+        // First Call goes through the slow path (server not yet waiting);
+        // all later Calls and every ReplyRecv hit the fastpath.
+        assert!(report.stats.ipc_fastpath >= 15, "fastpath {}", report.stats.ipc_fastpath);
+    }
+}

@@ -1,0 +1,455 @@
+//! Generic set-associative, write-back cache model.
+//!
+//! All caches in the simulated hierarchy (L1-D, L1-I, L2, the LLC slices)
+//! are instances of [`Cache`]. The model tracks per-line validity, dirtiness
+//! and recency; the attacks in `tp-attacks` observe it purely through
+//! latency, exactly as on real hardware.
+
+use crate::params::CacheGeom;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Replacement policy for victim selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Replacement {
+    /// Strict least-recently-used.
+    Lru,
+    /// LRU with occasional random deviations, modelling undocumented
+    /// pseudo-LRU hardware. `noise` is the deviation probability in 1/256
+    /// units. This is what makes the paper's "manual" L1 flush brittle
+    /// (footnote 6): priming a cache-sized buffer does not always evict
+    /// every stale line.
+    PseudoLru {
+        /// Deviation probability in 1/256 units.
+        noise: u8,
+    },
+    /// Uniformly random victim.
+    Random,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Recency stamp; larger is more recent.
+    stamp: u64,
+}
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Whether a dirty victim line had to be written back.
+    pub writeback: bool,
+    /// The line address (`tag * sets + set`, in line units) of the evicted
+    /// line, if a valid line was evicted. Used to propagate evictions to
+    /// outer levels or victims to write-back paths.
+    pub evicted: Option<EvictedLine>,
+}
+
+/// Description of a line evicted from a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Line address in units of lines (i.e. `paddr / line_size`) for
+    /// physically-indexed caches.
+    pub line_addr: u64,
+    /// Whether the line was dirty.
+    pub dirty: bool,
+}
+
+/// Aggregate cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Total hits.
+    pub hits: u64,
+    /// Total misses.
+    pub misses: u64,
+    /// Dirty lines written back due to eviction or flush.
+    pub writebacks: u64,
+    /// Lines invalidated by flush operations.
+    pub flushed_lines: u64,
+}
+
+/// A set-associative cache.
+///
+/// Indexing is left to the caller: L1 caches are virtually indexed /
+/// physically tagged (index from the virtual address), while L2/LLC are
+/// physically indexed. The cache itself only sees `(set, tag)` pairs plus a
+/// canonical line address used for write-back propagation.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    name: &'static str,
+    geom: CacheGeom,
+    sets: usize,
+    ways: usize,
+    lines: Vec<Line>,
+    policy: Replacement,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Create an empty cache with the given geometry and policy.
+    #[must_use]
+    pub fn new(name: &'static str, geom: CacheGeom, policy: Replacement) -> Self {
+        let sets = geom.sets() as usize;
+        let ways = geom.ways as usize;
+        Cache {
+            name,
+            geom,
+            sets,
+            ways,
+            lines: vec![Line::default(); sets * ways],
+            policy,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's name (for diagnostics).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn geom(&self) -> CacheGeom {
+        self.geom
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Number of ways.
+    #[must_use]
+    pub fn num_ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset statistics (state is untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    #[allow(dead_code)]
+    fn set_slice(&mut self, set: usize) -> &mut [Line] {
+        let base = set * self.ways;
+        &mut self.lines[base..base + self.ways]
+    }
+
+    /// Access the line `(set, tag)`; on a miss the line is filled, possibly
+    /// evicting a victim. `write` marks the line dirty on hit or fill.
+    ///
+    /// `line_addr` is the canonical line address recorded for evictions.
+    ///
+    /// # Panics
+    /// Panics if `set` is out of range.
+    pub fn access(
+        &mut self,
+        set: usize,
+        tag: u64,
+        line_addr: u64,
+        write: bool,
+        rng: &mut StdRng,
+    ) -> AccessOutcome {
+        assert!(set < self.sets, "{}: set {set} out of range", self.name);
+        self.clock += 1;
+        let clock = self.clock;
+        self.stats.accesses += 1;
+        let ways = self.ways;
+        let policy = self.policy;
+        // Probe for a hit.
+        let slice = {
+            let base = set * ways;
+            &mut self.lines[base..base + ways]
+        };
+        for line in slice.iter_mut() {
+            if line.valid && line.tag == tag {
+                line.stamp = clock;
+                line.dirty |= write;
+                self.stats.hits += 1;
+                return AccessOutcome { hit: true, writeback: false, evicted: None };
+            }
+        }
+        self.stats.misses += 1;
+        // Miss: choose a victim.
+        let victim_idx = Self::choose_victim(slice, policy, rng);
+        let victim = slice[victim_idx];
+        let mut outcome = AccessOutcome { hit: false, writeback: false, evicted: None };
+        if victim.valid {
+            outcome.evicted = Some(EvictedLine {
+                line_addr: victim.tag * self.sets as u64 + set as u64,
+                dirty: victim.dirty,
+            });
+            if victim.dirty {
+                outcome.writeback = true;
+                self.stats.writebacks += 1;
+            }
+        }
+        slice[victim_idx] = Line { tag, valid: true, dirty: write, stamp: clock };
+        debug_assert_eq!(line_addr % self.sets as u64, set as u64 % self.sets as u64);
+        outcome
+    }
+
+    fn choose_victim(slice: &[Line], policy: Replacement, rng: &mut StdRng) -> usize {
+        // Prefer an invalid way.
+        if let Some(i) = slice.iter().position(|l| !l.valid) {
+            return i;
+        }
+        let lru = slice
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.stamp)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        match policy {
+            Replacement::Lru => lru,
+            Replacement::PseudoLru { noise } => {
+                if rng.gen::<u8>() < noise {
+                    rng.gen_range(0..slice.len())
+                } else {
+                    lru
+                }
+            }
+            Replacement::Random => rng.gen_range(0..slice.len()),
+        }
+    }
+
+    /// Probe without filling: returns `true` on a hit (used by inclusive
+    /// back-invalidation checks and tests).
+    #[must_use]
+    pub fn peek(&self, set: usize, tag: u64) -> bool {
+        let base = set * self.ways;
+        self.lines[base..base + self.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidate the line `(set, tag)` if present; returns whether it was
+    /// present and whether it was dirty.
+    pub fn invalidate_line(&mut self, set: usize, tag: u64) -> (bool, bool) {
+        let base = set * self.ways;
+        for line in &mut self.lines[base..base + self.ways] {
+            if line.valid && line.tag == tag {
+                let dirty = line.dirty;
+                line.valid = false;
+                line.dirty = false;
+                self.stats.flushed_lines += 1;
+                if dirty {
+                    self.stats.writebacks += 1;
+                }
+                return (true, dirty);
+            }
+        }
+        (false, false)
+    }
+
+    /// Clean-and-invalidate the whole cache (e.g. Arm `DCCISW` over all
+    /// sets/ways, or the relevant part of x86 `wbinvd`).
+    ///
+    /// Returns `(valid_lines, dirty_lines)` — the dirty count drives the
+    /// write-back latency that the paper's cache-flush channel (§5.3.4)
+    /// modulates.
+    pub fn flush_all(&mut self) -> (u64, u64) {
+        let mut valid = 0;
+        let mut dirty = 0;
+        for line in &mut self.lines {
+            if line.valid {
+                valid += 1;
+                if line.dirty {
+                    dirty += 1;
+                }
+                line.valid = false;
+                line.dirty = false;
+            }
+        }
+        self.stats.flushed_lines += valid;
+        self.stats.writebacks += dirty;
+        (valid, dirty)
+    }
+
+    /// Invalidate without cleaning (instruction caches have no dirty data).
+    ///
+    /// Returns the number of valid lines invalidated.
+    pub fn invalidate_all(&mut self) -> u64 {
+        let (valid, _) = self.flush_all();
+        valid
+    }
+
+    /// Count of currently valid lines.
+    #[must_use]
+    pub fn valid_lines(&self) -> u64 {
+        self.lines.iter().filter(|l| l.valid).count() as u64
+    }
+
+    /// Count of currently dirty lines.
+    #[must_use]
+    pub fn dirty_lines(&self) -> u64 {
+        self.lines.iter().filter(|l| l.valid && l.dirty).count() as u64
+    }
+
+    /// Count of valid lines in one set.
+    #[must_use]
+    pub fn valid_in_set(&self, set: usize) -> u64 {
+        let base = set * self.ways;
+        self.lines[base..base + self.ways]
+            .iter()
+            .filter(|l| l.valid)
+            .count() as u64
+    }
+}
+
+/// Compute the set index for a physically indexed cache.
+#[must_use]
+pub fn phys_set(geom: CacheGeom, paddr: u64) -> usize {
+    ((paddr / geom.line) % geom.sets()) as usize
+}
+
+/// Compute the tag for a physically indexed cache.
+#[must_use]
+pub fn phys_tag(geom: CacheGeom, paddr: u64) -> u64 {
+    paddr / geom.line / geom.sets()
+}
+
+/// Compute the set index for a virtually indexed cache (L1 VIPT).
+#[must_use]
+pub fn virt_set(geom: CacheGeom, vaddr: u64) -> usize {
+    ((vaddr / geom.line) % geom.sets()) as usize
+}
+
+/// The tag of a VIPT cache comes from the physical address; we use the full
+/// physical line address so aliases are impossible in the model.
+#[must_use]
+pub fn vipt_tag(geom: CacheGeom, paddr: u64) -> u64 {
+    paddr / geom.line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CacheGeom;
+    use rand::SeedableRng;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 64B lines.
+        let geom = CacheGeom { size: 512, ways: 2, line: 64 };
+        Cache::new("t", geom, Replacement::Lru)
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        let mut r = rng();
+        let out = c.access(0, 1, 1 * 4, false, &mut r);
+        assert!(!out.hit);
+        let out = c.access(0, 1, 1 * 4, false, &mut r);
+        assert!(out.hit);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = small();
+        let mut r = rng();
+        c.access(0, 1, 4, false, &mut r);
+        c.access(0, 2, 8, false, &mut r);
+        // Touch tag 1 so tag 2 is LRU.
+        c.access(0, 1, 4, false, &mut r);
+        let out = c.access(0, 3, 12, false, &mut r);
+        assert!(!out.hit);
+        assert_eq!(out.evicted.unwrap().line_addr, 2 * 4);
+        assert!(c.peek(0, 1));
+        assert!(!c.peek(0, 2));
+        assert!(c.peek(0, 3));
+    }
+
+    #[test]
+    fn dirty_line_writes_back_on_eviction() {
+        let mut c = small();
+        let mut r = rng();
+        c.access(0, 1, 4, true, &mut r);
+        c.access(0, 2, 8, false, &mut r);
+        let out = c.access(0, 3, 12, false, &mut r);
+        assert!(out.writeback, "dirty LRU victim must write back");
+        assert!(out.evicted.unwrap().dirty);
+    }
+
+    #[test]
+    fn flush_reports_dirty_counts() {
+        let mut c = small();
+        let mut r = rng();
+        c.access(0, 1, 4, true, &mut r);
+        c.access(1, 1, 5, false, &mut r);
+        c.access(2, 9, 38, true, &mut r);
+        let (valid, dirty) = c.flush_all();
+        assert_eq!(valid, 3);
+        assert_eq!(dirty, 2);
+        assert_eq!(c.valid_lines(), 0);
+        // Idempotent.
+        assert_eq!(c.flush_all(), (0, 0));
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small();
+        let mut r = rng();
+        c.access(0, 1, 4, false, &mut r);
+        assert_eq!(c.dirty_lines(), 0);
+        c.access(0, 1, 4, true, &mut r);
+        assert_eq!(c.dirty_lines(), 1);
+    }
+
+    #[test]
+    fn invalidate_line_hits_only_target() {
+        let mut c = small();
+        let mut r = rng();
+        c.access(0, 1, 4, true, &mut r);
+        c.access(0, 2, 8, false, &mut r);
+        let (present, dirty) = c.invalidate_line(0, 1);
+        assert!(present && dirty);
+        assert!(!c.peek(0, 1));
+        assert!(c.peek(0, 2));
+        let (present, _) = c.invalidate_line(0, 1);
+        assert!(!present);
+    }
+
+    #[test]
+    fn phys_indexing_helpers() {
+        let geom = CacheGeom { size: 256 * 1024, ways: 8, line: 64 };
+        assert_eq!(geom.sets(), 512);
+        assert_eq!(phys_set(geom, 0), 0);
+        assert_eq!(phys_set(geom, 64), 1);
+        assert_eq!(phys_set(geom, 64 * 512), 0);
+        assert_eq!(phys_tag(geom, 64 * 512), 1);
+    }
+
+    #[test]
+    fn random_policy_fills_invalid_ways_first() {
+        let geom = CacheGeom { size: 512, ways: 2, line: 64 };
+        let mut c = Cache::new("r", geom, Replacement::Random);
+        let mut r = rng();
+        c.access(0, 1, 4, false, &mut r);
+        let out = c.access(0, 2, 8, false, &mut r);
+        assert!(out.evicted.is_none(), "second way was free");
+        assert!(c.peek(0, 1) && c.peek(0, 2));
+    }
+}

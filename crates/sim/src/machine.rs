@@ -1,0 +1,527 @@
+//! The multi-core machine: cores, shared last-level cache, memory bus.
+//!
+//! All timed operations go through [`Machine`]: data accesses, instruction
+//! fetches and branches. Each returns (and internally accounts) the cycle
+//! cost on the issuing core, walking TLB → L1 → L2 → LLC → DRAM with the
+//! platform's latency table, dirty write-backs, prefetcher interaction and
+//! cross-core bus contention.
+
+use crate::cache::{phys_set, phys_tag, Cache, Replacement};
+use crate::corestate::{AccessKind, CoreState};
+use crate::params::PlatformConfig;
+use crate::tlb::TlbLevel;
+use crate::{Asid, PAddr, VAddr};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Extra latency charged to a demand miss per resumed stale prefetch
+/// stream (the §5.3.2 residual-channel mechanism).
+const PREFETCH_RESUME_COST: u64 = 12;
+
+/// Window (in cycles) within which another core's DRAM access contends.
+const BUS_WINDOW: u64 = 400;
+
+/// Maximum number of contending accesses counted per DRAM access.
+const BUS_MAX_CONTENDERS: u64 = 6;
+
+/// Where in the hierarchy an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitLevel {
+    /// L1 hit.
+    L1,
+    /// Private L2 hit (x86).
+    L2,
+    /// Shared LLC hit.
+    Llc,
+    /// DRAM access.
+    Dram,
+}
+
+/// The slice-selection hash: XOR-fold of the line address (a simplified
+/// Intel LLC slice hash). Public so attackers can reconstruct slice
+/// placement during their (untimed) eviction-set profiling phase, as the
+/// reverse-engineered hash of Yarom et al. [2015] allows on real hardware.
+#[must_use]
+pub fn slice_index(line_addr: u64, slices: u64) -> usize {
+    if slices <= 1 {
+        return 0;
+    }
+    let h = line_addr ^ (line_addr >> 7) ^ (line_addr >> 13) ^ (line_addr >> 19);
+    (h % slices) as usize
+}
+
+/// The simulated machine.
+#[derive(Debug)]
+pub struct Machine {
+    /// Platform configuration.
+    pub cfg: PlatformConfig,
+    /// Per-core state.
+    pub cores: Vec<CoreState>,
+    /// Shared last-level cache slices (the LLC on x86, the L2 on Arm).
+    shared: Vec<Cache>,
+    rng: StdRng,
+    /// Recent DRAM accesses: (issuing core's cycle stamp, core id).
+    bus: VecDeque<(u64, usize)>,
+    dram_accesses: u64,
+}
+
+impl Machine {
+    /// Build a machine with pristine state and a deterministic RNG seed.
+    #[must_use]
+    pub fn new(cfg: PlatformConfig, seed: u64) -> Self {
+        let slices = if cfg.llc.is_some() { cfg.llc_slices } else { 1 };
+        let slice_geom = match cfg.llc {
+            Some(llc) => crate::params::CacheGeom {
+                size: llc.size / u64::from(slices),
+                ways: llc.ways,
+                line: llc.line,
+            },
+            None => cfg.l2,
+        };
+        let shared = (0..slices)
+            .map(|_| Cache::new("llc", slice_geom, Replacement::Lru))
+            .collect();
+        let cores = (0..cfg.cores).map(|i| CoreState::new(i, &cfg)).collect();
+        Machine { cfg, cores, shared, rng: StdRng::seed_from_u64(seed), bus: VecDeque::new(), dram_accesses: 0 }
+    }
+
+    /// The per-slice geometry of the shared cache.
+    #[must_use]
+    pub fn shared_geom(&self) -> crate::params::CacheGeom {
+        self.shared[0].geom()
+    }
+
+    /// Which LLC slice a physical address maps to (hash-distributed on
+    /// x86, single slice on Arm).
+    #[must_use]
+    pub fn slice_of(&self, pa: PAddr) -> usize {
+        slice_index(pa.0 / self.cfg.line, self.shared.len() as u64)
+    }
+
+    /// The set index within its slice that `pa` maps to in the shared cache.
+    #[must_use]
+    pub fn shared_set_of(&self, pa: PAddr) -> usize {
+        phys_set(self.shared_geom(), pa.0)
+    }
+
+    /// Immutable view of a shared-cache slice (tests and diagnostics).
+    #[must_use]
+    pub fn shared_slice(&self, idx: usize) -> &Cache {
+        &self.shared[idx]
+    }
+
+    /// Number of shared-cache slices.
+    #[must_use]
+    pub fn num_slices(&self) -> usize {
+        self.shared.len()
+    }
+
+    pub(crate) fn shared_mut(&mut self) -> &mut Vec<Cache> {
+        &mut self.shared
+    }
+
+    /// Current cycle counter of `core`.
+    #[must_use]
+    pub fn cycles(&self, core: usize) -> u64 {
+        self.cores[core].cycles
+    }
+
+    /// Advance `core`'s cycle counter by `n` (pure compute).
+    pub fn advance(&mut self, core: usize, n: u64) {
+        self.cores[core].advance(n);
+    }
+
+    /// Total DRAM accesses (diagnostics).
+    #[must_use]
+    pub fn dram_accesses(&self) -> u64 {
+        self.dram_accesses
+    }
+
+    /// Deterministic RNG for components that need randomness outside the
+    /// machine (e.g. attack input generation should *not* use this — it
+    /// draws from the machine's noise stream).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    fn bus_contention(&mut self, core: usize) -> u64 {
+        let now = self.cores[core].cycles;
+        while let Some(&(t, _)) = self.bus.front() {
+            if t + 4 * BUS_WINDOW < now {
+                self.bus.pop_front();
+            } else {
+                break;
+            }
+        }
+        let contenders = self
+            .bus
+            .iter()
+            .filter(|&&(t, c)| c != core && t + BUS_WINDOW >= now)
+            .count() as u64;
+        self.bus.push_back((now, core));
+        if self.bus.len() > 512 {
+            self.bus.pop_front();
+        }
+        contenders.min(BUS_MAX_CONTENDERS) * self.cfg.lat.bus_contend
+    }
+
+    /// Back-invalidate a line evicted from the inclusive shared cache from
+    /// every core's private caches.
+    fn back_invalidate(&mut self, line_addr: u64) {
+        let line = self.cfg.line;
+        let pa = line_addr * line;
+        for core in &mut self.cores {
+            let set = phys_set(core.l1d.geom(), pa);
+            let tag = phys_tag(core.l1d.geom(), pa);
+            core.l1d.invalidate_line(set, tag);
+            let set = phys_set(core.l1i.geom(), pa);
+            let tag = phys_tag(core.l1i.geom(), pa);
+            core.l1i.invalidate_line(set, tag);
+            if let Some(l2) = &mut core.l2 {
+                let set = phys_set(l2.geom(), pa);
+                let tag = phys_tag(l2.geom(), pa);
+                l2.invalidate_line(set, tag);
+            }
+        }
+    }
+
+    /// Fill `pa` into the shared cache without charging latency (prefetch
+    /// path). Evictions still back-invalidate.
+    fn shared_fill(&mut self, pa: PAddr, write: bool) {
+        let slice = self.slice_of(pa);
+        let geom = self.shared[slice].geom();
+        let set = phys_set(geom, pa.0);
+        let tag = phys_tag(geom, pa.0);
+        let line_addr = pa.0 / geom.line;
+        let out = self.shared[slice].access(set, tag, line_addr, write, &mut self.rng);
+        if let Some(ev) = out.evicted {
+            // The evicted line address is within-slice; reconstruct only for
+            // back-invalidation, where the (set, tag) pair per private cache
+            // is derived from a canonical address. Slice-local reconstruction
+            // is exact because set+tag encode the full line address.
+            self.back_invalidate(ev.line_addr);
+        }
+    }
+
+    /// A data access: walk the hierarchy, account all costs, return the
+    /// cycles consumed. `global` marks a global (kernel) mapping in the TLB.
+    pub fn data_access(
+        &mut self,
+        core: usize,
+        asid: Asid,
+        va: VAddr,
+        pa: PAddr,
+        write: bool,
+        global: bool,
+    ) -> u64 {
+        let _ = va; // Physically-indexed model; see corestate docs.
+        self.timed_access(core, asid, pa, write, global, AccessKind::if_write(write))
+    }
+
+    /// An instruction fetch at `pa`.
+    pub fn insn_fetch(&mut self, core: usize, asid: Asid, va: VAddr, pa: PAddr, global: bool) -> u64 {
+        let _ = va;
+        self.timed_access(core, asid, pa, false, global, AccessKind::Fetch)
+    }
+
+    fn timed_access(
+        &mut self,
+        core: usize,
+        asid: Asid,
+        pa: PAddr,
+        write: bool,
+        global: bool,
+        kind: AccessKind,
+    ) -> u64 {
+        let lat = self.cfg.lat;
+        let line = self.cfg.line;
+        let mut cost = 0u64;
+
+        // 1. Translation timing.
+        let insn = kind == AccessKind::Fetch;
+        let level = {
+            let c = &mut self.cores[core];
+            c.tlb.translate(asid, pa.0 / crate::FRAME_SIZE, insn, global, &mut self.rng)
+        };
+        cost += match level {
+            TlbLevel::L1 => 0,
+            TlbLevel::L2 => lat.tlb_l2,
+            TlbLevel::Walk => lat.tlb_walk,
+        };
+
+        // 2. L1.
+        let l1_geom = if insn { self.cores[core].l1i.geom() } else { self.cores[core].l1d.geom() };
+        let set = phys_set(l1_geom, pa.0);
+        let tag = phys_tag(l1_geom, pa.0);
+        let line_addr = pa.0 / line;
+        let l1_out = {
+            let c = &mut self.cores[core];
+            let l1 = if insn { &mut c.l1i } else { &mut c.l1d };
+            l1.access(set, tag, line_addr, write, &mut self.rng)
+        };
+        cost += lat.l1_hit;
+        if l1_out.hit {
+            self.cores[core].advance(cost);
+            return cost;
+        }
+        if l1_out.writeback {
+            cost += lat.writeback;
+        }
+
+        // Prefetcher hooks fire on L1 misses.
+        let mut prefetch_fills: Vec<u64> = Vec::new();
+        if insn {
+            let (pf, resumed) = self.cores[core].ipf.on_fetch_miss(line_addr);
+            cost += resumed * PREFETCH_RESUME_COST;
+            if let Some(l) = pf {
+                prefetch_fills.push(l);
+            }
+        } else {
+            let (pf, resumed) = self.cores[core].dpf.on_demand_miss(pa.0, line);
+            cost += resumed * PREFETCH_RESUME_COST;
+            prefetch_fills.extend(pf);
+        }
+
+        // 3. Private L2 (x86).
+        let mut l2_hit = false;
+        if self.cores[core].l2.is_some() {
+            let geom = self.cores[core].l2.as_ref().unwrap().geom();
+            let set = phys_set(geom, pa.0);
+            let tag = phys_tag(geom, pa.0);
+            let out = {
+                let c = &mut self.cores[core];
+                c.l2.as_mut().unwrap().access(set, tag, line_addr, write, &mut self.rng)
+            };
+            cost += lat.l2_hit;
+            if out.writeback {
+                cost += lat.writeback;
+            }
+            l2_hit = out.hit;
+        }
+
+        // 4. Shared cache.
+        let mut dram = false;
+        if !l2_hit {
+            let slice = self.slice_of(pa);
+            let geom = self.shared[slice].geom();
+            let set = phys_set(geom, pa.0);
+            let tag = phys_tag(geom, pa.0);
+            let out = self.shared[slice].access(set, tag, line_addr, write, &mut self.rng);
+            cost += if self.cores[core].l2.is_some() { lat.llc_hit } else { lat.l2_hit };
+            if out.writeback {
+                cost += lat.writeback;
+            }
+            if let Some(ev) = out.evicted {
+                self.back_invalidate(ev.line_addr);
+            }
+            if !out.hit {
+                dram = true;
+            }
+        }
+
+        // 5. DRAM with bus contention and a little jitter.
+        if dram {
+            self.dram_accesses += 1;
+            cost += lat.dram;
+            cost += self.bus_contention(core);
+            cost += self.rng.gen_range(0..6);
+        }
+
+        // Prefetch fills go into L2 + shared, free of charge to this access.
+        for la in prefetch_fills {
+            let fpa = PAddr(la * line);
+            if let Some(l2) = &mut self.cores[core].l2 {
+                let geom = l2.geom();
+                let s = phys_set(geom, fpa.0);
+                let t = phys_tag(geom, fpa.0);
+                l2.access(s, t, la, false, &mut self.rng);
+            }
+            self.shared_fill(fpa, false);
+        }
+
+        self.cores[core].advance(cost);
+        cost
+    }
+
+    /// Execute a branch instruction at `pc`; returns the cycle cost.
+    pub fn branch(
+        &mut self,
+        core: usize,
+        pc: VAddr,
+        target: VAddr,
+        taken: bool,
+        conditional: bool,
+    ) -> u64 {
+        let lat = self.cfg.lat;
+        let mut cost = 1;
+        let c = &mut self.cores[core];
+        let btb_hit = c.btb.access(pc.0, target.0, &mut self.rng);
+        if taken && !btb_hit {
+            cost += lat.btb_miss;
+        }
+        if conditional {
+            let correct = c.bhb.predict_update(pc.0, taken);
+            if !correct {
+                cost += lat.mispredict;
+            }
+        }
+        c.advance(cost);
+        cost
+    }
+
+    /// Tell prefetchers a security-domain switch happened on `core` (stale
+    /// stream state remains live; see [`crate::prefetch`]).
+    pub fn note_domain_switch(&mut self, core: usize) {
+        let c = &mut self.cores[core];
+        c.dpf.note_domain_switch();
+        c.ipf.note_domain_switch();
+    }
+}
+
+impl AccessKind {
+    fn if_write(write: bool) -> AccessKind {
+        if write {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Platform;
+
+    fn pa(x: u64) -> PAddr {
+        PAddr(x)
+    }
+    fn va(x: u64) -> VAddr {
+        VAddr(x)
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut m = Machine::new(Platform::Haswell.config(), 1);
+        let c1 = m.data_access(0, Asid(1), va(0x1000), pa(0x1000), false, false);
+        let c2 = m.data_access(0, Asid(1), va(0x1000), pa(0x1000), false, false);
+        assert!(c1 > c2, "cold miss ({c1}) must cost more than L1 hit ({c2})");
+        assert_eq!(c2, m.cfg.lat.l1_hit);
+    }
+
+    #[test]
+    fn cycle_counter_advances() {
+        let mut m = Machine::new(Platform::Haswell.config(), 1);
+        let c = m.data_access(0, Asid(1), va(0x1000), pa(0x1000), false, false);
+        assert_eq!(m.cycles(0), c);
+        m.advance(0, 10);
+        assert_eq!(m.cycles(0), c + 10);
+    }
+
+    #[test]
+    fn llc_visible_across_cores() {
+        let mut m = Machine::new(Platform::Haswell.config(), 1);
+        // Core 0 pulls a line into the (shared, inclusive) LLC.
+        m.data_access(0, Asid(1), va(0x2000), pa(0x2000), false, false);
+        // Core 1 misses its private caches but hits the LLC: cheaper than
+        // core 1 pulling an uncached line from DRAM.
+        let llc_hit = m.data_access(1, Asid(1), va(0x2000), pa(0x2000), false, false);
+        let dram = m.data_access(1, Asid(1), va(0x8000_0000), pa(0x8000_0000), false, false);
+        assert!(llc_hit < dram, "LLC hit {llc_hit} vs DRAM {dram}");
+    }
+
+    #[test]
+    fn arm_l2_is_shared() {
+        let mut m = Machine::new(Platform::Sabre.config(), 1);
+        m.data_access(0, Asid(1), va(0x3000), pa(0x3000), false, false);
+        let shared_hit = m.data_access(1, Asid(1), va(0x3000), pa(0x3000), false, false);
+        let dram = m.data_access(1, Asid(1), va(0x9000_0000), pa(0x9000_0000), false, false);
+        assert!(shared_hit < dram);
+    }
+
+    #[test]
+    fn back_invalidation_enforces_inclusion() {
+        let cfg = Platform::Sabre.config(); // single slice, no private L2
+        let sets = cfg.l2.sets();
+        let ways = cfg.l2.ways as u64;
+        let mut m = Machine::new(cfg.clone(), 1);
+        // Fill one shared set with ways+1 conflicting lines; the first must
+        // be evicted and back-invalidated from core 0's L1.
+        let stride = sets * cfg.line;
+        for k in 0..=ways {
+            let a = 0x10_0000 + k * stride;
+            m.data_access(0, Asid(1), va(a), pa(a), false, false);
+        }
+        // Re-access of the first line must miss L1 (it was back-invalidated)
+        // and go to DRAM.
+        let c = m.data_access(0, Asid(1), va(0x10_0000), pa(0x10_0000), false, false);
+        assert!(c >= m.cfg.lat.dram, "expected DRAM-level cost, got {c}");
+    }
+
+    #[test]
+    fn slice_hash_distributes() {
+        let m = Machine::new(Platform::Haswell.config(), 1);
+        let mut counts = [0usize; 4];
+        for i in 0..4096u64 {
+            counts[m.slice_of(pa(i * 64))] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 512, "slice distribution too skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn bus_contention_charges_cross_core_dram() {
+        let mut m = Machine::new(Platform::Haswell.config(), 1);
+        // Uncontended DRAM access.
+        let base = m.data_access(0, Asid(1), va(0x100_0000), pa(0x100_0000), false, false);
+        // Storm of DRAM accesses from core 1 at similar cycle stamps.
+        for k in 0..8u64 {
+            let a = 0x200_0000 + k * 4096 * 64;
+            m.data_access(1, Asid(1), va(a), pa(a), false, false);
+        }
+        // Align core 0's clock with core 1's so the window overlaps.
+        let lag = m.cycles(1).saturating_sub(m.cycles(0));
+        m.advance(0, lag);
+        let contended = m.data_access(0, Asid(1), va(0x300_0000), pa(0x300_0000), false, false);
+        assert!(
+            contended > base + m.cfg.lat.bus_contend / 2,
+            "contended {contended} vs base {base}"
+        );
+    }
+
+    #[test]
+    fn branch_costs() {
+        let mut m = Machine::new(Platform::Haswell.config(), 1);
+        // Unconditional taken branch, cold BTB: pays the BTB miss.
+        let cold = m.branch(0, va(0x400), va(0x800), true, false);
+        let warm = m.branch(0, va(0x400), va(0x800), true, false);
+        assert!(cold > warm);
+        assert_eq!(warm, 1);
+    }
+
+    #[test]
+    fn conditional_branch_learns() {
+        let mut m = Machine::new(Platform::Haswell.config(), 1);
+        let mut last = 0;
+        // Warm-up must exceed the 16-bit global history length plus counter
+        // training.
+        for _ in 0..24 {
+            last = m.branch(0, va(0x400), va(0x800), true, true);
+        }
+        assert_eq!(last, 1, "trained branch must be predicted");
+    }
+
+    #[test]
+    fn sequential_reads_train_prefetcher() {
+        let mut m = Machine::new(Platform::Haswell.config(), 1);
+        // March through a page sequentially twice; second pass of the next
+        // lines should hit prefetched data rather than DRAM.
+        for l in 0..16u64 {
+            let a = 0x40_0000 + l * 64;
+            m.data_access(0, Asid(1), va(a), pa(a), false, false);
+        }
+        assert!(m.cores[0].dpf.issued() > 0, "prefetcher should have fired");
+    }
+}

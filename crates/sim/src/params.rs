@@ -1,0 +1,328 @@
+//! Platform descriptions — geometry and latency tables.
+//!
+//! The numbers mirror Table 1 of the paper: a Haswell Core i7-4770 ("x86")
+//! and an i.MX6 Sabre board with a Cortex-A9 ("Arm"). Latencies are
+//! representative documented/measured values for these parts; the paper's
+//! results depend on their *relative* magnitudes (L1 ≪ L2 ≪ LLC ≪ DRAM,
+//! mispredict ≫ predicted branch), which these tables preserve.
+
+/// The two evaluation platforms of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// Intel Core i7-4770 (Haswell), 4 cores, 3.4 GHz.
+    Haswell,
+    /// NXP i.MX6Q Sabre (Cortex-A9), 4 cores, 0.8 GHz.
+    Sabre,
+}
+
+impl Platform {
+    /// Human-readable platform name as used in the paper's tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::Haswell => "x86 (Haswell)",
+            Platform::Sabre => "Arm (Sabre)",
+        }
+    }
+
+    /// Build the full configuration for this platform.
+    #[must_use]
+    pub fn config(self) -> PlatformConfig {
+        match self {
+            Platform::Haswell => PlatformConfig::haswell(),
+            Platform::Sabre => PlatformConfig::sabre(),
+        }
+    }
+}
+
+/// Geometry of a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeom {
+    /// Total capacity in bytes.
+    pub size: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line: u64,
+}
+
+impl CacheGeom {
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> u64 {
+        self.size / (self.line * u64::from(self.ways))
+    }
+
+    /// Total number of lines.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.size / self.line
+    }
+
+    /// Number of page colours this cache supports: `S / (w * P)`.
+    ///
+    /// This is the formula from §2.3 of the paper; a page can only ever
+    /// reside in the cache section selected by the overlap of set-selector
+    /// and page-number bits.
+    #[must_use]
+    pub fn colors(&self, page: u64) -> u64 {
+        (self.size / (u64::from(self.ways) * page)).max(1)
+    }
+}
+
+/// Geometry of a TLB level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbGeom {
+    /// Total number of entries.
+    pub entries: u32,
+    /// Associativity.
+    pub ways: u32,
+}
+
+impl TlbGeom {
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> u32 {
+        (self.entries / self.ways).max(1)
+    }
+}
+
+/// Cycle-latency table for a platform.
+#[derive(Debug, Clone, Copy)]
+pub struct Latency {
+    /// L1 hit latency.
+    pub l1_hit: u64,
+    /// L2 hit latency (miss in L1).
+    pub l2_hit: u64,
+    /// LLC hit latency (x86 only; `l2_hit` doubles as LLC on Arm).
+    pub llc_hit: u64,
+    /// DRAM access latency.
+    pub dram: u64,
+    /// Cost of writing back one dirty line.
+    pub writeback: u64,
+    /// Added latency when the second-level TLB hits (first level missed).
+    pub tlb_l2: u64,
+    /// Added latency of a full page-table walk.
+    pub tlb_walk: u64,
+    /// Branch direction misprediction penalty.
+    pub mispredict: u64,
+    /// Penalty for a taken branch missing the BTB.
+    pub btb_miss: u64,
+    /// Per-competing-access bus contention penalty on a DRAM access.
+    pub bus_contend: u64,
+    /// Cost of a user->kernel->user mode crossing (syscall entry + exit).
+    pub mode_switch: u64,
+    /// Per-jump cost of the "manual" chained-jump L1-I flush (x86 only):
+    /// every jump in the chain is mispredicted and misses the L1-I.
+    pub manual_jump: u64,
+    /// Fixed cost of an architected per-line cache maintenance operation
+    /// (e.g. Arm `DCCISW`), excluding the write-back of dirty data.
+    pub maint_per_line: u64,
+}
+
+/// Full description of a simulated platform.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Which platform this is.
+    pub platform: Platform,
+    /// Number of cores.
+    pub cores: usize,
+    /// Clock frequency in MHz, i.e. cycles per microsecond.
+    pub freq_mhz: u64,
+    /// Cache line size in bytes.
+    pub line: u64,
+    /// L1 data cache.
+    pub l1d: CacheGeom,
+    /// L1 instruction cache.
+    pub l1i: CacheGeom,
+    /// Unified L2 cache (per-core on x86; shared LLC on Arm).
+    pub l2: CacheGeom,
+    /// Shared L3/LLC (x86 only).
+    pub llc: Option<CacheGeom>,
+    /// Number of LLC slices (hash-distributed) on x86.
+    pub llc_slices: u32,
+    /// Instruction TLB.
+    pub itlb: TlbGeom,
+    /// Data TLB.
+    pub dtlb: TlbGeom,
+    /// Unified second-level TLB.
+    pub stlb: TlbGeom,
+    /// BTB geometry (entries, ways).
+    pub btb: TlbGeom,
+    /// log2 of the pattern-history-table size.
+    pub pht_bits: u32,
+    /// Branch global-history length in bits.
+    pub ghr_bits: u32,
+    /// Number of stream-prefetcher entries.
+    pub dpf_entries: usize,
+    /// Latency table.
+    pub lat: Latency,
+    /// Probability (in 1/256 units) that an L1 victim choice deviates from
+    /// strict LRU — models the undocumented pseudo-LRU policies that make
+    /// the paper's "manual" flush brittle (footnote 6).
+    pub l1_plru_noise: u8,
+    /// Page size in bytes.
+    pub page: u64,
+}
+
+impl PlatformConfig {
+    /// The Haswell configuration (paper Table 1).
+    #[must_use]
+    pub fn haswell() -> Self {
+        PlatformConfig {
+            platform: Platform::Haswell,
+            cores: 4,
+            freq_mhz: 3400,
+            line: 64,
+            l1d: CacheGeom { size: 32 * 1024, ways: 8, line: 64 },
+            l1i: CacheGeom { size: 32 * 1024, ways: 8, line: 64 },
+            l2: CacheGeom { size: 256 * 1024, ways: 8, line: 64 },
+            llc: Some(CacheGeom { size: 8 * 1024 * 1024, ways: 16, line: 64 }),
+            llc_slices: 4,
+            itlb: TlbGeom { entries: 64, ways: 8 },
+            dtlb: TlbGeom { entries: 64, ways: 4 },
+            stlb: TlbGeom { entries: 1024, ways: 8 },
+            btb: TlbGeom { entries: 4096, ways: 4 },
+            pht_bits: 14,
+            ghr_bits: 16,
+            dpf_entries: 32,
+            lat: Latency {
+                l1_hit: 4,
+                l2_hit: 12,
+                llc_hit: 42,
+                dram: 200,
+                writeback: 6,
+                tlb_l2: 8,
+                tlb_walk: 36,
+                mispredict: 16,
+                btb_miss: 9,
+                bus_contend: 24,
+                mode_switch: 150,
+                manual_jump: 170,
+                maint_per_line: 4,
+            },
+            l1_plru_noise: 18,
+            page: 4096,
+        }
+    }
+
+    /// The Sabre (Cortex-A9) configuration (paper Table 1).
+    #[must_use]
+    pub fn sabre() -> Self {
+        PlatformConfig {
+            platform: Platform::Sabre,
+            cores: 4,
+            freq_mhz: 800,
+            line: 32,
+            l1d: CacheGeom { size: 32 * 1024, ways: 4, line: 32 },
+            l1i: CacheGeom { size: 32 * 1024, ways: 4, line: 32 },
+            l2: CacheGeom { size: 1024 * 1024, ways: 16, line: 32 },
+            llc: None,
+            llc_slices: 1,
+            itlb: TlbGeom { entries: 32, ways: 1 },
+            dtlb: TlbGeom { entries: 32, ways: 1 },
+            stlb: TlbGeom { entries: 128, ways: 2 },
+            btb: TlbGeom { entries: 512, ways: 2 },
+            pht_bits: 12,
+            ghr_bits: 8,
+            dpf_entries: 0,
+            lat: Latency {
+                l1_hit: 3,
+                l2_hit: 26,
+                llc_hit: 26,
+                dram: 110,
+                writeback: 10,
+                tlb_l2: 10,
+                tlb_walk: 40,
+                mispredict: 12,
+                btb_miss: 6,
+                bus_contend: 16,
+                mode_switch: 180,
+                manual_jump: 0,
+                maint_per_line: 5,
+            },
+            l1_plru_noise: 0,
+            page: 4096,
+        }
+    }
+
+    /// Number of page colours of the cache used for partitioning.
+    ///
+    /// On x86 the paper colours by the (smaller) per-core L2, which
+    /// implicitly colours the LLC (§5.4.4); on Arm the L2 *is* the LLC.
+    #[must_use]
+    pub fn partition_colors(&self) -> u64 {
+        self.l2.colors(self.page)
+    }
+
+    /// Number of colours of the last-level cache (per slice on x86).
+    #[must_use]
+    pub fn llc_colors(&self) -> u64 {
+        match self.llc {
+            Some(llc) => {
+                let per_slice = CacheGeom {
+                    size: llc.size / u64::from(self.llc_slices),
+                    ..llc
+                };
+                per_slice.colors(self.page)
+            }
+            None => self.l2.colors(self.page),
+        }
+    }
+
+    /// Convert microseconds to cycles on this platform.
+    #[must_use]
+    pub fn us_to_cycles(&self, us: f64) -> u64 {
+        (us * self.freq_mhz as f64) as u64
+    }
+
+    /// Convert cycles to microseconds on this platform.
+    #[must_use]
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.freq_mhz as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haswell_geometry_matches_table1() {
+        let c = PlatformConfig::haswell();
+        assert_eq!(c.l1d.sets(), 64);
+        assert_eq!(c.l2.sets(), 512);
+        assert_eq!(c.llc.unwrap().sets(), 8192);
+        // §2.3: colours = S / (w P). Haswell L2: 256K/(8*4K) = 8.
+        assert_eq!(c.partition_colors(), 8);
+        // §6.1: "32 vs 8 colours on our Haswell" — LLC per-slice colours.
+        assert_eq!(c.llc_colors(), 32);
+    }
+
+    #[test]
+    fn sabre_geometry_matches_table1() {
+        let c = PlatformConfig::sabre();
+        assert_eq!(c.l1d.sets(), 256);
+        assert_eq!(c.l2.sets(), 2048);
+        assert!(c.llc.is_none());
+        // Sabre L2: 1M/(16*4K) = 16 colours.
+        assert_eq!(c.partition_colors(), 16);
+        assert_eq!(c.llc_colors(), 16);
+    }
+
+    #[test]
+    fn unit_conversions_roundtrip() {
+        let c = PlatformConfig::haswell();
+        assert_eq!(c.us_to_cycles(1.0), 3400);
+        assert!((c.cycles_to_us(3400) - 1.0).abs() < 1e-9);
+        let a = PlatformConfig::sabre();
+        assert_eq!(a.us_to_cycles(10.0), 8000);
+    }
+
+    #[test]
+    fn colors_never_zero() {
+        // Even a single-colour cache reports one colour.
+        let g = CacheGeom { size: 32 * 1024, ways: 8, line: 64 };
+        assert_eq!(g.colors(4096), 1);
+    }
+}

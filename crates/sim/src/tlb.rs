@@ -1,0 +1,283 @@
+//! TLB model: first-level I/D TLBs backed by a unified second-level TLB.
+//!
+//! Entries are tagged with an ASID unless they are *global* mappings. The
+//! distinction matters for the paper's Table 5: the baseline seL4 kernel
+//! maps its own text globally, while a clone-capable ("colour-ready")
+//! kernel must use per-ASID kernel mappings, which on the Sabre's 2-way
+//! second-level TLB causes measurable extra conflict misses on IPC.
+
+use crate::params::TlbGeom;
+use crate::Asid;
+use rand::rngs::StdRng;
+
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    vpn: u64,
+    asid: u16,
+    global: bool,
+    valid: bool,
+    stamp: u64,
+}
+
+/// Where a translation was found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlbLevel {
+    /// Hit in the first-level TLB: no extra latency.
+    L1,
+    /// Hit in the second-level TLB.
+    L2,
+    /// Full miss: page-table walk required.
+    Walk,
+}
+
+/// A single TLB array (used for I-TLB, D-TLB and the second level).
+#[derive(Debug, Clone)]
+pub struct TlbArray {
+    name: &'static str,
+    sets: usize,
+    ways: usize,
+    entries: Vec<Entry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl TlbArray {
+    /// Create an empty TLB with the given geometry.
+    #[must_use]
+    pub fn new(name: &'static str, geom: TlbGeom) -> Self {
+        let sets = geom.sets() as usize;
+        let ways = geom.ways as usize;
+        TlbArray {
+            name,
+            sets,
+            ways,
+            entries: vec![Entry::default(); sets * ways],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The TLB name (for diagnostics).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn set_of(&self, vpn: u64) -> usize {
+        (vpn % self.sets as u64) as usize
+    }
+
+    /// Look up `vpn` for `asid`; global entries match any ASID.
+    pub fn lookup(&mut self, asid: Asid, vpn: u64) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_of(vpn);
+        let base = set * self.ways;
+        for e in &mut self.entries[base..base + self.ways] {
+            if e.valid && e.vpn == vpn && (e.global || e.asid == asid.0) {
+                e.stamp = clock;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Insert a translation, evicting the LRU way of the set.
+    pub fn fill(&mut self, asid: Asid, vpn: u64, global: bool, _rng: &mut StdRng) {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_of(vpn);
+        let base = set * self.ways;
+        let slice = &mut self.entries[base..base + self.ways];
+        let idx = slice
+            .iter()
+            .position(|e| !e.valid)
+            .or_else(|| {
+                slice
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.stamp)
+                    .map(|(i, _)| i)
+            })
+            .unwrap_or(0);
+        slice[idx] = Entry { vpn, asid: asid.0, global, valid: true, stamp: clock };
+    }
+
+    /// Invalidate everything; returns the number of valid entries dropped.
+    pub fn flush_all(&mut self) -> u64 {
+        let mut n = 0;
+        for e in &mut self.entries {
+            if e.valid {
+                n += 1;
+                e.valid = false;
+            }
+        }
+        n
+    }
+
+    /// Invalidate all non-global entries of one ASID.
+    pub fn flush_asid(&mut self, asid: Asid) -> u64 {
+        let mut n = 0;
+        for e in &mut self.entries {
+            if e.valid && !e.global && e.asid == asid.0 {
+                n += 1;
+                e.valid = false;
+            }
+        }
+        n
+    }
+
+    /// Number of valid entries.
+    #[must_use]
+    pub fn valid_entries(&self) -> u64 {
+        self.entries.iter().filter(|e| e.valid).count() as u64
+    }
+
+    /// Hit/miss counters `(hits, misses)`.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// The full per-core TLB hierarchy.
+#[derive(Debug, Clone)]
+pub struct TlbHierarchy {
+    /// First-level instruction TLB.
+    pub itlb: TlbArray,
+    /// First-level data TLB.
+    pub dtlb: TlbArray,
+    /// Unified second-level TLB.
+    pub stlb: TlbArray,
+}
+
+impl TlbHierarchy {
+    /// Build the hierarchy from platform geometry.
+    #[must_use]
+    pub fn new(itlb: TlbGeom, dtlb: TlbGeom, stlb: TlbGeom) -> Self {
+        TlbHierarchy {
+            itlb: TlbArray::new("itlb", itlb),
+            dtlb: TlbArray::new("dtlb", dtlb),
+            stlb: TlbArray::new("stlb", stlb),
+        }
+    }
+
+    /// Translate `vpn` for an instruction (`insn = true`) or data access,
+    /// filling the missed levels. Returns where the translation was found.
+    pub fn translate(
+        &mut self,
+        asid: Asid,
+        vpn: u64,
+        insn: bool,
+        global: bool,
+        rng: &mut StdRng,
+    ) -> TlbLevel {
+        let l1 = if insn { &mut self.itlb } else { &mut self.dtlb };
+        if l1.lookup(asid, vpn) {
+            return TlbLevel::L1;
+        }
+        if self.stlb.lookup(asid, vpn) {
+            let l1 = if insn { &mut self.itlb } else { &mut self.dtlb };
+            l1.fill(asid, vpn, global, rng);
+            return TlbLevel::L2;
+        }
+        // Walk: fill both levels.
+        self.stlb.fill(asid, vpn, global, rng);
+        let l1 = if insn { &mut self.itlb } else { &mut self.dtlb };
+        l1.fill(asid, vpn, global, rng);
+        TlbLevel::Walk
+    }
+
+    /// Flush the complete hierarchy (Arm `TLBIALL`, x86 `invpcid` all).
+    /// Returns entries dropped.
+    pub fn flush_all(&mut self) -> u64 {
+        self.itlb.flush_all() + self.dtlb.flush_all() + self.stlb.flush_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn hier() -> TlbHierarchy {
+        TlbHierarchy::new(
+            TlbGeom { entries: 4, ways: 2 },
+            TlbGeom { entries: 4, ways: 2 },
+            TlbGeom { entries: 8, ways: 2 },
+        )
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn walk_then_l1_hit() {
+        let mut t = hier();
+        let mut r = rng();
+        assert_eq!(t.translate(Asid(1), 100, false, false, &mut r), TlbLevel::Walk);
+        assert_eq!(t.translate(Asid(1), 100, false, false, &mut r), TlbLevel::L1);
+    }
+
+    #[test]
+    fn asid_isolation() {
+        let mut t = hier();
+        let mut r = rng();
+        t.translate(Asid(1), 100, false, false, &mut r);
+        // A different ASID must not hit a non-global entry.
+        assert_eq!(t.translate(Asid(2), 100, false, false, &mut r), TlbLevel::Walk);
+    }
+
+    #[test]
+    fn global_entries_match_all_asids() {
+        let mut t = hier();
+        let mut r = rng();
+        t.translate(Asid(1), 100, false, true, &mut r);
+        assert_eq!(t.translate(Asid(2), 100, false, false, &mut r), TlbLevel::L1);
+    }
+
+    #[test]
+    fn l2_backs_l1_evictions() {
+        let mut t = hier();
+        let mut r = rng();
+        // D-TLB has 2 sets x 2 ways; vpns 0,2,4 collide in set 0.
+        for vpn in [0u64, 2, 4] {
+            t.translate(Asid(1), vpn, false, false, &mut r);
+        }
+        // vpn 0 was evicted from the D-TLB but still lives in the L2 TLB.
+        assert_eq!(t.translate(Asid(1), 0, false, false, &mut r), TlbLevel::L2);
+    }
+
+    #[test]
+    fn flush_asid_spares_globals_and_others() {
+        let mut t = hier();
+        let mut r = rng();
+        t.translate(Asid(1), 1, false, false, &mut r);
+        t.translate(Asid(2), 2, false, false, &mut r);
+        t.translate(Asid(1), 3, false, true, &mut r);
+        t.dtlb.flush_asid(Asid(1));
+        t.stlb.flush_asid(Asid(1));
+        assert_eq!(t.translate(Asid(1), 1, false, false, &mut r), TlbLevel::Walk);
+        assert_ne!(t.translate(Asid(2), 2, false, false, &mut r), TlbLevel::Walk);
+        assert_ne!(t.translate(Asid(1), 3, false, false, &mut r), TlbLevel::Walk);
+    }
+
+    #[test]
+    fn flush_all_empties() {
+        let mut t = hier();
+        let mut r = rng();
+        for vpn in 0..4 {
+            t.translate(Asid(1), vpn, vpn % 2 == 0, false, &mut r);
+        }
+        assert!(t.flush_all() > 0);
+        assert_eq!(t.itlb.valid_entries(), 0);
+        assert_eq!(t.dtlb.valid_entries(), 0);
+        assert_eq!(t.stlb.valid_entries(), 0);
+    }
+}

@@ -1,0 +1,19 @@
+//! # tp-workloads — Splash-2-style workloads for the colouring cost study
+//!
+//! §5.4.4 evaluates the performance cost of cache colouring with the
+//! Splash-2 suite. We reproduce the study with synthetic workload
+//! generators: each benchmark is characterised by the properties that
+//! govern cache-share sensitivity — working-set size, spatial locality
+//! (stride pattern), temporal reuse, and compute/memory ratio — calibrated
+//! to the suite's qualitative behaviour (e.g. `raytrace` has a large,
+//! low-locality working set and suffers most from a halved cache; `radix`
+//! streams with little reuse and barely notices).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod perf;
+pub mod splash2;
+
+pub use perf::{run_workload, PerfResult, WorkloadRun};
+pub use splash2::{all_benchmarks, Benchmark};

@@ -1,0 +1,214 @@
+//! The performance runner for the colouring studies (Figure 7, Table 8).
+//!
+//! A run executes one benchmark to completion in a domain with a restricted
+//! colour allocation, on a standard or cloned kernel, optionally
+//! time-sharing the core with an idle domain (whose idle slots exercise the
+//! full domain-switch path, including flushing and padding). The result is
+//! the benchmark's completion time in cycles; slowdowns are computed
+//! against a 100%-colour baseline by the bench harness.
+
+use crate::splash2::Benchmark;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use tp_core::{ProtectionConfig, SystemBuilder, UserEnv};
+use tp_sim::{ColorSet, Platform};
+
+/// Configuration of one workload run.
+#[derive(Debug, Clone)]
+pub struct WorkloadRun {
+    /// Platform.
+    pub platform: Platform,
+    /// Protection configuration (raw = "base", protected = "clone" cases).
+    pub prot: ProtectionConfig,
+    /// Colour share as a fraction (numerator, denominator), e.g. (1, 2)
+    /// for 50% of the colours.
+    pub colors: (u64, u64),
+    /// Whether to time-share the core with an idle domain.
+    pub time_shared: bool,
+    /// Preemption slice in microseconds.
+    pub slice_us: f64,
+    /// Accesses to execute.
+    pub ops: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadRun {
+    /// A single-domain run with the given colour share.
+    #[must_use]
+    pub fn solo(platform: Platform, prot: ProtectionConfig, colors: (u64, u64)) -> Self {
+        WorkloadRun {
+            platform,
+            prot,
+            colors,
+            time_shared: false,
+            slice_us: 1_000.0,
+            ops: 120_000,
+            seed: 0xBE7C,
+        }
+    }
+
+    /// A run time-shared with an idle domain (Table 8).
+    #[must_use]
+    pub fn shared(platform: Platform, prot: ProtectionConfig, colors: (u64, u64)) -> Self {
+        WorkloadRun { time_shared: true, ..WorkloadRun::solo(platform, prot, colors) }
+    }
+
+    /// Override the access count.
+    #[must_use]
+    pub fn with_ops(mut self, ops: usize) -> Self {
+        self.ops = ops;
+        self
+    }
+}
+
+/// Result of a workload run.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfResult {
+    /// Benchmark completion time in cycles (start to finish on its core,
+    /// including any time-shared slots in between).
+    pub cycles: u64,
+    /// Accesses executed.
+    pub ops: usize,
+}
+
+impl PerfResult {
+    /// Slowdown of `self` relative to a baseline run.
+    #[must_use]
+    pub fn slowdown_vs(&self, base: PerfResult) -> f64 {
+        self.cycles as f64 / base.cycles as f64 - 1.0
+    }
+}
+
+/// Execute a benchmark under the given configuration.
+///
+/// # Panics
+/// Panics if the simulation fails.
+#[must_use]
+pub fn run_workload(bench: &Benchmark, run: &WorkloadRun) -> PerfResult {
+    let cfg = run.platform.config();
+    let n_colors = cfg.partition_colors();
+    let share = (n_colors * run.colors.0 / run.colors.1).max(1);
+
+    let mut b = SystemBuilder::new(run.platform, run.prot.clone())
+        .seed(run.seed)
+        .slice_us(run.slice_us)
+        .ram_frames(65_536)
+        .max_cycles(40_000_000_000);
+    let d_bench = b.domain_sized(Some(ColorSet::range(0, share)), 16_000);
+    let d_idle = if run.time_shared {
+        // The idle domain takes the complementary colours (or shares the
+        // full set when uncoloured).
+        let idle_colors = if run.prot.color_userland && share < n_colors {
+            ColorSet::range(share, n_colors)
+        } else {
+            ColorSet::all(n_colors)
+        };
+        Some(b.domain_sized(Some(idle_colors), 256))
+    } else {
+        None
+    };
+
+    let span: Arc<Mutex<(u64, u64)>> = Arc::new(Mutex::new((0, 0)));
+    let span2 = Arc::clone(&span);
+    let bench2 = *bench;
+    let ops = run.ops;
+    let seed = run.seed;
+    b.spawn(d_bench, 0, 100, move |env: &mut UserEnv| {
+        let (base, _) = env.map_pages(bench2.ws_pages);
+        // Warm-up pass over the working set (paging everything in).
+        let _ = bench2.execute(env, base, bench2.ws_pages * 8, seed ^ 1);
+        let t0 = env.now();
+        let _ = bench2.execute(env, base, ops, seed);
+        let t1 = env.now();
+        *span2.lock() = (t0, t1);
+    });
+    if let Some(d) = d_idle {
+        b.spawn_daemon(d, 0, 100, |env: &mut UserEnv| loop {
+            let _ = env.wait_preempt();
+        });
+    }
+    let _ = b.run();
+    let (t0, t1) = *span.lock();
+    assert!(t1 > t0, "benchmark did not complete");
+    PerfResult { cycles: t1 - t0, ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::splash2::by_name;
+
+    #[test]
+    fn halved_cache_slows_cache_hungry_benchmark() {
+        let rt = by_name("raytrace").unwrap();
+        let base = run_workload(
+            &rt,
+            &WorkloadRun::solo(Platform::Sabre, ProtectionConfig::raw(), (1, 1)).with_ops(40_000),
+        );
+        let half = run_workload(
+            &rt,
+            &WorkloadRun::solo(Platform::Sabre, ProtectionConfig::raw(), (1, 2)).with_ops(40_000),
+        );
+        let slow = half.slowdown_vs(base);
+        assert!(slow > 0.005, "raytrace @50% colours only {:.2}% slower", slow * 100.0);
+        assert!(slow < 0.5, "implausible slowdown {:.2}%", slow * 100.0);
+    }
+
+    #[test]
+    fn streaming_benchmark_barely_notices() {
+        let rx = by_name("radix").unwrap();
+        let base = run_workload(
+            &rx,
+            &WorkloadRun::solo(Platform::Sabre, ProtectionConfig::raw(), (1, 1)).with_ops(40_000),
+        );
+        let half = run_workload(
+            &rx,
+            &WorkloadRun::solo(Platform::Sabre, ProtectionConfig::raw(), (1, 2)).with_ops(40_000),
+        );
+        let slow = half.slowdown_vs(base);
+        assert!(
+            slow.abs() < 0.03,
+            "radix should be colour-insensitive, got {:.2}%",
+            slow * 100.0
+        );
+    }
+
+    #[test]
+    fn cloned_kernel_adds_little() {
+        let lu = by_name("lu").unwrap();
+        let base = run_workload(
+            &lu,
+            &WorkloadRun::solo(Platform::Haswell, ProtectionConfig::raw(), (1, 1)).with_ops(40_000),
+        );
+        let cloned = run_workload(
+            &lu,
+            &WorkloadRun::solo(Platform::Haswell, ProtectionConfig::protected(), (1, 1))
+                .with_ops(40_000),
+        );
+        let slow = cloned.slowdown_vs(base);
+        assert!(
+            slow.abs() < 0.05,
+            "cloned kernel should be ~free solo, got {:.2}%",
+            slow * 100.0
+        );
+    }
+
+    #[test]
+    fn time_sharing_with_protection_costs_a_few_percent() {
+        let fft = by_name("fft").unwrap();
+        let raw_shared = run_workload(
+            &fft,
+            &WorkloadRun::shared(Platform::Haswell, ProtectionConfig::raw(), (1, 2))
+                .with_ops(60_000),
+        );
+        let prot_shared = run_workload(
+            &fft,
+            &WorkloadRun::shared(Platform::Haswell, ProtectionConfig::protected(), (1, 2))
+                .with_ops(60_000),
+        );
+        let slow = prot_shared.slowdown_vs(raw_shared);
+        assert!(slow > -0.02, "protection cannot speed things up much: {slow}");
+        assert!(slow < 0.25, "shared protection overhead implausible: {slow}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests (proptest) on the core data structures and
+//! estimators.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use time_protection::analysis::{mutual_information, Dataset};
+use time_protection::attacks::elgamal::{key_bits, modexp_with_hook, BigUint, ExpOp};
+use tp_sim::cache::{phys_set, phys_tag, Cache, Replacement};
+use tp_sim::{CacheGeom, ColorSet};
+
+proptest! {
+    /// A cache never holds more valid lines than its capacity, never more
+    /// dirty than valid, and a line just accessed is always resident.
+    #[test]
+    fn cache_capacity_and_residency_invariants(
+        accesses in proptest::collection::vec((0u64..4096, any::<bool>()), 1..300),
+        seed in any::<u64>(),
+    ) {
+        let geom = CacheGeom { size: 4 * 1024, ways: 4, line: 64 };
+        let mut c = Cache::new("p", geom, Replacement::Lru);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for (line_idx, write) in accesses {
+            let pa = line_idx * 64;
+            let set = phys_set(geom, pa);
+            let tag = phys_tag(geom, pa);
+            c.access(set, tag, line_idx, write, &mut rng);
+            prop_assert!(c.peek(set, tag), "just-accessed line must be resident");
+            prop_assert!(c.valid_lines() <= geom.lines());
+            prop_assert!(c.dirty_lines() <= c.valid_lines());
+            prop_assert!(c.valid_in_set(set) <= u64::from(geom.ways));
+        }
+        let (valid, dirty) = c.flush_all();
+        prop_assert!(dirty <= valid);
+        prop_assert_eq!(c.valid_lines(), 0);
+    }
+
+    /// Flushing is complete: after flush_all, no previously accessed line
+    /// remains.
+    #[test]
+    fn flush_is_complete(lines in proptest::collection::vec(0u64..1024, 1..100)) {
+        let geom = CacheGeom { size: 8 * 1024, ways: 8, line: 64 };
+        let mut c = Cache::new("f", geom, Replacement::Lru);
+        let mut rng = StdRng::seed_from_u64(1);
+        for &l in &lines {
+            c.access(phys_set(geom, l * 64), phys_tag(geom, l * 64), l, true, &mut rng);
+        }
+        c.flush_all();
+        for &l in &lines {
+            prop_assert!(!c.peek(phys_set(geom, l * 64), phys_tag(geom, l * 64)));
+        }
+    }
+
+    /// ColorSet algebra: union/minus/intersects are consistent.
+    #[test]
+    fn colorset_algebra(a in 0u64..=u64::MAX, b in 0u64..=u64::MAX) {
+        let (sa, sb) = (ColorSet(a), ColorSet(b));
+        prop_assert_eq!(sa.union(sb).0, a | b);
+        prop_assert_eq!(sa.minus(sb).0, a & !b);
+        prop_assert_eq!(sa.intersects(sb), a & b != 0);
+        prop_assert!(!sa.minus(sb).intersects(sb));
+        prop_assert_eq!(sa.union(sb).count(), (a | b).count_ones());
+    }
+
+    /// MI is non-negative and bounded by the input entropy.
+    #[test]
+    fn mi_bounds(
+        pairs in proptest::collection::vec((0usize..4, -1000.0f64..1000.0), 24..400),
+    ) {
+        let mut d = Dataset::new(4);
+        for (s, o) in pairs {
+            d.push(s, o);
+        }
+        let mi = mutual_information(&d);
+        prop_assert!(mi.bits >= 0.0);
+        prop_assert!(mi.bits <= 2.0 + 0.2, "MI {} exceeds log2(4)", mi.bits);
+    }
+
+    /// MI of outputs independent of inputs stays near zero.
+    #[test]
+    fn mi_of_constant_outputs_is_zero(
+        symbols in proptest::collection::vec(0usize..4, 40..200),
+        value in -100.0f64..100.0,
+    ) {
+        let mut d = Dataset::new(4);
+        for s in symbols {
+            d.push(s, value);
+        }
+        let mi = mutual_information(&d);
+        prop_assert!(mi.bits < 0.02, "constant outputs gave MI {}", mi.bits);
+    }
+
+    /// Multi-precision arithmetic agrees with u128 on small operands.
+    #[test]
+    fn bignum_matches_u128(a in 1u64.., b in 1u64.., m in 2u64..) {
+        let (ba, bb, bm) = (BigUint::from_u64(a), BigUint::from_u64(b), BigUint::from_u64(m));
+        let expect = (u128::from(a) * u128::from(b)) % u128::from(m);
+        let got = ba.modmul(&bb, &bm);
+        prop_assert!(got.limbs().len() <= 2);
+        let got128 = got.limbs().iter().rev().fold(0u128, |acc, &l| (acc << 64) | u128::from(l));
+        prop_assert_eq!(got128, expect);
+    }
+
+    /// The square/multiply operation sequence exactly encodes the exponent
+    /// bits: squares = bits(exp)-1, multiplies = ones below the MSB.
+    #[test]
+    fn modexp_hook_sequence_encodes_exponent(exp in 2u64.., base in 2u64.., m in 3u64..) {
+        let e = BigUint::from_u64(exp);
+        let mut squares = 0u32;
+        let mut muls = 0u32;
+        let _ = modexp_with_hook(
+            &BigUint::from_u64(base),
+            &e,
+            &BigUint::from_u64(m),
+            |op| match op {
+                ExpOp::Square => squares += 1,
+                ExpOp::Multiply => muls += 1,
+            },
+        );
+        let bits = key_bits(&e);
+        prop_assert_eq!(squares as usize, bits.len());
+        prop_assert_eq!(muls as usize, bits.iter().filter(|&&b| b == 1).count());
+    }
+
+    /// Frame colours partition the frame space evenly.
+    #[test]
+    fn colours_partition_frames(n_colors in 1u64..64, frames in 1u64..10_000) {
+        let mut counts = vec![0u64; n_colors as usize];
+        for f in 0..frames {
+            counts[tp_sim::color_of_frame(f, n_colors) as usize] += 1;
+        }
+        let max = counts.iter().max().unwrap();
+        let min = counts.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "colour imbalance: {counts:?}");
+    }
+}
+
+/// The shuffle test's false-positive rate is controlled: channels built
+/// from pure noise rarely report leaks.
+#[test]
+fn shuffle_test_controls_false_positives() {
+    use rand::Rng;
+    let mut leaks = 0;
+    let trials = 12;
+    for t in 0..trials {
+        let mut rng = StdRng::seed_from_u64(900 + t);
+        let mut d = Dataset::new(4);
+        for _ in 0..300 {
+            let s = rng.gen_range(0..4);
+            let o: f64 = rng.gen_range(0.0..100.0);
+            d.push(s, o);
+        }
+        if time_protection::analysis::leakage_test(&d, 1000 + t).leaks {
+            leaks += 1;
+        }
+    }
+    // 95% bound => ~5% false positives expected; allow generous slack.
+    assert!(leaks <= 3, "{leaks}/{trials} false positives");
+}
