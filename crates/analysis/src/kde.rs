@@ -41,7 +41,7 @@ impl Kde {
         let spread = if iqr > 0.0 { sigma.min(iqr / 1.34) } else { sigma };
         let range = (hi - lo).max(1e-12);
         let mut h = 0.9 * spread * (n as f64).powf(-0.2);
-        if !(h > 0.0) {
+        if h.is_nan() || h <= 0.0 {
             // Degenerate class: a narrow kernel around the point mass.
             h = range * 1e-3;
         }

@@ -1,4 +1,4 @@
-//! The zero-leakage shuffle test (§5.1, after Chothia & Guha [2011]).
+//! The zero-leakage shuffle test (§5.1, after Chothia & Guha (2011)).
 //!
 //! Sampling noise makes the MI estimate non-zero even for a channel with no
 //! leakage, so the raw estimate `M` cannot be read directly. The test

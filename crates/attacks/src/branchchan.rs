@@ -5,7 +5,7 @@
 //! receiver's probe latency grows with the evictions (after Evtyushkin et
 //! al.; the paper probes 3584–3712 branches on Haswell, 0–512 on Sabre).
 //!
-//! **BHB**: the residual-state channel of Evtyushkin et al. [2016]: the
+//! **BHB**: the residual-state channel of Evtyushkin et al. (2016): the
 //! sender either takes or skips a conditional jump, biasing a shared
 //! pattern-history counter; the receiver senses the bias as a
 //! (mis)prediction on an aliasing conditional jump. `BPIALL`/IBC reset the

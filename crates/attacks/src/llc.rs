@@ -1,6 +1,6 @@
 //! The cross-core LLC side channel against ElGamal (§5.3.3, Figure 4).
 //!
-//! Reproduces the attack of Liu et al. [2015]: the victim repeatedly
+//! Reproduces the attack of Liu et al. (2015): the victim repeatedly
 //! decrypts on one core; a spy on another core prime&probes the LLC set
 //! holding the victim's *square* function. Every squaring evicts the spy's
 //! eviction set; the interval between evictions reveals whether a multiply
@@ -209,7 +209,7 @@ fn decode_trace(trace: Vec<(u64, u64)>, true_bits: &[u8], eviction_set_size: usi
             let min_gap = SQUARE_COMPUTE * 3 / 4;
             let mut events: Vec<u64> = Vec::new();
             for t in raw_events {
-                if events.last().map_or(true, |&e| t - e > min_gap) {
+                if events.last().is_none_or(|&e| t - e > min_gap) {
                     events.push(t);
                 }
             }

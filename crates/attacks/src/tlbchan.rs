@@ -1,4 +1,4 @@
-//! The TLB channel (§5.3.2, after Gras et al. [2018] / Hund et al. [2013]).
+//! The TLB channel (§5.3.2, after Gras et al. (2018) / Hund et al. (2013)).
 //!
 //! The sender touches an integer on each of `k` consecutive pages, evicting
 //! the receiver's TLB entries; the receiver probes one load per page of its

@@ -2,8 +2,11 @@
 //!
 //! Set `TP_SAMPLES=0.25` for a quick pass or `TP_SAMPLES=4` for higher
 //! statistical resolution.
+/// One experiment: display name and the function regenerating it.
+type Experiment = (&'static str, fn() -> String);
+
 fn main() {
-    let experiments: Vec<(&str, fn() -> String)> = vec![
+    let experiments: Vec<Experiment> = vec![
         ("table1", tp_bench::tables::table1),
         ("table2", tp_bench::tables::table2),
         ("fig3", tp_bench::channels::fig3),

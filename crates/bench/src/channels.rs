@@ -235,23 +235,6 @@ pub fn fig6() -> String {
     out
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    // The individual channels are tested in tp-attacks; here we exercise
-    // the reporting glue at reduced sample counts.
-
-    #[test]
-    fn fig4_report_contains_both_scenarios() {
-        std::env::set_var("TP_SAMPLES", "0.5");
-        let s = fig4();
-        assert!(s.contains("raw:"));
-        assert!(s.contains("protected:"));
-        assert!(s.contains('#'), "raw trace should show activity: {s}");
-    }
-}
-
 /// Per-mechanism ablations: switching off each Requirement's mechanism
 /// (with the rest of time protection intact) re-opens exactly its channel
 /// — and the interconnect channel stays open no matter what (§6.1).
@@ -328,4 +311,22 @@ fn push_ablation(t: &mut Table, mech: &str, chan: &str, o: &ChannelOutcome) {
         format!("{:.1}", o.verdict.m0_millibits()),
         if o.verdict.leaks { "YES".into() } else { "no".into() },
     ]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The individual channels are tested in tp-attacks; here we exercise
+    // the reporting glue at reduced sample counts.
+
+    #[test]
+    fn fig4_report_contains_both_scenarios() {
+        // No TP_SAMPLES override here: env vars are process-global and the
+        // tables/util tests in this binary read it concurrently.
+        let s = fig4();
+        assert!(s.contains("raw:"));
+        assert!(s.contains("protected:"));
+        assert!(s.contains('#'), "raw trace should show activity: {s}");
+    }
 }

@@ -322,7 +322,7 @@ impl UserEnv {
         self.op(false, |g| {
             let j = {
                 use rand::Rng;
-                g.machine.rng().gen_range(0..3)
+                g.machine.rng().gen_range(0..3u64)
             };
             g.machine.advance(self.core, 20 + j);
             g.machine.cycles(self.core)
@@ -392,7 +392,7 @@ impl UserEnv {
     /// Translation oracle: the physical address behind a user VA.
     ///
     /// Real attackers recover this information with timing-based
-    /// eviction-set construction (e.g. Liu et al. [2015]); the oracle
+    /// eviction-set construction (e.g. Liu et al. (2015)); the oracle
     /// stands in for that untimed profiling phase.
     #[must_use]
     pub fn translate(&self, va: VAddr) -> PAddr {
@@ -499,16 +499,15 @@ impl UserEnv {
     }
 }
 
+/// One program to run: (tcb, core, domain, colors, program, primary).
+pub type ProgramSpec = (TcbId, usize, DomainId, ColorSet, Box<dyn UserProgram>, bool);
+
 /// Run the set of programs to completion and return the final state.
 ///
-/// `programs[i]` = (tcb, core, domain, colors, program, primary). The
-/// simulation stops when all primary programs finish, `max_cycles` elapses,
-/// or the system goes permanently idle.
+/// The simulation stops when all primary programs finish, `max_cycles`
+/// elapses, or the system goes permanently idle.
 #[must_use]
-pub fn run_programs(
-    ctl: Arc<SimCtl>,
-    programs: Vec<(TcbId, usize, DomainId, ColorSet, Box<dyn UserProgram>, bool)>,
-) -> Arc<SimCtl> {
+pub fn run_programs(ctl: Arc<SimCtl>, programs: Vec<ProgramSpec>) -> Arc<SimCtl> {
     install_quiet_panic_hook();
     let cfg = ctl.inner.lock().machine.cfg.clone();
     {

@@ -635,7 +635,7 @@ impl Kernel {
         for d in slots {
             if let Some(q) = self.run_queues.get(&(core, d)) {
                 if let Some(p) = q.highest() {
-                    if best.map_or(true, |(bp, _)| p > bp) {
+                    if best.is_none_or(|(bp, _)| p > bp) {
                         best = Some((p, d));
                     }
                 }

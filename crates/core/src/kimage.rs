@@ -140,8 +140,7 @@ impl Kernel {
     fn bump_asid(&mut self) -> u16 {
         // Kernel images draw from the high end of the ASID space so they
         // never collide with thread VSpaces.
-        let id = 4096 + self.stats.clones as u16;
-        id
+        4096 + self.stats.clones as u16
     }
 
     /// Destroy a kernel image (§4.4). The image becomes a zombie, threads

@@ -358,9 +358,9 @@ mod tests {
     fn miss_then_hit() {
         let mut c = small();
         let mut r = rng();
-        let out = c.access(0, 1, 1 * 4, false, &mut r);
+        let out = c.access(0, 1, 4, false, &mut r);
         assert!(!out.hit);
-        let out = c.access(0, 1, 1 * 4, false, &mut r);
+        let out = c.access(0, 1, 4, false, &mut r);
         assert!(out.hit);
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().misses, 1);

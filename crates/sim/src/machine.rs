@@ -41,7 +41,7 @@ pub enum HitLevel {
 /// The slice-selection hash: XOR-fold of the line address (a simplified
 /// Intel LLC slice hash). Public so attackers can reconstruct slice
 /// placement during their (untimed) eviction-set profiling phase, as the
-/// reverse-engineered hash of Yarom et al. [2015] allows on real hardware.
+/// reverse-engineered hash of Yarom et al. (2015) allows on real hardware.
 #[must_use]
 pub fn slice_index(line_addr: u64, slices: u64) -> usize {
     if slices <= 1 {
@@ -325,7 +325,7 @@ impl Machine {
             self.dram_accesses += 1;
             cost += lat.dram;
             cost += self.bus_contention(core);
-            cost += self.rng.gen_range(0..6);
+            cost += self.rng.gen_range(0..6u64);
         }
 
         // Prefetch fills go into L2 + shared, free of charge to this access.

@@ -70,7 +70,8 @@ fn colour_partitioning_is_airtight() {
     use parking_lot::Mutex;
     use std::sync::Arc;
     let n_colors = Platform::Haswell.config().partition_colors();
-    let seen: Arc<Mutex<Vec<(u64, Vec<u64>)>>> = Arc::new(Mutex::new(Vec::new()));
+    type SeenLog = Arc<Mutex<Vec<(u64, Vec<u64>)>>>;
+    let seen: SeenLog = Arc::new(Mutex::new(Vec::new()));
     let mut b = SystemBuilder::new(Platform::Haswell, ProtectionConfig::protected())
         .max_cycles(50_000_000);
     let d0 = b.domain(None);

@@ -1,0 +1,163 @@
+//! Offline, API-compatible subset of
+//! [`criterion`](https://crates.io/crates/criterion), vendored so the
+//! workspace builds without network access to a registry.
+//!
+//! Provides the macro/type surface the workspace's benches use
+//! ([`criterion_group!`], [`criterion_main!`], [`Criterion`],
+//! `benchmark_group`, `Bencher::iter`) with a simple adaptive wall-clock
+//! timer instead of criterion's statistical machinery: each benchmark is
+//! warmed up, then timed over enough iterations to fill a measurement
+//! window, and the mean ns/iter is printed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run `f` as the benchmark `name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.to_string() }
+    }
+}
+
+/// A named group of benchmarks (`group/name` reporting).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling here is adaptive.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the measurement window is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run `f` as the benchmark `group/name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, name), f);
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Times the measured routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time repeated calls of `routine`.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up: also calibrates the per-iteration cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < WARMUP && warmup_iters < MAX_ITERS {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
+        let target = ((MEASURE.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, MAX_ITERS);
+
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters_done = target;
+    }
+}
+
+const WARMUP: Duration = Duration::from_millis(30);
+const MEASURE: Duration = Duration::from_millis(120);
+const MAX_ITERS: u64 = 10_000_000;
+
+fn run_one<F>(name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher::default();
+    f(&mut b);
+    let ns = if b.iters_done == 0 {
+        0.0
+    } else {
+        b.elapsed.as_secs_f64() * 1e9 / b.iters_done as f64
+    };
+    println!("{name:<40} {ns:>12.1} ns/iter  ({} iters)", b.iters_done);
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("trivial_add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(10);
+        g.bench_function("noop", |b| b.iter(|| ()));
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        trivial(&mut c);
+    }
+}

@@ -1,0 +1,54 @@
+//! Collection strategies: [`vec()`].
+
+use crate::{Strategy, TestRng};
+
+/// A range of collection sizes, convertible from `usize` ranges.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    /// Smallest size produced (inclusive).
+    pub min: usize,
+    /// Largest size produced (exclusive).
+    pub max: usize,
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { min: r.start, max: r.end }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange { min: *r.start(), max: r.end().saturating_add(1) }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+/// The strategy returned by [`vec()`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let span = self.size.max - self.size.min;
+        let len = self.size.min + if span == 0 { 0 } else { rng.index(span) };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// A strategy producing `Vec`s of `element` with a length drawn from
+/// `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}

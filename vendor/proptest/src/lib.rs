@@ -1,0 +1,278 @@
+//! Offline, API-compatible subset of
+//! [`proptest`](https://crates.io/crates/proptest), vendored so the
+//! workspace builds without network access to a registry.
+//!
+//! Supports the subset the workspace's property tests use: the
+//! [`proptest!`] macro, `prop_assert*` macros, [`any`], range and tuple
+//! strategies, and [`collection::vec`]. Each test runs
+//! `PROPTEST_CASES` (default 64) deterministic random cases. Unlike
+//! upstream proptest there is **no shrinking**: a failing case reports the
+//! case index and seed so it can be replayed, but is not minimised.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+
+/// Deterministic SplitMix64 stream driving strategy sampling.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The generator for test-case number `case` (deterministic).
+    #[must_use]
+    pub fn for_case(case: u64) -> Self {
+        TestRng { state: 0x5EED_0F7E_57AB_1E00 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform index in `[0, bound)`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "cannot sample empty index range");
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Number of cases each property runs (`PROPTEST_CASES`, default 64).
+#[must_use]
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// Drop guard used by [`proptest!`]: if the property body panics, prints
+/// which case failed so the run can be replayed (cases are deterministic
+/// by index — rerun the test and case `n` regenerates the same inputs).
+#[derive(Debug)]
+pub struct CaseReporter {
+    case: u64,
+}
+
+impl CaseReporter {
+    /// Guard for test-case number `case`.
+    #[must_use]
+    pub fn new(case: u64) -> Self {
+        CaseReporter { case }
+    }
+}
+
+impl Drop for CaseReporter {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest: property failed on case {} (deterministic; \
+                 rerunning the test reproduces it)",
+                self.case
+            );
+        }
+    }
+}
+
+/// A source of random test inputs.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical "anything" strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-symmetric, wide dynamic range.
+        (rng.next_f64() - 0.5) * 2e12
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy producing unconstrained values of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: core::marker::PhantomData }
+}
+
+macro_rules! impl_strategy_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = u128::from(rng.next_u64()) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = u128::from(rng.next_u64()) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start;
+                let span = (<$t>::MAX as i128 - lo as i128) as u128 + 1;
+                let v = u128::from(rng.next_u64()) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_tuple!(A);
+impl_strategy_tuple!(A, B);
+impl_strategy_tuple!(A, B, C);
+impl_strategy_tuple!(A, B, C, D);
+impl_strategy_tuple!(A, B, C, D, E);
+
+/// The usual imports for property tests.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// item becomes a `#[test]` running [`cases`] deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::cases();
+                for case in 0..cases {
+                    let __proptest_report = $crate::CaseReporter::new(case);
+                    let mut __proptest_rng = $crate::TestRng::for_case(case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __proptest_rng);)+
+                    let run = || -> () { $body };
+                    run();
+                    drop(__proptest_report);
+                }
+            }
+        )*
+    };
+}
+
+/// Assert within a property; identical to `assert!` here (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality within a property; identical to `assert_eq!` here.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality within a property; identical to `assert_ne!` here.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Ranges stay in bounds and tuples compose.
+        #[test]
+        fn range_and_tuple_strategies(
+            (a, b) in (0u64..10, -4i64..4),
+            x in 0.5f64..1.5,
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(a < 10);
+            prop_assert!((-4..4).contains(&b));
+            prop_assert!((0.5..1.5).contains(&x));
+            prop_assert_eq!(u64::from(flag) < 2, true);
+        }
+
+        /// collection::vec respects the size range.
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(0u32..100, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+    }
+
+    #[test]
+    fn cases_is_positive() {
+        assert!(super::cases() > 0);
+    }
+}
