@@ -1,20 +1,77 @@
 //! Gaussian kernel density estimation with Silverman's bandwidth rule.
 //!
 //! §5.1: "we use kernel density estimation [Silverman 1986] to estimate the
-//! probability density function of outputs for each input." For efficiency
-//! the samples are first binned onto a fine grid, so density evaluation is
-//! `O(bins × grid)` rather than `O(samples × grid)` — important because the
-//! shuffle test re-estimates densities 100 times.
+//! probability density function of outputs for each input." The samples are
+//! first binned onto a fine uniform grid; density evaluation then has two
+//! implementations:
+//!
+//! * [`Kde::density`] / [`Kde::density_grid`] — the naive `O(bins × grid)`
+//!   double loop with one `exp` per (bin, point) pair. Kept as the
+//!   **reference oracle**: the fast path is property-tested against it.
+//! * [`Kde::density_grid_aligned`] — a banded convolution for uniform
+//!   evaluation grids commensurate with the bins. Because bin centres and
+//!   grid points are both uniformly spaced over the same support, the
+//!   kernel weight depends only on the *index offset* between them, so the
+//!   Gaussian is evaluated once per distinct offset (a precomputed kernel
+//!   profile) and the per-point work is a multiply-add over the non-zero
+//!   bins within the ±8σ band. This is what makes the shuffle test's 100
+//!   re-estimates cheap; see DESIGN.md § Performance.
 
 use crate::stats;
 
 /// Number of histogram bins used to compress samples before evaluation.
-const BINS: usize = 1024;
+pub const BINS: usize = 1024;
+
+/// Kernel support cutoff in units of the bandwidth: contributions with
+/// `|x - c| >= CUTOFF * h` are treated as zero (identically in the naive
+/// and banded paths).
+const CUTOFF: f64 = 8.0;
+
+/// The bin width used by [`Kde::fit`] over the support `[lo, hi]`.
+#[inline]
+#[must_use]
+pub(crate) fn bin_width(lo: f64, hi: f64) -> f64 {
+    (hi - lo).max(1e-12) / BINS as f64
+}
+
+/// The bin a sample falls into, for the binning of [`Kde::fit`].
+#[inline]
+#[must_use]
+pub(crate) fn bin_index(lo: f64, width: f64, sample: f64) -> usize {
+    (((sample - lo) / width) as usize).min(BINS - 1)
+}
+
+/// Silverman's rule-of-thumb bandwidth,
+/// `h = 0.9 min(σ, IQR/1.34) n^{-1/5}`, floored to `min_bandwidth` and to
+/// a small fraction of `range` so degenerate classes stay well-defined.
+///
+/// Shared by [`Kde::fit`] and the shuffle-test fast path so both compute
+/// bit-identical bandwidths from the same samples.
+///
+/// # Panics
+/// Panics on an empty slice.
+#[must_use]
+pub(crate) fn silverman_bandwidth(samples: &[f64], range: f64, min_bandwidth: f64) -> f64 {
+    assert!(!samples.is_empty(), "bandwidth of an empty class");
+    let n = samples.len();
+    let sigma = stats::stddev(samples);
+    let mut sorted = samples.to_vec();
+    stats::sort_unstable_finite(&mut sorted);
+    let iqr = stats::percentile_sorted(&sorted, 75.0) - stats::percentile_sorted(&sorted, 25.0);
+    let spread = if iqr > 0.0 { sigma.min(iqr / 1.34) } else { sigma };
+    let mut h = 0.9 * spread * (n as f64).powf(-0.2);
+    if h.is_nan() || h <= 0.0 {
+        // Degenerate class: a narrow kernel around the point mass.
+        h = range * 1e-3;
+    }
+    h.max(range * 1e-4).max(min_bandwidth)
+}
 
 /// A binned Gaussian KDE over one sample class.
 #[derive(Debug, Clone)]
 pub struct Kde {
-    bin_centers: Vec<f64>,
+    lo: f64,
+    bin_width: f64,
     bin_weights: Vec<f64>,
     bandwidth: f64,
     n: usize,
@@ -35,26 +92,31 @@ impl Kde {
     pub fn fit(samples: &[f64], lo: f64, hi: f64, min_bandwidth: f64) -> Self {
         assert!(!samples.is_empty(), "KDE over empty class");
         assert!(hi >= lo);
-        let n = samples.len();
-        let sigma = stats::stddev(samples);
-        let iqr = stats::percentile(samples, 75.0) - stats::percentile(samples, 25.0);
-        let spread = if iqr > 0.0 { sigma.min(iqr / 1.34) } else { sigma };
         let range = (hi - lo).max(1e-12);
-        let mut h = 0.9 * spread * (n as f64).powf(-0.2);
-        if h.is_nan() || h <= 0.0 {
-            // Degenerate class: a narrow kernel around the point mass.
-            h = range * 1e-3;
-        }
-        h = h.max(range * 1e-4).max(min_bandwidth);
-
-        let width = range / BINS as f64;
+        let h = silverman_bandwidth(samples, range, min_bandwidth);
+        // Shared with `MiContext`'s precomputed bin indices, which must be
+        // bit-identical to this binning.
+        let width = bin_width(lo, hi);
         let mut weights = vec![0.0f64; BINS];
         for &s in samples {
-            let idx = (((s - lo) / width) as usize).min(BINS - 1);
-            weights[idx] += 1.0;
+            weights[bin_index(lo, width, s)] += 1.0;
         }
-        let centers = (0..BINS).map(|i| lo + (i as f64 + 0.5) * width).collect();
-        Kde { bin_centers: centers, bin_weights: weights, bandwidth: h, n }
+        Kde { lo, bin_width: width, bin_weights: weights, bandwidth: h, n: samples.len() }
+    }
+
+    /// Assemble a KDE from already-binned weights and a precomputed
+    /// bandwidth (the shuffle-test fast path, which re-accumulates bin
+    /// weights in O(n) per re-pairing instead of re-fitting).
+    #[must_use]
+    pub(crate) fn from_parts(
+        lo: f64,
+        bin_width: f64,
+        bin_weights: Vec<f64>,
+        bandwidth: f64,
+        n: usize,
+    ) -> Self {
+        debug_assert_eq!(bin_weights.len(), BINS);
+        Kde { lo, bin_width, bin_weights, bandwidth, n }
     }
 
     /// The fitted bandwidth.
@@ -63,28 +125,91 @@ impl Kde {
         self.bandwidth
     }
 
-    /// Evaluate the density at `x`.
+    /// Evaluate the density at `x` — the naive reference implementation
+    /// (one `exp` per non-empty bin).
     #[must_use]
     pub fn density(&self, x: f64) -> f64 {
         let h = self.bandwidth;
         let norm = 1.0 / ((self.n as f64) * h * (2.0 * std::f64::consts::PI).sqrt());
         let mut acc = 0.0;
-        for (c, w) in self.bin_centers.iter().zip(&self.bin_weights) {
+        for (i, w) in self.bin_weights.iter().enumerate() {
             if *w == 0.0 {
                 continue;
             }
+            let c = self.lo + (i as f64 + 0.5) * self.bin_width;
             let z = (x - c) / h;
-            if z.abs() < 8.0 {
+            if z.abs() < CUTOFF {
                 acc += w * (-0.5 * z * z).exp();
             }
         }
         acc * norm
     }
 
-    /// Evaluate the density over a whole grid (amortises the setup).
+    /// Evaluate the density over an arbitrary grid — the naive reference
+    /// oracle (`O(bins × grid)` with one `exp` per pair). Prefer
+    /// [`Kde::density_grid_aligned`] for uniform grids over the fit
+    /// support.
     #[must_use]
     pub fn density_grid(&self, grid: &[f64]) -> Vec<f64> {
         grid.iter().map(|&x| self.density(x)).collect()
+    }
+
+    /// Evaluate the density over the canonical `n_grid`-point uniform grid
+    /// spanning the fit support (points `lo + (i + 0.5) * (hi - lo) /
+    /// n_grid`) with a banded convolution.
+    ///
+    /// `n_grid` must divide [`BINS`]. Bin centres and grid points then
+    /// share a uniform spacing, so the kernel weight between bin `b` and
+    /// grid point `g` depends only on `r·g - b` (where `r = BINS /
+    /// n_grid`): the Gaussian is evaluated once per distinct offset within
+    /// the ±8σ cutoff band, and each non-empty bin scatters one
+    /// multiply-add per in-band grid point. Agrees with
+    /// [`Kde::density_grid`] on that grid to ~1 ulp per kernel term.
+    ///
+    /// # Panics
+    /// Panics if `n_grid` is zero or does not divide [`BINS`].
+    #[must_use]
+    pub fn density_grid_aligned(&self, n_grid: usize) -> Vec<f64> {
+        assert!(n_grid > 0 && BINS.is_multiple_of(n_grid), "grid must evenly divide {BINS} bins");
+        let r = (BINS / n_grid) as i64;
+        let h = self.bandwidth;
+        let bw = self.bin_width;
+        let norm = 1.0 / ((self.n as f64) * h * (2.0 * std::f64::consts::PI).sqrt());
+        // Grid point g sits at lo + (g + 0.5) * r * bw; bin b's centre at
+        // lo + (b + 0.5) * bw. Their distance is bw * (k + shift) with
+        // k = r*g - b and a constant half-offset shift.
+        let shift = (r - 1) as f64 / 2.0;
+        // |z| < CUTOFF  ⇔  k ∈ (-shift - half, -shift + half), exclusive.
+        let half = CUTOFF * h / bw;
+        let k_lo = ((-shift - half).floor() as i64 + 1).max(-(BINS as i64 - 1));
+        let k_hi = ((-shift + half).ceil() as i64 - 1).min(r * (n_grid as i64 - 1));
+        let mut out = vec![0.0f64; n_grid];
+        if k_hi < k_lo {
+            return out;
+        }
+        let profile: Vec<f64> = (k_lo..=k_hi)
+            .map(|k| {
+                let z = bw * (k as f64 + shift) / h;
+                (-0.5 * z * z).exp()
+            })
+            .collect();
+        for (b, &w) in self.bin_weights.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            let b = b as i64;
+            // Grid points with r*g - b inside [k_lo, k_hi].
+            let g_lo = (k_lo + b).div_euclid(r) + i64::from((k_lo + b).rem_euclid(r) != 0);
+            let g_lo = g_lo.max(0);
+            let g_hi = ((k_hi + b).div_euclid(r)).min(n_grid as i64 - 1);
+            for g in g_lo..=g_hi {
+                out[g as usize] += w * profile[(r * g - b - k_lo) as usize];
+            }
+        }
+        for v in &mut out {
+            *v *= norm;
+        }
+        out
     }
 }
 
@@ -129,5 +254,40 @@ mod tests {
         let at_mode = kde.density(2.0);
         let at_valley = kde.density(5.0);
         assert!(at_mode > 3.0 * at_valley, "modes {at_mode} valley {at_valley}");
+    }
+
+    /// The banded convolution agrees with the naive oracle on its grid.
+    #[test]
+    fn aligned_grid_matches_naive_oracle() {
+        let mut samples: Vec<f64> = (0..400).map(|i| ((i * 37) % 101) as f64 * 0.13).collect();
+        samples.extend((0..50).map(|i| 11.0 + i as f64 * 0.01));
+        let (lo, hi) = (-1.0, 14.0);
+        for n_grid in [512usize, 256, 1024] {
+            let width = (hi - lo) / n_grid as f64;
+            let kde = Kde::fit(&samples, lo, hi, width);
+            let grid: Vec<f64> =
+                (0..n_grid).map(|i| lo + (i as f64 + 0.5) * width).collect();
+            let naive = kde.density_grid(&grid);
+            let fast = kde.density_grid_aligned(n_grid);
+            for (g, (a, b)) in naive.iter().zip(&fast).enumerate() {
+                let scale = a.abs().max(1e-12);
+                assert!(
+                    (a - b).abs() / scale < 1e-12,
+                    "grid {n_grid} point {g}: naive {a} vs fast {b}"
+                );
+            }
+        }
+    }
+
+    /// A narrow bandwidth (floored at the grid resolution) keeps the band
+    /// small without losing mass.
+    #[test]
+    fn narrow_band_conserves_mass() {
+        let samples = vec![5.0; 64];
+        let width = 10.0 / 512.0;
+        let kde = Kde::fit(&samples, 0.0, 10.0, width);
+        let fast = kde.density_grid_aligned(512);
+        let mass: f64 = fast.iter().map(|d| d * width).sum();
+        assert!((mass - 1.0).abs() < 0.01, "mass {mass}");
     }
 }

@@ -16,6 +16,13 @@
 //!   `M > M0` (strict);
 //! * visualise channel matrices (conditional probability heat maps, Figures
 //!   3, 5 and 6) as text ([`matrix`]).
+//!
+//! The statistical machinery is the evaluation harness's hot path (101 MI
+//! estimates per verdict), so it is built around a reusable
+//! [`mi::MiContext`] plus a banded-convolution KDE evaluation, with the
+//! shuffles fanned out over threads; the naive implementations survive as
+//! reference oracles ([`mi::mutual_information_naive`],
+//! [`kde::Kde::density_grid`]). See DESIGN.md § Performance.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,5 +36,5 @@ pub mod stats;
 
 pub use dataset::Dataset;
 pub use matrix::ChannelMatrix;
-pub use mi::{mutual_information, MiEstimate};
+pub use mi::{mutual_information, mutual_information_naive, MiContext, MiEstimate};
 pub use shuffle::{leakage_test, LeakageVerdict};

@@ -6,9 +6,18 @@
 //! with a uniform input distribution `p(i) = 1/|I|` and
 //! `f(o) = Σ_i p(i) f(o|i)`. The paper writes the estimate as `M`, in bits
 //! per input symbol; `1 mb = 10⁻³ bits`.
+//!
+//! [`MiContext`] is the workhorse: it precomputes everything that is
+//! invariant under input/output re-pairing (the support, the integration
+//! grid, and each output sample's KDE bin index), so the shuffle test's 100
+//! re-paired estimates only re-accumulate per-class bin weights in `O(n)`
+//! before the banded-convolution density evaluation. [`mutual_information`]
+//! is a thin wrapper over a one-shot context;
+//! [`mutual_information_naive`] keeps the original unoptimised evaluation
+//! as a reference oracle for property tests.
 
 use crate::dataset::Dataset;
-use crate::kde::Kde;
+use crate::kde::{self, Kde, BINS};
 
 /// Number of rectangle-method integration points.
 const GRID: usize = 512;
@@ -36,6 +45,17 @@ impl MiEstimate {
 /// for datasets with fewer than two populated symbols.
 #[must_use]
 pub fn mutual_information(data: &Dataset) -> MiEstimate {
+    MiContext::new(data).mi()
+}
+
+/// The original, unoptimised MI estimate: per-class [`Kde::fit`] plus the
+/// naive `O(bins × grid)` density evaluation of [`Kde::density_grid`].
+///
+/// Kept as the **reference oracle**: `tests/properties.rs` checks that the
+/// fast path of [`mutual_information`] agrees with this to within `1e-9`
+/// bits on random datasets. Do not use it in hot paths.
+#[must_use]
+pub fn mutual_information_naive(data: &Dataset) -> MiEstimate {
     let n = data.len();
     let counts = data.class_counts();
     let populated: Vec<usize> = (0..data.n_symbols()).filter(|&s| counts[s] > 0).collect();
@@ -43,12 +63,7 @@ pub fn mutual_information(data: &Dataset) -> MiEstimate {
         return MiEstimate { bits: 0.0, n };
     }
 
-    let (lo, hi) = crate::stats::min_max(data.outputs());
-    // Extend the support a little beyond the data so kernels integrate
-    // fully.
-    let span = (hi - lo).max(1e-9);
-    let lo = lo - 0.05 * span;
-    let hi = hi + 0.05 * span;
+    let (lo, hi) = support(data.outputs());
     let width = (hi - lo) / GRID as f64;
     let grid: Vec<f64> = (0..GRID).map(|i| lo + (i as f64 + 0.5) * width).collect();
 
@@ -71,19 +86,176 @@ pub fn mutual_information(data: &Dataset) -> MiEstimate {
             *m += p * d;
         }
     }
+    let bits = integrate_mi(&class_density, &mix, p, width);
+    MiEstimate { bits, n }
+}
 
-    // Rectangle-method integral.
+/// The integration support: the data's min/max extended by 5% of the span
+/// so kernels integrate fully.
+fn support(outputs: &[f64]) -> (f64, f64) {
+    let (lo, hi) = crate::stats::min_max(outputs);
+    let span = (hi - lo).max(1e-9);
+    (lo - 0.05 * span, hi + 0.05 * span)
+}
+
+/// Rectangle-method integral of `Σ_i p ∫ f(o|i) log2(f(o|i)/f(o)) do`,
+/// clamped to be non-negative.
+fn integrate_mi(class_density: &[Vec<f64>], mix: &[f64], p: f64, width: f64) -> f64 {
     let mut bits = 0.0;
-    for cd in &class_density {
+    for cd in class_density {
         let mut integral = 0.0;
-        for (d, m) in cd.iter().zip(&mix) {
+        for (d, m) in cd.iter().zip(mix) {
             if *d > 0.0 && *m > 0.0 {
                 integral += d * (d / m).log2() * width;
             }
         }
         bits += p * integral;
     }
-    MiEstimate { bits: bits.max(0.0), n }
+    bits.max(0.0)
+}
+
+/// Precomputed state for estimating the MI of one dataset under many
+/// input/output re-pairings (the §5.1 shuffle test).
+///
+/// Everything that does not depend on the pairing is computed once:
+///
+/// * the set of populated symbols (re-pairing permutes *outputs*, so class
+///   sample counts never change);
+/// * the integration support and grid over the pooled outputs;
+/// * each output sample's KDE bin index (binning is pairing-invariant).
+///
+/// Each estimate then costs one `O(n)` pass to split values and bin
+/// weights by class, a Silverman bandwidth per class, and a banded
+/// convolution per class ([`Kde::density_grid_aligned`]).
+#[derive(Debug)]
+pub struct MiContext<'a> {
+    data: &'a Dataset,
+    /// Symbols with at least one sample, in ascending order.
+    populated: Vec<usize>,
+    /// Dense slot of each populated symbol (`usize::MAX` for symbols that
+    /// never occur — never indexed, because they never appear in inputs).
+    slot_of: Vec<usize>,
+    /// Per-symbol sample counts (pairing-invariant).
+    counts: Vec<usize>,
+    /// Integration support.
+    lo: f64,
+    /// KDE bin width over the support.
+    bin_width: f64,
+    /// Grid cell width (`= 2 × bin_width`).
+    grid_width: f64,
+    /// Bandwidth floor range, as [`Kde::fit`] derives it from the support.
+    range: f64,
+    /// KDE bin index of each output sample.
+    bin_of: Vec<u32>,
+    /// Fewer than two populated symbols: MI is 0 under every pairing.
+    degenerate: bool,
+}
+
+impl<'a> MiContext<'a> {
+    /// Build the pairing-invariant state for `data`.
+    #[must_use]
+    pub fn new(data: &'a Dataset) -> Self {
+        let n = data.len();
+        let counts = data.class_counts();
+        let populated: Vec<usize> = (0..data.n_symbols()).filter(|&s| counts[s] > 0).collect();
+        let degenerate = populated.len() < 2 || n == 0;
+        let mut slot_of = vec![usize::MAX; data.n_symbols()];
+        for (slot, &s) in populated.iter().enumerate() {
+            slot_of[s] = slot;
+        }
+        if degenerate {
+            return MiContext {
+                data,
+                populated,
+                slot_of,
+                counts,
+                lo: 0.0,
+                bin_width: 1.0,
+                grid_width: 1.0,
+                range: 1.0,
+                bin_of: Vec::new(),
+                degenerate,
+            };
+        }
+        let (lo, hi) = support(data.outputs());
+        let range = (hi - lo).max(1e-12);
+        let bw = kde::bin_width(lo, hi);
+        let bin_of = data
+            .outputs()
+            .iter()
+            .map(|&o| kde::bin_index(lo, bw, o) as u32)
+            .collect();
+        MiContext {
+            data,
+            populated,
+            slot_of,
+            counts,
+            lo,
+            bin_width: bw,
+            grid_width: (hi - lo) / GRID as f64,
+            range,
+            bin_of,
+            degenerate,
+        }
+    }
+
+    /// The MI estimate of the dataset's own (identity) pairing —
+    /// numerically within `1e-9` bits of [`mutual_information_naive`].
+    #[must_use]
+    pub fn mi(&self) -> MiEstimate {
+        MiEstimate { bits: self.mi_of_pairing(None), n: self.data.len() }
+    }
+
+    /// The MI (in bits) of the dataset with its outputs re-paired by
+    /// `perm`: input `j` is paired with output `perm[j]`, exactly as
+    /// [`Dataset::permuted`] would build it.
+    ///
+    /// # Panics
+    /// Panics if `perm` is not `len()` long.
+    #[must_use]
+    pub fn mi_shuffled(&self, perm: &[usize]) -> f64 {
+        assert_eq!(perm.len(), self.data.len());
+        self.mi_of_pairing(Some(perm))
+    }
+
+    fn mi_of_pairing(&self, perm: Option<&[usize]>) -> f64 {
+        if self.degenerate {
+            return 0.0;
+        }
+        let n_pop = self.populated.len();
+        // O(n): split output values and bin weights by class. Values are
+        // collected in sample order, matching what `Dataset::permuted` +
+        // `Dataset::class` would produce, so bandwidths are bit-identical
+        // to the naive path's.
+        let mut class_vals: Vec<Vec<f64>> = self
+            .populated
+            .iter()
+            .map(|&s| Vec::with_capacity(self.counts[s]))
+            .collect();
+        let mut class_wts = vec![vec![0.0f64; BINS]; n_pop];
+        let inputs = self.data.inputs();
+        let outputs = self.data.outputs();
+        for (j, &sym) in inputs.iter().enumerate() {
+            let slot = self.slot_of[sym];
+            let src = perm.map_or(j, |p| p[j]);
+            class_vals[slot].push(outputs[src]);
+            class_wts[slot][self.bin_of[src] as usize] += 1.0;
+        }
+
+        let p = 1.0 / n_pop as f64;
+        let mut mix = vec![0.0f64; GRID];
+        let mut class_density = Vec::with_capacity(n_pop);
+        for (vals, wts) in class_vals.iter().zip(class_wts) {
+            let h = kde::silverman_bandwidth(vals, self.range, self.grid_width);
+            let kde = Kde::from_parts(self.lo, self.bin_width, wts, h, vals.len());
+            let cd = kde.density_grid_aligned(GRID);
+            for (m, d) in mix.iter_mut().zip(&cd) {
+                *m += p * d;
+            }
+            class_density.push(cd);
+        }
+        integrate_mi(&class_density, &mix, p, self.grid_width)
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +316,7 @@ mod tests {
             d.push(1, i as f64);
         }
         assert_eq!(mutual_information(&d).bits, 0.0);
+        assert_eq!(mutual_information_naive(&d).bits, 0.0);
     }
 
     #[test]
@@ -162,5 +335,39 @@ mod tests {
     fn millibits_conversion() {
         let e = MiEstimate { bits: 0.05, n: 10 };
         assert!((e.millibits() - 50.0).abs() < 1e-9);
+    }
+
+    /// The fast path agrees with the naive oracle on a mixed dataset
+    /// (the exhaustive random check lives in `tests/properties.rs`).
+    #[test]
+    fn fast_path_matches_naive_oracle() {
+        let mut d = Dataset::new(4);
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..700 {
+            let s = rng.gen_range(0..4usize);
+            d.push(s, gaussian(&mut rng, 10.0 * s as f64, 4.0));
+        }
+        let fast = mutual_information(&d).bits;
+        let naive = mutual_information_naive(&d).bits;
+        assert!((fast - naive).abs() < 1e-9, "fast {fast} vs naive {naive}");
+    }
+
+    /// `mi_shuffled` agrees with re-pairing the dataset and re-estimating
+    /// from scratch.
+    #[test]
+    fn shuffled_context_matches_permuted_dataset() {
+        let mut d = Dataset::new(3);
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..300 {
+            let s = rng.gen_range(0..3usize);
+            d.push(s, gaussian(&mut rng, 5.0 * s as f64, 2.0));
+        }
+        // A fixed, non-trivial permutation.
+        let n = d.len();
+        let perm: Vec<usize> = (0..n).map(|j| (j * 7 + 3) % n).collect();
+        let ctx = MiContext::new(&d);
+        let fast = ctx.mi_shuffled(&perm);
+        let naive = mutual_information_naive(&d.permuted(&perm)).bits;
+        assert!((fast - naive).abs() < 1e-9, "fast {fast} vs naive {naive}");
     }
 }

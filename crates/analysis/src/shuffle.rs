@@ -9,9 +9,16 @@
 //! observations are inconsistent with zero leakage — i.e. there *is* a leak
 //! — iff `M > M0` (the strict inequality matters: for very uniform data
 //! with no leakage `M` may equal `M0`).
+//!
+//! The 101 MI estimates share one [`MiContext`] (support, grid and bin
+//! indices are pairing-invariant), and the 100 shuffles run concurrently:
+//! each shuffle's permutation RNG is derived from the master seed with a
+//! SplitMix64 step over the shuffle index, so the null distribution is
+//! bit-identical for every thread count (Invariant 1). `TP_THREADS=1`
+//! forces a sequential run; see `tp-bench`'s docs.
 
 use crate::dataset::Dataset;
-use crate::mi::{mutual_information, MiEstimate};
+use crate::mi::{MiContext, MiEstimate};
 use crate::stats;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -19,6 +26,18 @@ use rand::SeedableRng;
 
 /// Number of shuffles forming the null distribution.
 pub const SHUFFLES: usize = 100;
+
+/// Derive the seed of shuffle `i` from the master seed: one SplitMix64
+/// step over a golden-ratio stride. Each shuffle owns an independent RNG,
+/// so the work can be scheduled across any number of threads without
+/// changing a single bit of the result.
+#[must_use]
+pub fn shuffle_seed(master: u64, i: u64) -> u64 {
+    let mut z = master.wrapping_add((i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Verdict of the leakage test.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,18 +65,18 @@ impl LeakageVerdict {
 /// Run the full §5.1 test: estimate `M`, build the shuffled null
 /// distribution, compute `M0` as its 95th percentile, and compare.
 ///
-/// Deterministic for a given `seed`.
+/// Deterministic for a given `seed`, independent of the thread count.
 #[must_use]
 pub fn leakage_test(data: &Dataset, seed: u64) -> LeakageVerdict {
-    let m = mutual_information(data);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut null = Vec::with_capacity(SHUFFLES);
-    let mut perm: Vec<usize> = (0..data.len()).collect();
-    for _ in 0..SHUFFLES {
+    let ctx = MiContext::new(data);
+    let m = ctx.mi();
+    let n = data.len();
+    let null: Vec<f64> = rayon::par_map_indexed(SHUFFLES, |i| {
+        let mut rng = StdRng::seed_from_u64(shuffle_seed(seed, i as u64));
+        let mut perm: Vec<usize> = (0..n).collect();
         perm.shuffle(&mut rng);
-        let shuffled = data.permuted(&perm);
-        null.push(mutual_information(&shuffled).bits);
-    }
+        ctx.mi_shuffled(&perm)
+    });
     let m0 = stats::percentile(&null, 95.0);
     LeakageVerdict {
         m,
@@ -130,5 +149,38 @@ mod tests {
         let b = leakage_test(&d, 7);
         assert_eq!(a.m0_bits, b.m0_bits);
         assert_eq!(a.m.bits, b.m.bits);
+    }
+
+    /// The verdict (and every statistic in it) is bit-identical whether
+    /// the shuffles run sequentially or on 8 workers — the guarantee the
+    /// derived per-shuffle seeds exist to provide.
+    #[test]
+    fn verdict_identical_across_thread_counts() {
+        let mut d = Dataset::new(4);
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..400 {
+            let s = rng.gen_range(0..4usize);
+            d.push(s, gaussian(&mut rng, 3.0 * s as f64, 2.5));
+        }
+        rayon::set_num_threads(1);
+        let seq = leakage_test(&d, 77);
+        rayon::set_num_threads(8);
+        let par = leakage_test(&d, 77);
+        rayon::set_num_threads(0);
+        assert_eq!(seq.m.bits, par.m.bits);
+        assert_eq!(seq.m0_bits, par.m0_bits);
+        assert_eq!(seq.null_mean_bits, par.null_mean_bits);
+        assert_eq!(seq.null_sd_bits, par.null_sd_bits);
+        assert_eq!(seq.leaks, par.leaks);
+    }
+
+    /// Derived shuffle seeds are distinct (no two shuffles share an RNG
+    /// stream).
+    #[test]
+    fn shuffle_seeds_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..SHUFFLES as u64 {
+            assert!(seen.insert(shuffle_seed(0x5EED, i)));
+        }
     }
 }

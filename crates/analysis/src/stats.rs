@@ -23,20 +23,42 @@ pub fn stddev(xs: &[f64]) -> f64 {
 
 /// Percentile by linear interpolation (`p` in 0..=100).
 ///
+/// Clones and sorts the slice on every call; when several percentiles of
+/// the same data are needed (e.g. the IQR inside a KDE fit), sort once with
+/// [`sort_unstable_finite`] and use [`percentile_sorted`] instead.
+///
 /// # Panics
 /// Panics on an empty slice.
 #[must_use]
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
-    assert!(!xs.is_empty());
     let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let rank = (p / 100.0) * (v.len() - 1) as f64;
+    sort_unstable_finite(&mut v);
+    percentile_sorted(&v, p)
+}
+
+/// Sort a slice of finite floats in place (ascending).
+///
+/// # Panics
+/// Panics if any element is NaN.
+pub fn sort_unstable_finite(xs: &mut [f64]) {
+    xs.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+}
+
+/// Percentile by linear interpolation over an **already sorted** slice
+/// (`p` in 0..=100). The sort-free half of [`percentile`].
+///
+/// # Panics
+/// Panics on an empty slice.
+#[must_use]
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let rank = (p / 100.0) * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     if lo == hi {
-        v[lo]
+        sorted[lo]
     } else {
-        v[lo] + (v[hi] - v[lo]) * (rank - lo as f64)
+        sorted[lo] + (sorted[hi] - sorted[lo]) * (rank - lo as f64)
     }
 }
 
@@ -90,6 +112,16 @@ mod tests {
         assert_eq!(percentile(&xs, 100.0), 5.0);
         assert_eq!(percentile(&xs, 25.0), 2.0);
         assert_eq!(median(&xs), 3.0);
+    }
+
+    #[test]
+    fn percentile_sorted_matches_percentile() {
+        let xs = [9.5, -3.0, 4.0, 4.0, 0.25, 17.0, 2.0];
+        let mut sorted = xs;
+        sort_unstable_finite(&mut sorted);
+        for p in [0.0, 12.5, 25.0, 50.0, 75.0, 95.0, 100.0] {
+            assert_eq!(percentile_sorted(&sorted, p), percentile(&xs, p));
+        }
     }
 
     #[test]

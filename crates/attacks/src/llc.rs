@@ -12,7 +12,9 @@ use crate::elgamal::{key_bits, BigUint, ElGamalKey, ExpOp};
 use crate::probe::llc_slice_probe;
 use parking_lot::Mutex;
 use std::sync::Arc;
-use tp_core::{ProtectionConfig, SystemBuilder, UserEnv};
+use tp_core::{
+    CapObject, Capability, ProtectionConfig, Rights, Syscall, SystemBuilder, UserEnv,
+};
 use tp_sim::machine::slice_index;
 use tp_sim::{CacheGeom, Platform, VAddr, FRAME_SIZE};
 
@@ -65,7 +67,11 @@ pub fn llc_attack(prot: ProtectionConfig, slots: usize, seed: u64) -> LlcAttackR
 
     // The victim publishes the physical placement of its square function;
     // this models the attack's profiling phase (scanning all LLC sets for
-    // the square-function access pattern), which is untimed setup.
+    // the square-function access pattern), which is untimed setup. The
+    // *value* travels through host memory, but the "published yet?" edge is
+    // a simulated kernel notification: host-side polling of shared state
+    // would make the spy's start slot depend on host-thread scheduling and
+    // break run-to-run determinism (Invariant 1).
     let square_target: Arc<Mutex<Option<(usize, usize)>>> = Arc::new(Mutex::new(None));
     let trace: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
     let evset_size: Arc<Mutex<usize>> = Arc::new(Mutex::new(0));
@@ -80,11 +86,24 @@ pub fn llc_attack(prot: ProtectionConfig, slots: usize, seed: u64) -> LlcAttackR
     let d_spy = b.domain(None);
     let d_victim = b.domain(None);
 
+    // Notification both threads hold a capability to (victim signals it
+    // once the placement is published; the spy polls it in simulated time).
+    let ntfn_cap: Arc<Mutex<(usize, usize)>> = Arc::new(Mutex::new((0, 0)));
+    let ntfn_cap2 = Arc::clone(&ntfn_cap);
+    b.setup(Box::new(move |k, _m, tcbs, domains| {
+        let n = k.create_notification(domains[0]).expect("notification");
+        let cap = Capability { obj: CapObject::Notification(n), rights: Rights::all() };
+        let victim_cap = k.grant_cap(tcbs[0], cap);
+        let spy_cap = k.grant_cap(tcbs[1], cap);
+        *ntfn_cap2.lock() = (victim_cap, spy_cap);
+    }));
+
     let square_log: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
 
     // Victim: core 1.
     let target2 = Arc::clone(&square_target);
     let square_log2 = Arc::clone(&square_log);
+    let ntfn_victim = Arc::clone(&ntfn_cap);
     b.spawn_daemon(d_victim, 1, 100, move |env: &mut UserEnv| {
         let cfg = env.platform().clone();
         let line = cfg.line;
@@ -92,7 +111,8 @@ pub fn llc_attack(prot: ProtectionConfig, slots: usize, seed: u64) -> LlcAttackR
         let (code_va, code_frames) = env.map_pages(2);
         let square_va = code_va;
         let mul_va = VAddr(code_va.0 + FRAME_SIZE);
-        // Publish the (slice, set) of the square function's first line.
+        // Publish the (slice, set) of the square function's first line,
+        // then signal the spy through the kernel.
         {
             let pa = code_frames[0] * FRAME_SIZE;
             let llc = cfg.llc.expect("x86");
@@ -100,6 +120,8 @@ pub fn llc_attack(prot: ProtectionConfig, slots: usize, seed: u64) -> LlcAttackR
             let slice = slice_index(pa / line, cfg.llc_slices.into());
             let set = tp_sim::cache::phys_set(per_slice, pa);
             *target2.lock() = Some((slice, set));
+            let cap = ntfn_victim.lock().0;
+            env.syscall(Syscall::Signal { cap }).expect("signal placement");
         }
         // Operand data.
         let (data_va, _) = env.map_pages(2);
@@ -129,16 +151,20 @@ pub fn llc_attack(prot: ProtectionConfig, slots: usize, seed: u64) -> LlcAttackR
     let target = Arc::clone(&square_target);
     let trace2 = Arc::clone(&trace);
     let evset2 = Arc::clone(&evset_size);
+    let ntfn_spy = Arc::clone(&ntfn_cap);
     b.spawn(d_spy, 0, 100, move |env: &mut UserEnv| {
         let cfg = env.platform().clone();
         let llc = cfg.llc.expect("x86");
         let per_slice = CacheGeom { size: llc.size / u64::from(cfg.llc_slices), ..llc };
-        // Wait (in simulated time) until the victim has published its
-        // placement.
+        // Wait (in simulated time) until the victim has signalled that its
+        // placement is published. Polling the notification is a kernel
+        // operation, so the wake-up slot is a function of simulated time
+        // only — never of host-thread scheduling.
+        let cap = ntfn_spy.lock().1;
         let mut tgt = None;
         for _ in 0..10_000 {
-            if let Some(t) = *target.lock() {
-                tgt = Some(t);
+            if env.syscall(Syscall::Poll { cap }).expect("poll placement") != 0 {
+                tgt = *target.lock();
                 break;
             }
             env.compute(1_000);

@@ -1,11 +1,16 @@
 //! Criterion benchmarks of the analysis toolchain: MI estimation dominates
-//! the shuffle test (100 re-estimates per channel).
+//! the shuffle test (100 re-estimates per channel), so both the naive
+//! reference oracle and the banded-convolution fast path are timed here,
+//! plus the end-to-end shuffle test they feed.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
-use tp_analysis::{leakage_test, mutual_information, Dataset};
+use tp_analysis::kde::Kde;
+use tp_analysis::{
+    leakage_test, mutual_information, mutual_information_naive, Dataset, MiContext,
+};
 
 fn dataset(n: usize) -> Dataset {
     let mut rng = StdRng::seed_from_u64(5);
@@ -23,6 +28,26 @@ fn bench_mi(c: &mut Criterion) {
     c.bench_function("mutual_information_1k", |b| {
         b.iter(|| black_box(mutual_information(&d)));
     });
+    c.bench_function("mutual_information_naive_1k", |b| {
+        b.iter(|| black_box(mutual_information_naive(&d)));
+    });
+}
+
+fn bench_density(c: &mut Criterion) {
+    let d = dataset(1_000);
+    let samples = d.class(3);
+    let (lo, hi) = (0.0, 180.0);
+    let width = (hi - lo) / 512.0;
+    let kde = Kde::fit(&samples, lo, hi, width);
+    let grid: Vec<f64> = (0..512).map(|i| lo + (i as f64 + 0.5) * width).collect();
+    let mut g = c.benchmark_group("kde_density_512");
+    g.bench_function("naive_oracle", |b| {
+        b.iter(|| black_box(kde.density_grid(&grid)));
+    });
+    g.bench_function("banded_convolution", |b| {
+        b.iter(|| black_box(kde.density_grid_aligned(512)));
+    });
+    g.finish();
 }
 
 fn bench_shuffle(c: &mut Criterion) {
@@ -32,8 +57,15 @@ fn bench_shuffle(c: &mut Criterion) {
     g.bench_function("leakage_test_400", |b| {
         b.iter(|| black_box(leakage_test(&d, 9)));
     });
+    // One re-paired estimate through the shared context — the unit of work
+    // each of the 100 shuffles performs.
+    let ctx = MiContext::new(&d);
+    let perm: Vec<usize> = (0..d.len()).rev().collect();
+    g.bench_function("mi_shuffled_400", |b| {
+        b.iter(|| black_box(ctx.mi_shuffled(&perm)));
+    });
     g.finish();
 }
 
-criterion_group!(benches, bench_mi, bench_shuffle);
+criterion_group!(benches, bench_mi, bench_density, bench_shuffle);
 criterion_main!(benches);

@@ -1,9 +1,38 @@
 //! Regenerates every table and figure of the paper in one run.
 //!
 //! Set `TP_SAMPLES=0.25` for a quick pass or `TP_SAMPLES=4` for higher
-//! statistical resolution.
+//! statistical resolution, and `TP_THREADS` to bound the worker count
+//! (`TP_THREADS=1` runs fully sequentially). The independent experiments
+//! run concurrently but their reports are printed in paper order, so
+//! stdout is bit-identical for every thread count; per-experiment timings
+//! go to stderr and to a machine-readable `BENCH.json` in the working
+//! directory, which CI uses as a perf-smoke budget check.
+
+use std::time::Instant;
+
 /// One experiment: display name and the function regenerating it.
 type Experiment = (&'static str, fn() -> String);
+
+/// Wall-time record of one run, serialised by hand (no JSON dependency)
+/// into `BENCH.json`.
+///
+/// Per-experiment `seconds` are wall times measured *while the
+/// experiments run concurrently*, so with `threads > 1` they overlap and
+/// can sum to more than `total_seconds`; refresh pinned per-experiment
+/// numbers from a `TP_THREADS=1` run. `total_seconds` is always honest.
+fn bench_json(per_exp: &[(&str, f64)], total_s: f64) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"tp_samples\": {},\n", tp_bench::util::effort()));
+    s.push_str(&format!("  \"threads\": {},\n", tp_bench::util::threads()));
+    s.push_str(&format!("  \"total_seconds\": {total_s:.3},\n"));
+    s.push_str("  \"experiments\": [\n");
+    for (i, (name, secs)) in per_exp.iter().enumerate() {
+        let comma = if i + 1 < per_exp.len() { "," } else { "" };
+        s.push_str(&format!("    {{\"name\": \"{name}\", \"seconds\": {secs:.3}}}{comma}\n"));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
 
 fn main() {
     let experiments: Vec<Experiment> = vec![
@@ -22,11 +51,32 @@ fn main() {
         ("table8", tp_bench::splash::table8),
         ("ablations", tp_bench::channels::ablations),
     ];
-    for (name, f) in experiments {
-        let t0 = std::time::Instant::now();
+    let t_all = Instant::now();
+    // Every experiment is independent and internally seeded, so they can
+    // run concurrently; reports are printed in paper order below.
+    let results: Vec<(String, f64)> = rayon::par_map(&experiments, |(_, f)| {
+        let t0 = Instant::now();
         let report = f();
+        (report, t0.elapsed().as_secs_f64())
+    });
+    let total_s = t_all.elapsed().as_secs_f64();
+
+    let mut per_exp: Vec<(&str, f64)> = Vec::with_capacity(experiments.len());
+    for ((name, _), (report, secs)) in experiments.iter().zip(&results) {
         println!("==================== {name} ====================");
         println!("{report}");
-        eprintln!("[{name} took {:.1}s]", t0.elapsed().as_secs_f64());
+        eprintln!("[{name} took {secs:.1}s]");
+        per_exp.push((name, *secs));
+    }
+    eprintln!(
+        "[reproduce_all total {total_s:.1}s, {} threads, TP_SAMPLES={}]",
+        tp_bench::util::threads(),
+        tp_bench::util::effort()
+    );
+
+    let json = bench_json(&per_exp, total_s);
+    match std::fs::write("BENCH.json", &json) {
+        Ok(()) => eprintln!("[wrote BENCH.json]"),
+        Err(e) => eprintln!("[failed to write BENCH.json: {e}]"),
     }
 }

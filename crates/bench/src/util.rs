@@ -1,4 +1,16 @@
-//! Shared harness utilities: effort scaling and table formatting.
+//! Shared harness utilities: effort scaling, parallelism and table
+//! formatting.
+//!
+//! Two environment variables tune every experiment binary:
+//!
+//! * `TP_SAMPLES` — scale factor for sample counts (default `1.0`; e.g.
+//!   `0.25` for a quick pass, `4` for higher statistical resolution);
+//! * `TP_THREADS` — worker-thread count for the shuffle test and for
+//!   `reproduce_all`'s experiment fan-out (default: the machine's
+//!   available parallelism; `1` forces a fully sequential run). Thread
+//!   count affects wall-clock time only — results are bit-identical for
+//!   every value, because all per-work-item RNG seeds are derived from
+//!   the master seed.
 
 /// Scale factor for sample counts, from the `TP_SAMPLES` environment
 /// variable (default 1.0).
@@ -15,6 +27,14 @@ pub fn effort() -> f64 {
 #[must_use]
 pub fn samples(base: usize) -> usize {
     ((base as f64 * effort()) as usize).max(40)
+}
+
+/// The resolved worker-thread count (the `TP_THREADS` environment
+/// variable, defaulting to available parallelism). Reported in
+/// `BENCH.json` so perf numbers can be compared like-for-like.
+#[must_use]
+pub fn threads() -> usize {
+    rayon::current_num_threads()
 }
 
 /// A simple fixed-width text table builder.

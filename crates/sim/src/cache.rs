@@ -145,12 +145,6 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
-    #[allow(dead_code)]
-    fn set_slice(&mut self, set: usize) -> &mut [Line] {
-        let base = set * self.ways;
-        &mut self.lines[base..base + self.ways]
-    }
-
     /// Access the line `(set, tag)`; on a miss the line is filled, possibly
     /// evicting a victim. `write` marks the line dirty on hit or fill.
     ///
@@ -172,22 +166,50 @@ impl Cache {
         self.stats.accesses += 1;
         let ways = self.ways;
         let policy = self.policy;
-        // Probe for a hit.
+        // One fused pass: probe for a hit (early-out) while tracking the
+        // first invalid way and the LRU way, so a miss needs no second
+        // scan of the set.
         let slice = {
             let base = set * ways;
             &mut self.lines[base..base + ways]
         };
-        for line in slice.iter_mut() {
-            if line.valid && line.tag == tag {
-                line.stamp = clock;
-                line.dirty |= write;
-                self.stats.hits += 1;
-                return AccessOutcome { hit: true, writeback: false, evicted: None };
+        let mut invalid_idx = None;
+        let mut lru_idx = 0usize;
+        let mut lru_stamp = u64::MAX;
+        for (i, line) in slice.iter_mut().enumerate() {
+            if line.valid {
+                if line.tag == tag {
+                    line.stamp = clock;
+                    line.dirty |= write;
+                    self.stats.hits += 1;
+                    return AccessOutcome { hit: true, writeback: false, evicted: None };
+                }
+                if line.stamp < lru_stamp {
+                    lru_stamp = line.stamp;
+                    lru_idx = i;
+                }
+            } else if invalid_idx.is_none() {
+                invalid_idx = Some(i);
             }
         }
         self.stats.misses += 1;
-        // Miss: choose a victim.
-        let victim_idx = Self::choose_victim(slice, policy, rng);
+        // Miss: choose a victim. An invalid way is always preferred and
+        // consumes no randomness; the policies below match the same RNG
+        // stream as ever (determinism, Invariant 1).
+        let victim_idx = match invalid_idx {
+            Some(i) => i,
+            None => match policy {
+                Replacement::Lru => lru_idx,
+                Replacement::PseudoLru { noise } => {
+                    if rng.gen::<u8>() < noise {
+                        rng.gen_range(0..ways)
+                    } else {
+                        lru_idx
+                    }
+                }
+                Replacement::Random => rng.gen_range(0..ways),
+            },
+        };
         let victim = slice[victim_idx];
         let mut outcome = AccessOutcome { hit: false, writeback: false, evicted: None };
         if victim.valid {
@@ -203,30 +225,6 @@ impl Cache {
         slice[victim_idx] = Line { tag, valid: true, dirty: write, stamp: clock };
         debug_assert_eq!(line_addr % self.sets as u64, set as u64 % self.sets as u64);
         outcome
-    }
-
-    fn choose_victim(slice: &[Line], policy: Replacement, rng: &mut StdRng) -> usize {
-        // Prefer an invalid way.
-        if let Some(i) = slice.iter().position(|l| !l.valid) {
-            return i;
-        }
-        let lru = slice
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, l)| l.stamp)
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        match policy {
-            Replacement::Lru => lru,
-            Replacement::PseudoLru { noise } => {
-                if rng.gen::<u8>() < noise {
-                    rng.gen_range(0..slice.len())
-                } else {
-                    lru
-                }
-            }
-            Replacement::Random => rng.gen_range(0..slice.len()),
-        }
     }
 
     /// Probe without filling: returns `true` on a hit (used by inclusive

@@ -269,8 +269,10 @@ impl Machine {
             cost += lat.writeback;
         }
 
-        // Prefetcher hooks fire on L1 misses.
-        let mut prefetch_fills: Vec<u64> = Vec::new();
+        // Prefetcher hooks fire on L1 misses. The targets live in a small
+        // inline buffer — this path runs on every miss and must not
+        // allocate.
+        let mut prefetch_fills = crate::prefetch::PrefetchLines::default();
         if insn {
             let (pf, resumed) = self.cores[core].ipf.on_fetch_miss(line_addr);
             cost += resumed * PREFETCH_RESUME_COST;
@@ -280,7 +282,7 @@ impl Machine {
         } else {
             let (pf, resumed) = self.cores[core].dpf.on_demand_miss(pa.0, line);
             cost += resumed * PREFETCH_RESUME_COST;
-            prefetch_fills.extend(pf);
+            prefetch_fills = pf;
         }
 
         // 3. Private L2 (x86).
@@ -329,7 +331,7 @@ impl Machine {
         }
 
         // Prefetch fills go into L2 + shared, free of charge to this access.
-        for la in prefetch_fills {
+        for &la in &prefetch_fills {
             let fpa = PAddr(la * line);
             if let Some(l2) = &mut self.cores[core].l2 {
                 let geom = l2.geom();

@@ -20,6 +20,55 @@ use crate::FRAME_SIZE;
 /// Number of lines a confident stream prefetches ahead.
 pub const PREFETCH_DEGREE: u64 = 2;
 
+/// Up to [`PREFETCH_DEGREE`] prefetch target lines, stored inline.
+///
+/// Returned by [`StreamPrefetcher::on_demand_miss`], which sits on the
+/// simulator's per-access hot path — an inline buffer keeps the miss path
+/// free of heap allocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchLines {
+    buf: [u64; PREFETCH_DEGREE as usize],
+    len: usize,
+}
+
+impl PrefetchLines {
+    /// Append a line address.
+    ///
+    /// # Panics
+    /// Panics if already full ([`PREFETCH_DEGREE`] entries).
+    pub fn push(&mut self, line_addr: u64) {
+        self.buf[self.len] = line_addr;
+        self.len += 1;
+    }
+
+    /// Number of prefetch targets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether there are no prefetch targets.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The prefetch target lines.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.buf[..self.len]
+    }
+}
+
+impl<'a> IntoIterator for &'a PrefetchLines {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// Confidence threshold before a stream issues prefetches.
 const CONFIDENCE_THRESHOLD: u8 = 2;
 
@@ -114,9 +163,9 @@ impl StreamPrefetcher {
     /// `(prefetch_lines, resumed)`: line addresses to fill into the L2, and
     /// the number of stale-stream resumption prefetches that fired (each of
     /// which costs the demand miss fill bandwidth).
-    pub fn on_demand_miss(&mut self, paddr: u64, line_size: u64) -> (Vec<u64>, u64) {
+    pub fn on_demand_miss(&mut self, paddr: u64, line_size: u64) -> (PrefetchLines, u64) {
         if !self.enabled {
-            return (Vec::new(), 0);
+            return (PrefetchLines::default(), 0);
         }
         self.clock += 1;
         let clock = self.clock;
@@ -128,7 +177,7 @@ impl StreamPrefetcher {
         let resumed = self.resume_budget.min(RESUME_PER_STREAM);
         self.resume_budget -= resumed;
 
-        let mut prefetches = Vec::new();
+        let mut prefetches = PrefetchLines::default();
         if let Some(s) = self.entries.iter_mut().find(|s| s.page == page) {
             let stride = line - s.last_line;
             if stride != 0 && stride == s.stride {

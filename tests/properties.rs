@@ -4,7 +4,9 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use time_protection::analysis::{mutual_information, Dataset};
+use time_protection::analysis::{
+    mutual_information, mutual_information_naive, Dataset, MiContext,
+};
 use time_protection::attacks::elgamal::{key_bits, modexp_with_hook, BigUint, ExpOp};
 use tp_sim::cache::{phys_set, phys_tag, Cache, Replacement};
 use tp_sim::{CacheGeom, ColorSet};
@@ -74,6 +76,49 @@ proptest! {
         let mi = mutual_information(&d);
         prop_assert!(mi.bits >= 0.0);
         prop_assert!(mi.bits <= 2.0 + 0.2, "MI {} exceeds log2(4)", mi.bits);
+    }
+
+    /// The optimised MI path (banded-convolution KDE over a shared
+    /// context) agrees with the naive reference oracle to within 1e-9
+    /// bits on arbitrary datasets — the correctness contract of the
+    /// shuffle-test fast path.
+    #[test]
+    fn fast_mi_matches_naive_oracle(
+        pairs in proptest::collection::vec((0usize..6, -500.0f64..500.0), 12..300),
+    ) {
+        let mut d = Dataset::new(6);
+        for (s, o) in pairs {
+            d.push(s, o);
+        }
+        let fast = mutual_information(&d).bits;
+        let naive = mutual_information_naive(&d).bits;
+        prop_assert!(
+            (fast - naive).abs() < 1e-9,
+            "fast {fast} vs naive {naive} (n = {})", d.len()
+        );
+    }
+
+    /// The shared-context shuffled estimate agrees with re-estimating the
+    /// permuted dataset from scratch with the naive oracle.
+    #[test]
+    fn fast_shuffled_mi_matches_naive_oracle(
+        pairs in proptest::collection::vec((0usize..4, -100.0f64..100.0), 16..200),
+        rot in 1usize..13,
+    ) {
+        let mut d = Dataset::new(4);
+        for (s, o) in pairs {
+            d.push(s, o);
+        }
+        // A rotation is always a permutation, whatever the length.
+        let n = d.len();
+        let perm: Vec<usize> = (0..n).map(|j| (j + rot) % n).collect();
+        let ctx = MiContext::new(&d);
+        let fast = ctx.mi_shuffled(&perm);
+        let naive = mutual_information_naive(&d.permuted(&perm)).bits;
+        prop_assert!(
+            (fast - naive).abs() < 1e-9,
+            "fast {fast} vs naive {naive} (n = {n}, rot = {rot})"
+        );
     }
 
     /// MI of outputs independent of inputs stays near zero.

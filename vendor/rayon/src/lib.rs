@@ -1,0 +1,169 @@
+//! Offline, API-inspired subset of [`rayon`](https://crates.io/crates/rayon),
+//! vendored so the workspace builds without network access to a registry.
+//!
+//! Instead of rayon's work-stealing pool and parallel-iterator traits, this
+//! stub provides a small deterministic fan-out surface on top of
+//! [`std::thread::scope`]:
+//!
+//! * [`par_map`] / [`par_map_indexed`] — apply a function to every element
+//!   of a slice (or index range) concurrently and return the results **in
+//!   input order**, regardless of how work was scheduled;
+//! * [`join`] — run two closures concurrently and return both results;
+//! * [`current_num_threads`] / [`set_num_threads`] — the worker count.
+//!
+//! The worker count resolves, in order, from the last [`set_num_threads`]
+//! call, the `TP_THREADS` environment variable (this workspace's knob,
+//! documented next to `TP_SAMPLES`), upstream rayon's `RAYON_NUM_THREADS`,
+//! and finally [`std::thread::available_parallelism`]. A count of 1 runs
+//! everything inline on the caller's thread.
+//!
+//! Callers are expected to make each work item independent and internally
+//! seeded (the workspace derives per-item RNGs from a master seed), so
+//! results are bit-identical for every thread count — the scheduling only
+//! decides wall-clock time, never values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Explicit thread-count override; 0 means "not set".
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the worker count used by subsequent [`par_map`] calls.
+///
+/// `0` clears the override (fall back to the environment / detected
+/// parallelism). Unlike upstream rayon's pool builder this may be called at
+/// any time; it only affects scheduling, never results.
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The worker count [`par_map`] would use right now.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    let explicit = NUM_THREADS.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    for var in ["TP_THREADS", "RAYON_NUM_THREADS"] {
+        if let Some(n) = std::env::var(var).ok().and_then(|v| v.parse::<usize>().ok()) {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Run `a` and `b` concurrently; return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon-stub: join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// Apply `f` to every element of `items` concurrently; results come back in
+/// input order.
+///
+/// Work items are handed out one at a time from a shared counter, so uneven
+/// item costs still balance across workers. With one worker (or one item)
+/// everything runs inline on the caller's thread.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+/// Apply `f` to every index in `0..n` concurrently; results come back in
+/// index order. The `par_map` engine, usable without materialising inputs.
+pub fn par_map_indexed<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = current_num_threads().min(n).max(1);
+    if workers == 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let v = f(i);
+                *slots[i].lock().expect("rayon-stub: slot poisoned") = Some(v);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("rayon-stub: slot poisoned")
+                .expect("rayon-stub: missing result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let items: Vec<u64> = (0..100).collect();
+        let golden: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(0x9E37_79B9)).collect();
+        for n in [1, 2, 8] {
+            set_num_threads(n);
+            assert_eq!(par_map(&items, |&x| x.wrapping_mul(0x9E37_79B9)), golden);
+        }
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map_indexed(1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}
