@@ -14,7 +14,11 @@ impl Dataset {
     /// (`0..n_symbols`).
     #[must_use]
     pub fn new(n_symbols: usize) -> Self {
-        Dataset { inputs: Vec::new(), outputs: Vec::new(), n_symbols }
+        Dataset {
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            n_symbols,
+        }
     }
 
     /// Record one observation.
@@ -87,7 +91,11 @@ impl Dataset {
     pub fn from_parts(n_symbols: usize, inputs: Vec<usize>, outputs: Vec<f64>) -> Self {
         assert_eq!(inputs.len(), outputs.len());
         assert!(inputs.iter().all(|&i| i < n_symbols));
-        Dataset { inputs, outputs, n_symbols }
+        Dataset {
+            inputs,
+            outputs,
+            n_symbols,
+        }
     }
 
     /// A copy with the outputs permuted by `perm` (the shuffle test).
@@ -98,7 +106,11 @@ impl Dataset {
     pub fn permuted(&self, perm: &[usize]) -> Self {
         assert_eq!(perm.len(), self.len());
         let outputs = perm.iter().map(|&j| self.outputs[j]).collect();
-        Dataset { inputs: self.inputs.clone(), outputs, n_symbols: self.n_symbols }
+        Dataset {
+            inputs: self.inputs.clone(),
+            outputs,
+            n_symbols: self.n_symbols,
+        }
     }
 }
 

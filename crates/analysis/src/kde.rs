@@ -58,7 +58,11 @@ pub(crate) fn silverman_bandwidth(samples: &[f64], range: f64, min_bandwidth: f6
     let mut sorted = samples.to_vec();
     stats::sort_unstable_finite(&mut sorted);
     let iqr = stats::percentile_sorted(&sorted, 75.0) - stats::percentile_sorted(&sorted, 25.0);
-    let spread = if iqr > 0.0 { sigma.min(iqr / 1.34) } else { sigma };
+    let spread = if iqr > 0.0 {
+        sigma.min(iqr / 1.34)
+    } else {
+        sigma
+    };
     let mut h = 0.9 * spread * (n as f64).powf(-0.2);
     if h.is_nan() || h <= 0.0 {
         // Degenerate class: a narrow kernel around the point mass.
@@ -101,7 +105,13 @@ impl Kde {
         for &s in samples {
             weights[bin_index(lo, width, s)] += 1.0;
         }
-        Kde { lo, bin_width: width, bin_weights: weights, bandwidth: h, n: samples.len() }
+        Kde {
+            lo,
+            bin_width: width,
+            bin_weights: weights,
+            bandwidth: h,
+            n: samples.len(),
+        }
     }
 
     /// Assemble a KDE from already-binned weights and a precomputed
@@ -116,7 +126,13 @@ impl Kde {
         n: usize,
     ) -> Self {
         debug_assert_eq!(bin_weights.len(), BINS);
-        Kde { lo, bin_width, bin_weights, bandwidth, n }
+        Kde {
+            lo,
+            bin_width,
+            bin_weights,
+            bandwidth,
+            n,
+        }
     }
 
     /// The fitted bandwidth.
@@ -170,7 +186,10 @@ impl Kde {
     /// Panics if `n_grid` is zero or does not divide [`BINS`].
     #[must_use]
     pub fn density_grid_aligned(&self, n_grid: usize) -> Vec<f64> {
-        assert!(n_grid > 0 && BINS.is_multiple_of(n_grid), "grid must evenly divide {BINS} bins");
+        assert!(
+            n_grid > 0 && BINS.is_multiple_of(n_grid),
+            "grid must evenly divide {BINS} bins"
+        );
         let r = (BINS / n_grid) as i64;
         let h = self.bandwidth;
         let bw = self.bin_width;
@@ -226,7 +245,9 @@ mod tests {
 
     #[test]
     fn density_integrates_to_one() {
-        let samples: Vec<f64> = (0..500).map(|i| (i as f64 * 0.013).sin() * 3.0 + 10.0).collect();
+        let samples: Vec<f64> = (0..500)
+            .map(|i| (i as f64 * 0.013).sin() * 3.0 + 10.0)
+            .collect();
         let kde = Kde::fit(&samples, 0.0, 20.0, 0.0);
         let mass = simpson_mass(&kde, -10.0, 30.0, 4000);
         assert!((mass - 1.0).abs() < 0.02, "mass {mass}");
@@ -253,7 +274,10 @@ mod tests {
         let kde = Kde::fit(&samples, 0.0, 10.0, 0.0);
         let at_mode = kde.density(2.0);
         let at_valley = kde.density(5.0);
-        assert!(at_mode > 3.0 * at_valley, "modes {at_mode} valley {at_valley}");
+        assert!(
+            at_mode > 3.0 * at_valley,
+            "modes {at_mode} valley {at_valley}"
+        );
     }
 
     /// The banded convolution agrees with the naive oracle on its grid.
@@ -265,8 +289,7 @@ mod tests {
         for n_grid in [512usize, 256, 1024] {
             let width = (hi - lo) / n_grid as f64;
             let kde = Kde::fit(&samples, lo, hi, width);
-            let grid: Vec<f64> =
-                (0..n_grid).map(|i| lo + (i as f64 + 0.5) * width).collect();
+            let grid: Vec<f64> = (0..n_grid).map(|i| lo + (i as f64 + 0.5) * width).collect();
             let naive = kde.density_grid(&grid);
             let fast = kde.density_grid_aligned(n_grid);
             for (g, (a, b)) in naive.iter().zip(&fast).enumerate() {

@@ -203,7 +203,10 @@ impl<'a> MiContext<'a> {
     /// numerically within `1e-9` bits of [`mutual_information_naive`].
     #[must_use]
     pub fn mi(&self) -> MiEstimate {
-        MiEstimate { bits: self.mi_of_pairing(None), n: self.data.len() }
+        MiEstimate {
+            bits: self.mi_of_pairing(None),
+            n: self.data.len(),
+        }
     }
 
     /// The MI (in bits) of the dataset with its outputs re-paired by

@@ -87,9 +87,10 @@ pub fn geomean(xs: &[f64]) -> f64 {
 #[must_use]
 pub fn min_max(xs: &[f64]) -> (f64, f64) {
     assert!(!xs.is_empty());
-    xs.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
-        (lo.min(x), hi.max(x))
-    })
+    xs.iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+            (lo.min(x), hi.max(x))
+        })
 }
 
 #[cfg(test)]

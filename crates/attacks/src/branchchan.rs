@@ -13,20 +13,20 @@
 
 use crate::harness::{measure_channel, ChannelOutcome, IntraCoreSpec, Receiver};
 use tp_core::UserEnv;
-use tp_sim::{Platform, VAddr};
+use tp_sim::{PlatformConfig, VAddr};
 
 /// Shared virtual code region both parties use for branch probes (the BTB
 /// is indexed by virtual address, and the covert-channel parties cooperate
 /// on the layout).
 const BRANCH_BASE: u64 = 0x40_0000;
 
-/// Branch slots the receiver probes.
+/// Branch slots the receiver probes: an eighth of the BTB, floored at 128
+/// so small predictors still yield a measurable probe (512 slots of the
+/// Haswell's 4096-entry BTB, 128 of the Sabre's 512 — and scaled
+/// automatically for any registered platform).
 #[must_use]
-pub fn btb_probe_slots(platform: Platform) -> usize {
-    match platform {
-        Platform::Haswell => 512,
-        Platform::Sabre => 128,
-    }
+pub fn btb_probe_slots(cfg: &PlatformConfig) -> usize {
+    (cfg.btb.entries as usize / 8).max(128)
 }
 
 /// Total branch slots the sender sweeps. (The paper sweeps absolute probe
@@ -35,11 +35,8 @@ pub fn btb_probe_slots(platform: Platform) -> usize {
 /// conflict evictions proportional to the sender's branch working set —
 /// while fitting in a slice.)
 #[must_use]
-pub fn btb_sweep_slots(platform: Platform) -> usize {
-    match platform {
-        Platform::Haswell => 512,
-        Platform::Sabre => 128,
-    }
+pub fn btb_sweep_slots(cfg: &PlatformConfig) -> usize {
+    btb_probe_slots(cfg)
 }
 
 fn slot_pc(i: usize) -> VAddr {
@@ -51,9 +48,10 @@ fn slot_pc(i: usize) -> VAddr {
 #[must_use]
 pub fn btb_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
     let n = spec.n_symbols;
-    let sweep = btb_sweep_slots(spec.platform);
-    let slots = btb_probe_slots(spec.platform);
-    let ways = spec.platform.config().btb.ways as u64;
+    let cfg = spec.platform.config();
+    let sweep = btb_sweep_slots(&cfg);
+    let slots = btb_probe_slots(&cfg);
+    let ways = u64::from(cfg.btb.ways);
     measure_channel(
         spec,
         move |env: &mut UserEnv, sym: usize| {
@@ -135,13 +133,23 @@ pub fn bhb_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
 mod tests {
     use super::*;
     use crate::harness::Scenario;
+    use tp_sim::Platform;
 
     #[test]
     fn btb_raw_leaks_on_haswell() {
-        let raw = btb_channel(&IntraCoreSpec::new(Platform::Haswell, Scenario::Raw, 8, 120));
+        let raw = btb_channel(&IntraCoreSpec::new(
+            Platform::Haswell,
+            Scenario::Raw,
+            8,
+            120,
+        ));
         assert!(raw.verdict.leaks, "raw BTB: {}", raw.summary());
-        let prot =
-            btb_channel(&IntraCoreSpec::new(Platform::Haswell, Scenario::Protected, 8, 120));
+        let prot = btb_channel(&IntraCoreSpec::new(
+            Platform::Haswell,
+            Scenario::Protected,
+            8,
+            120,
+        ));
         assert!(
             prot.verdict.m.bits < raw.verdict.m.bits / 4.0,
             "BTB protection ineffective: {} vs {}",
@@ -152,10 +160,20 @@ mod tests {
 
     #[test]
     fn bhb_raw_leaks_and_flush_closes() {
-        let raw = bhb_channel(&IntraCoreSpec::new(Platform::Haswell, Scenario::Raw, 2, 150));
+        let raw = bhb_channel(&IntraCoreSpec::new(
+            Platform::Haswell,
+            Scenario::Raw,
+            2,
+            150,
+        ));
         assert!(raw.verdict.leaks, "raw BHB: {}", raw.summary());
         assert!(raw.verdict.m.bits > 0.3, "raw BHB weak: {}", raw.summary());
-        let ff = bhb_channel(&IntraCoreSpec::new(Platform::Haswell, Scenario::FullFlush, 2, 150));
+        let ff = bhb_channel(&IntraCoreSpec::new(
+            Platform::Haswell,
+            Scenario::FullFlush,
+            2,
+            150,
+        ));
         assert!(
             !ff.verdict.leaks || ff.verdict.m.bits < 0.05,
             "full flush BHB: {}",

@@ -37,7 +37,10 @@ const HAMMER_ACCESSES: u64 = 600;
 /// Panics if the simulation fails.
 #[must_use]
 pub fn bus_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
-    assert_eq!(spec.n_symbols, 2, "the bus channel sends one bit per period");
+    assert_eq!(
+        spec.n_symbols, 2,
+        "the bus channel sends one bit per period"
+    );
     let sender_log: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
     let receiver_log: Arc<Mutex<Vec<(u64, f64)>>> = Arc::new(Mutex::new(Vec::new()));
     let period = spec.platform.config().us_to_cycles(spec.slice_us);

@@ -8,10 +8,15 @@
 use crate::harness::{measure_channel, ChannelOutcome, IntraCoreSpec, Receiver};
 use crate::probe::{l1_probe, phys_probe, ProbeBuf};
 use tp_core::UserEnv;
-use tp_sim::Platform;
+use tp_sim::PlatformConfig;
 
 /// Symbols used by the cache channels (16 ⇒ up to 4 bits).
 pub const CACHE_SYMBOLS: usize = 16;
+
+/// Upper bound on the number of *lines* in an L2 probe buffer, so the
+/// probe fits comfortably inside a slice on every platform (the whole
+/// 4096-line Haswell L2; a quarter of the Sabre's 1 MiB L2).
+const L2_PROBE_LINES: usize = 4096;
 
 /// The L1-D channel: sender dirties `k` sets, receiver probes the full
 /// cache with loads.
@@ -71,14 +76,22 @@ pub fn l1i_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
     )
 }
 
-/// How many L2 sets each side works with on a platform (bounded so the
-/// probe fits comfortably inside a slice).
+/// How many L2 sets each side works with on a platform: as many sets as
+/// keep the probe buffer within `L2_PROBE_LINES` (4096) lines, derived
+/// from the cache geometry rather than a per-platform table.
 #[must_use]
-pub fn l2_probe_sets(platform: Platform) -> usize {
-    match platform {
-        Platform::Haswell => 512, // the whole 512-set L2
-        Platform::Sabre => 256,   // a quarter of the 2048-set (1 MiB) L2
-    }
+pub fn l2_probe_sets(cfg: &PlatformConfig) -> usize {
+    (cfg.l2.sets() as usize).min(L2_PROBE_LINES / (cfg.l2.ways as usize).max(1))
+}
+
+/// Slice length (µs) that leaves the L2 probe ~3× headroom on this
+/// platform, rounded up to a 50 µs grid (50 µs on the Haswell, 400 µs on
+/// the slower-clocked Sabre — the values the paper-pinned runs used).
+#[must_use]
+pub fn l2_slice_us(cfg: &PlatformConfig) -> f64 {
+    let probe_lines = (l2_probe_sets(cfg) * cfg.l2.ways as usize) as u64;
+    let probe_us = cfg.cycles_to_us(probe_lines * cfg.lat.l2_hit);
+    ((3.0 * probe_us) / 50.0).ceil().max(1.0) * 50.0
 }
 
 /// The L2 channel: physically-indexed, so colouring (not flushing) is the
@@ -87,7 +100,7 @@ pub fn l2_probe_sets(platform: Platform) -> usize {
 #[must_use]
 pub fn l2_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
     let n = spec.n_symbols;
-    let n_sets = l2_probe_sets(spec.platform);
+    let n_sets = l2_probe_sets(&spec.platform.config());
     let mut sbuf: Option<ProbeBuf> = None;
     measure_channel(
         spec,
@@ -163,15 +176,41 @@ pub fn l2_prefetcher_residual(spec: &IntraCoreSpec) -> ChannelOutcome {
 mod tests {
     use super::*;
     use crate::harness::Scenario;
+    use tp_sim::Platform;
+
+    #[test]
+    fn l2_probe_sizing_matches_pinned_runs() {
+        // The geometry-derived sizes must reproduce the hand-picked values
+        // of the pinned paper runs exactly.
+        let h = Platform::Haswell.config();
+        let a = Platform::Sabre.config();
+        assert_eq!(l2_probe_sets(&h), 512);
+        assert_eq!(l2_probe_sets(&a), 256);
+        assert!((l2_slice_us(&h) - 50.0).abs() < 1e-9);
+        assert!((l2_slice_us(&a) - 400.0).abs() < 1e-9);
+    }
 
     #[test]
     fn l1d_raw_leaks_and_protected_does_not() {
-        let raw = l1d_channel(&IntraCoreSpec::new(Platform::Haswell, Scenario::Raw, 8, 120));
+        let raw = l1d_channel(&IntraCoreSpec::new(
+            Platform::Haswell,
+            Scenario::Raw,
+            8,
+            120,
+        ));
         assert!(raw.verdict.leaks, "raw L1-D: {}", raw.summary());
-        assert!(raw.verdict.m.bits > 0.5, "raw L1-D too weak: {}", raw.summary());
+        assert!(
+            raw.verdict.m.bits > 0.5,
+            "raw L1-D too weak: {}",
+            raw.summary()
+        );
 
-        let prot =
-            l1d_channel(&IntraCoreSpec::new(Platform::Haswell, Scenario::Protected, 8, 120));
+        let prot = l1d_channel(&IntraCoreSpec::new(
+            Platform::Haswell,
+            Scenario::Protected,
+            8,
+            120,
+        ));
         assert!(
             prot.verdict.m.bits < raw.verdict.m.bits / 5.0,
             "protection ineffective: raw {} vs protected {}",
@@ -192,8 +231,7 @@ mod tests {
             &IntraCoreSpec::new(Platform::Haswell, Scenario::Raw, 8, 100).with_slice_us(60.0),
         );
         let ff = l2_channel(
-            &IntraCoreSpec::new(Platform::Haswell, Scenario::FullFlush, 8, 100)
-                .with_slice_us(60.0),
+            &IntraCoreSpec::new(Platform::Haswell, Scenario::FullFlush, 8, 100).with_slice_us(60.0),
         );
         assert!(raw.verdict.leaks, "raw L2: {}", raw.summary());
         assert!(

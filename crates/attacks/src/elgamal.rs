@@ -107,7 +107,11 @@ impl BigUint {
         let mut carry = 0u64;
         for &l in &self.limbs {
             out.push((l << bit_shift) | carry);
-            carry = if bit_shift == 0 { 0 } else { l >> (64 - bit_shift) };
+            carry = if bit_shift == 0 {
+                0
+            } else {
+                l >> (64 - bit_shift)
+            };
         }
         if carry != 0 {
             out.push(carry);
@@ -256,7 +260,10 @@ mod tests {
         let expect = 0xdead_beef_1234u128 * 0xfeed_f00du128;
         assert_eq!(
             prod.limbs(),
-            &[(expect & u128::from(u64::MAX)) as u64, (expect >> 64) as u64]
+            &[
+                (expect & u128::from(u64::MAX)) as u64,
+                (expect >> 64) as u64
+            ]
         );
         let r = a.rem(&m);
         assert_eq!(r.limbs()[0], 0xdead_beef_1234u64 % 1_000_000_007);

@@ -27,13 +27,12 @@ pub enum Timing {
     Offline,
 }
 
-/// The padding values used in Table 4.
+/// The padding values used in Table 4 — read from the platform registry
+/// ([`tp_sim::PlatformConfig::switch_pad_us`]), so every registered
+/// platform carries its own worst-case switch bound.
 #[must_use]
 pub fn table4_pad_us(platform: Platform) -> f64 {
-    match platform {
-        Platform::Haswell => 58.8,
-        Platform::Sabre => 62.5,
-    }
+    platform.config().switch_pad_us
 }
 
 /// The flush-channel protection configuration: full time protection with or
@@ -143,9 +142,17 @@ mod tests {
         let pad = table4_pad_us(Platform::Sabre);
         let no_pad = flush_channel(&spec(Platform::Sabre, None, 120), Timing::Offline);
         let padded = flush_channel(&spec(Platform::Sabre, Some(pad), 120), Timing::Offline);
-        assert!(no_pad.verdict.leaks, "no-pad must leak: {}", no_pad.summary());
+        assert!(
+            no_pad.verdict.leaks,
+            "no-pad must leak: {}",
+            no_pad.summary()
+        );
         // With near-constant padded outputs the absolute MI estimate is
         // noise-dominated; the §5.1 criterion is M ≤ M0.
-        assert!(!padded.verdict.leaks, "padding ineffective: {}", padded.summary());
+        assert!(
+            !padded.verdict.leaks,
+            "padding ineffective: {}",
+            padded.summary()
+        );
     }
 }

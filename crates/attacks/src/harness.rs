@@ -128,7 +128,11 @@ impl ChannelOutcome {
             self.verdict.m.millibits(),
             self.verdict.m0_millibits(),
             self.dataset.len(),
-            if self.verdict.leaks { "  ** LEAK **" } else { "  (no evidence of leak)" }
+            if self.verdict.leaks {
+                "  ** LEAK **"
+            } else {
+                "  (no evidence of leak)"
+            }
         )
     }
 }
@@ -280,10 +284,7 @@ mod tests {
     fn scenario_configs_differ() {
         assert!(Scenario::Protected.config().clone_kernel);
         assert!(!Scenario::Raw.config().clone_kernel);
-        assert_eq!(
-            Scenario::FullFlush.config().flush,
-            tp_core::FlushMode::Full
-        );
+        assert_eq!(Scenario::FullFlush.config().flush, tp_core::FlushMode::Full);
     }
 
     #[test]

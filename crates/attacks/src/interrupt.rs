@@ -60,10 +60,14 @@ pub fn interrupt_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
         let trojan = tcbs[0];
         let image = k.domains.get(domains[1].0).expect("trojan domain").image;
         let ntfn = k.create_notification(domains[1]).expect("ntfn");
-        k.kernel_set_int(image, TROJAN_IRQ, Some(ntfn)).expect("set_int");
+        k.kernel_set_int(image, TROJAN_IRQ, Some(ntfn))
+            .expect("set_int");
         let cap = k.grant_cap(
             trojan,
-            Capability { obj: CapObject::IrqHandler(TROJAN_IRQ), rights: Rights::rw() },
+            Capability {
+                obj: CapObject::IrqHandler(TROJAN_IRQ),
+                rights: Rights::rw(),
+            },
         );
         assert_eq!(cap, 0);
     }));
@@ -135,7 +139,11 @@ mod tests {
     #[test]
     fn unpartitioned_interrupts_leak() {
         let raw = interrupt_channel(&paper_spec(Platform::Haswell, false, 150));
-        assert!(raw.verdict.leaks, "raw interrupt channel: {}", raw.summary());
+        assert!(
+            raw.verdict.leaks,
+            "raw interrupt channel: {}",
+            raw.summary()
+        );
         assert!(raw.verdict.m.bits > 0.4, "weak: {}", raw.summary());
     }
 

@@ -83,11 +83,17 @@ pub fn kernel_image_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
         let ntfn = k.create_notification(domains[1]).expect("ntfn");
         let c0 = k.grant_cap(
             sender,
-            Capability { obj: CapObject::Notification(ntfn), rights: Rights::all() },
+            Capability {
+                obj: CapObject::Notification(ntfn),
+                rights: Rights::all(),
+            },
         );
         let c1 = k.grant_cap(
             sender,
-            Capability { obj: CapObject::Tcb(sender), rights: Rights::all() },
+            Capability {
+                obj: CapObject::Tcb(sender),
+                rights: Rights::all(),
+            },
         );
         assert_eq!((c0, c1), (0, 1));
     }));
@@ -122,7 +128,7 @@ pub fn kernel_image_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
 
     let rlog = Arc::clone(&receiver_log);
     b.spawn(d_recv, 0, 100, move |env: &mut UserEnv| {
-        let cfg = env.platform().clone();
+        let cfg = *env.platform();
         // Probe the cache level the kernel's text footprint lands in: the
         // unified L2 (the LLC on Arm).
         let geom = cfg.l2;

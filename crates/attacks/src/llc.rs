@@ -12,9 +12,7 @@ use crate::elgamal::{key_bits, BigUint, ElGamalKey, ExpOp};
 use crate::probe::llc_slice_probe;
 use parking_lot::Mutex;
 use std::sync::Arc;
-use tp_core::{
-    CapObject, Capability, ProtectionConfig, Rights, Syscall, SystemBuilder, UserEnv,
-};
+use tp_core::{CapObject, Capability, ProtectionConfig, Rights, Syscall, SystemBuilder, UserEnv};
 use tp_sim::machine::slice_index;
 use tp_sim::{CacheGeom, Platform, VAddr, FRAME_SIZE};
 
@@ -55,13 +53,31 @@ pub struct LlcAttackResult {
     pub victim_square_cycles: Vec<u64>,
 }
 
-/// Run the attack for `slots` spy probe slots.
+/// Run the attack for `slots` spy probe slots on the paper's cross-core
+/// platform (Haswell).
 ///
 /// # Panics
 /// Panics if the simulation fails.
 #[must_use]
 pub fn llc_attack(prot: ProtectionConfig, slots: usize, seed: u64) -> LlcAttackResult {
-    let platform = Platform::Haswell; // the paper's cross-core platform
+    llc_attack_on(Platform::Haswell, prot, slots, seed)
+}
+
+/// Run the attack on any registered platform with a sliced LLC.
+///
+/// # Panics
+/// Panics if the platform has no LLC or the simulation fails.
+#[must_use]
+pub fn llc_attack_on(
+    platform: Platform,
+    prot: ProtectionConfig,
+    slots: usize,
+    seed: u64,
+) -> LlcAttackResult {
+    assert!(
+        platform.config().llc.is_some(),
+        "the LLC attack needs a last-level cache"
+    );
     let key = ElGamalKey::demo();
     let true_bits = key_bits(&key.x);
 
@@ -92,7 +108,10 @@ pub fn llc_attack(prot: ProtectionConfig, slots: usize, seed: u64) -> LlcAttackR
     let ntfn_cap2 = Arc::clone(&ntfn_cap);
     b.setup(Box::new(move |k, _m, tcbs, domains| {
         let n = k.create_notification(domains[0]).expect("notification");
-        let cap = Capability { obj: CapObject::Notification(n), rights: Rights::all() };
+        let cap = Capability {
+            obj: CapObject::Notification(n),
+            rights: Rights::all(),
+        };
         let victim_cap = k.grant_cap(tcbs[0], cap);
         let spy_cap = k.grant_cap(tcbs[1], cap);
         *ntfn_cap2.lock() = (victim_cap, spy_cap);
@@ -105,7 +124,7 @@ pub fn llc_attack(prot: ProtectionConfig, slots: usize, seed: u64) -> LlcAttackR
     let square_log2 = Arc::clone(&square_log);
     let ntfn_victim = Arc::clone(&ntfn_cap);
     b.spawn_daemon(d_victim, 1, 100, move |env: &mut UserEnv| {
-        let cfg = env.platform().clone();
+        let cfg = *env.platform();
         let line = cfg.line;
         // Code pages: square function and multiply function.
         let (code_va, code_frames) = env.map_pages(2);
@@ -116,12 +135,16 @@ pub fn llc_attack(prot: ProtectionConfig, slots: usize, seed: u64) -> LlcAttackR
         {
             let pa = code_frames[0] * FRAME_SIZE;
             let llc = cfg.llc.expect("x86");
-            let per_slice = CacheGeom { size: llc.size / u64::from(cfg.llc_slices), ..llc };
+            let per_slice = CacheGeom {
+                size: llc.size / u64::from(cfg.llc_slices),
+                ..llc
+            };
             let slice = slice_index(pa / line, cfg.llc_slices.into());
             let set = tp_sim::cache::phys_set(per_slice, pa);
             *target2.lock() = Some((slice, set));
             let cap = ntfn_victim.lock().0;
-            env.syscall(Syscall::Signal { cap }).expect("signal placement");
+            env.syscall(Syscall::Signal { cap })
+                .expect("signal placement");
         }
         // Operand data.
         let (data_va, _) = env.map_pages(2);
@@ -153,9 +176,12 @@ pub fn llc_attack(prot: ProtectionConfig, slots: usize, seed: u64) -> LlcAttackR
     let evset2 = Arc::clone(&evset_size);
     let ntfn_spy = Arc::clone(&ntfn_cap);
     b.spawn(d_spy, 0, 100, move |env: &mut UserEnv| {
-        let cfg = env.platform().clone();
+        let cfg = *env.platform();
         let llc = cfg.llc.expect("x86");
-        let per_slice = CacheGeom { size: llc.size / u64::from(cfg.llc_slices), ..llc };
+        let per_slice = CacheGeom {
+            size: llc.size / u64::from(cfg.llc_slices),
+            ..llc
+        };
         // Wait (in simulated time) until the victim has signalled that its
         // placement is published. Polling the notification is a kernel
         // operation, so the wake-up slot is a function of simulated time
@@ -212,7 +238,11 @@ pub fn llc_attack(prot: ProtectionConfig, slots: usize, seed: u64) -> LlcAttackR
 /// short (no multiply: bit 0) or long (multiply: bit 1) with an adaptive
 /// cut; (5) score each block against the key bits — blocks are aligned
 /// because each starts at the first squaring after a pause.
-fn decode_trace(trace: Vec<(u64, u64)>, true_bits: &[u8], eviction_set_size: usize) -> LlcAttackResult {
+fn decode_trace(
+    trace: Vec<(u64, u64)>,
+    true_bits: &[u8],
+    eviction_set_size: usize,
+) -> LlcAttackResult {
     let lats: Vec<f64> = trace.iter().map(|&(_, l)| l as f64).collect();
     let (events, activity_detected) = if lats.is_empty() || eviction_set_size == 0 {
         (Vec::new(), false)
@@ -263,7 +293,10 @@ fn decode_trace(trace: Vec<(u64, u64)>, true_bits: &[u8], eviction_set_size: usi
         .collect();
 
     // Adaptive short/long cut over all in-block gaps.
-    let all_gaps: Vec<f64> = complete.iter().flat_map(|b| b.iter().map(|&g| g as f64)).collect();
+    let all_gaps: Vec<f64> = complete
+        .iter()
+        .flat_map(|b| b.iter().map(|&g| g as f64))
+        .collect();
     let cut = if all_gaps.is_empty() {
         0.0
     } else {
@@ -289,7 +322,11 @@ fn decode_trace(trace: Vec<(u64, u64)>, true_bits: &[u8], eviction_set_size: usi
             }
         }
     }
-    let accuracy = if total == 0 { 0.0 } else { matches as f64 / total as f64 };
+    let accuracy = if total == 0 {
+        0.0
+    } else {
+        matches as f64 / total as f64
+    };
 
     LlcAttackResult {
         trace,

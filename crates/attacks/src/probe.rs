@@ -44,7 +44,10 @@ impl ProbeBuf {
     /// misses at the monitored level).
     #[must_use]
     pub fn probe_misses(&self, env: &mut UserEnv, threshold: u64) -> u64 {
-        self.lines.iter().filter(|&&va| env.load(va) >= threshold).count() as u64
+        self.lines
+            .iter()
+            .filter(|&&va| env.load(va) >= threshold)
+            .count() as u64
     }
 
     /// Probe a sub-range `[0, n)` of the buffer's lines with loads.
@@ -96,7 +99,10 @@ pub fn l1_probe(env: &mut UserEnv, geom: CacheGeom) -> ProbeBuf {
             lines.push(VAddr(va.0 + page * FRAME_SIZE + off));
         }
     }
-    ProbeBuf { lines, per_set: ways as usize }
+    ProbeBuf {
+        lines,
+        per_set: ways as usize,
+    }
 }
 
 /// Build a probe buffer for a set of physically-indexed cache sets.
@@ -117,7 +123,8 @@ pub fn phys_probe(
     let line = geom.line;
     let lines_per_page = FRAME_SIZE / line;
     let (va, frames) = env.map_pages(pool_pages);
-    let mut per_set: std::collections::HashMap<usize, Vec<VAddr>> = std::collections::HashMap::new();
+    let mut per_set: std::collections::HashMap<usize, Vec<VAddr>> =
+        std::collections::HashMap::new();
     'outer: for (pi, pfn) in frames.iter().enumerate() {
         for l in 0..lines_per_page {
             let pa = pfn * FRAME_SIZE + l * line;
@@ -139,7 +146,10 @@ pub fn phys_probe(
             lines.extend_from_slice(v);
         }
     }
-    ProbeBuf { lines, per_set: ways }
+    ProbeBuf {
+        lines,
+        per_set: ways,
+    }
 }
 
 /// Build a probe buffer for one (slice, set) position of the sliced LLC —
@@ -171,7 +181,10 @@ pub fn llc_slice_probe(
             }
         }
     }
-    ProbeBuf { lines, per_set: ways }
+    ProbeBuf {
+        lines,
+        per_set: ways,
+    }
 }
 
 /// The latency threshold distinguishing a hit at `inner` from a miss that
@@ -193,8 +206,8 @@ mod tests {
     fn l1_probe_covers_every_set() {
         let hits: Arc<Mutex<(usize, u64, u64)>> = Arc::new(Mutex::new((0, 0, 0)));
         let hits2 = Arc::clone(&hits);
-        let mut b = SystemBuilder::new(Platform::Haswell, ProtectionConfig::raw())
-            .max_cycles(50_000_000);
+        let mut b =
+            SystemBuilder::new(Platform::Haswell, ProtectionConfig::raw()).max_cycles(50_000_000);
         let d = b.domain(None);
         b.spawn(d, 0, 100, move |env: &mut UserEnv| {
             let geom = env.platform().l1d;
@@ -241,13 +254,16 @@ mod tests {
     fn llc_slice_probe_finds_target() {
         let found: Arc<Mutex<usize>> = Arc::new(Mutex::new(0));
         let found2 = Arc::clone(&found);
-        let mut b = SystemBuilder::new(Platform::Haswell, ProtectionConfig::raw())
-            .max_cycles(50_000_000);
+        let mut b =
+            SystemBuilder::new(Platform::Haswell, ProtectionConfig::raw()).max_cycles(50_000_000);
         let d = b.domain(None);
         b.spawn(d, 0, 100, move |env: &mut UserEnv| {
-            let cfg = env.platform().clone();
+            let cfg = *env.platform();
             let llc = cfg.llc.unwrap();
-            let per_slice = CacheGeom { size: llc.size / u64::from(cfg.llc_slices), ..llc };
+            let per_slice = CacheGeom {
+                size: llc.size / u64::from(cfg.llc_slices),
+                ..llc
+            };
             let buf = llc_slice_probe(env, per_slice, cfg.llc_slices.into(), 2, 100, 16, 4096);
             *found2.lock() = buf.len();
         });

@@ -7,35 +7,46 @@
 
 use crate::harness::{measure_channel, ChannelOutcome, IntraCoreSpec};
 use tp_core::UserEnv;
-use tp_sim::{Platform, VAddr, FRAME_SIZE};
+use tp_sim::{PlatformConfig, VAddr, FRAME_SIZE};
 
-/// Number of pages the *receiver* probes: somewhat below the first-level
-/// D-TLB capacity, so the probe set is TLB-resident when undisturbed and
-/// every sender-induced eviction shows up as second-level/walk latency.
-#[must_use]
-pub fn tlb_probe_pages(platform: Platform) -> usize {
-    match platform {
-        // D-TLB holds 64 entries (4-way).
-        Platform::Haswell => 48,
-        // D-TLB holds 32 entries (1-way).
-        Platform::Sabre => 24,
+/// Capacity of the innermost TLB level large enough to host a stable
+/// probe set. Micro-TLBs of a dozen entries (e.g. the A53's) thrash under
+/// the probe itself and saturate after a handful of sender pages, so on
+/// such platforms the channel works through the main (second-level) TLB —
+/// as the Armv8 TLB attacks do in practice.
+fn tlb_probe_capacity(cfg: &PlatformConfig) -> usize {
+    let dtlb = cfg.dtlb.entries as usize;
+    if dtlb >= 32 {
+        dtlb
+    } else {
+        (cfg.stlb.entries as usize).min(128)
     }
 }
 
-/// Number of pages the *sender* sweeps over (its working-set signal).
+/// Number of pages the *receiver* probes: three quarters of the probed
+/// TLB level's capacity, so the probe set is TLB-resident when
+/// undisturbed and every sender-induced eviction shows up as
+/// second-level/walk latency. (48 of the 64 D-TLB entries on Haswell, 24
+/// of 32 on the Sabre — and scaled automatically for any registered
+/// platform.)
 #[must_use]
-pub fn tlb_sweep_pages(platform: Platform) -> usize {
-    match platform {
-        Platform::Haswell => 128,
-        Platform::Sabre => 64,
-    }
+pub fn tlb_probe_pages(cfg: &PlatformConfig) -> usize {
+    (tlb_probe_capacity(cfg) * 3 / 4).max(4)
+}
+
+/// Number of pages the *sender* sweeps over (its working-set signal):
+/// twice the probed capacity, enough to displace the whole level.
+#[must_use]
+pub fn tlb_sweep_pages(cfg: &PlatformConfig) -> usize {
+    (tlb_probe_capacity(cfg) * 2).max(8)
 }
 
 /// Run the TLB channel.
 #[must_use]
 pub fn tlb_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
-    let pages = tlb_probe_pages(spec.platform);
-    let sweep = tlb_sweep_pages(spec.platform);
+    let cfg = spec.platform.config();
+    let pages = tlb_probe_pages(&cfg);
+    let sweep = tlb_sweep_pages(&cfg);
     let n = spec.n_symbols;
     let mut sender_base: Option<VAddr> = None;
     measure_channel(
@@ -74,15 +85,29 @@ pub fn tlb_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
 mod tests {
     use super::*;
     use crate::harness::Scenario;
+    use tp_sim::Platform;
 
     #[test]
     fn tlb_raw_leaks_protected_closed() {
-        let raw = tlb_channel(&IntraCoreSpec::new(Platform::Haswell, Scenario::Raw, 8, 120));
+        let raw = tlb_channel(&IntraCoreSpec::new(
+            Platform::Haswell,
+            Scenario::Raw,
+            8,
+            120,
+        ));
         assert!(raw.verdict.leaks, "raw TLB: {}", raw.summary());
-        let prot =
-            tlb_channel(&IntraCoreSpec::new(Platform::Haswell, Scenario::Protected, 8, 120));
+        let prot = tlb_channel(&IntraCoreSpec::new(
+            Platform::Haswell,
+            Scenario::Protected,
+            8,
+            120,
+        ));
         // Protected outputs are near-constant, which makes the absolute MI
         // estimate noise-dominated; the §5.1 criterion is M ≤ M0.
-        assert!(!prot.verdict.leaks, "TLB protection ineffective: {}", prot.summary());
+        assert!(
+            !prot.verdict.leaks,
+            "TLB protection ineffective: {}",
+            prot.summary()
+        );
     }
 }

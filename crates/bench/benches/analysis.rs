@@ -8,9 +8,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 use tp_analysis::kde::Kde;
-use tp_analysis::{
-    leakage_test, mutual_information, mutual_information_naive, Dataset, MiContext,
-};
+use tp_analysis::{leakage_test, mutual_information, mutual_information_naive, Dataset, MiContext};
 
 fn dataset(n: usize) -> Dataset {
     let mut rng = StdRng::seed_from_u64(5);

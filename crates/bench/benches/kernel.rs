@@ -10,7 +10,7 @@ use tp_sim::{ColorSet, Machine, Platform};
 
 fn setup(prot: ProtectionConfig) -> (Machine, Kernel) {
     let cfg = Platform::Haswell.config();
-    let m = Machine::new(cfg.clone(), 3);
+    let m = Machine::new(cfg, 3);
     let k = Kernel::new(cfg, prot, 16_384, u64::MAX / 4);
     (m, k)
 }
@@ -19,7 +19,13 @@ fn bench_syscall(c: &mut Criterion) {
     let (mut m, mut k) = setup(ProtectionConfig::raw());
     let t = k.create_thread(k.boot_domain, 0, 100).unwrap();
     let n = k.create_notification(k.boot_domain).unwrap();
-    let cap = k.grant_cap(t, Capability { obj: CapObject::Notification(n), rights: Rights::all() });
+    let cap = k.grant_cap(
+        t,
+        Capability {
+            obj: CapObject::Notification(n),
+            rights: Rights::all(),
+        },
+    );
     k.cores[0].cur = Some(t);
     c.bench_function("syscall_signal", |b| {
         b.iter(|| black_box(k.syscall(&mut m, 0, t, Syscall::Signal { cap })));

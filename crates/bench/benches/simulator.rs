@@ -10,9 +10,7 @@ fn bench_data_access(c: &mut Criterion) {
     g.bench_function("data_access_l1_hit", |b| {
         let mut m = Machine::new(Platform::Haswell.config(), 1);
         m.data_access(0, Asid(1), VAddr(0x1000), PAddr(0x1000), false, false);
-        b.iter(|| {
-            black_box(m.data_access(0, Asid(1), VAddr(0x1000), PAddr(0x1000), false, false))
-        });
+        b.iter(|| black_box(m.data_access(0, Asid(1), VAddr(0x1000), PAddr(0x1000), false, false)));
     });
     g.bench_function("data_access_streaming", |b| {
         let mut m = Machine::new(Platform::Haswell.config(), 1);

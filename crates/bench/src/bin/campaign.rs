@@ -1,0 +1,241 @@
+//! Campaign runner: every registered channel experiment × every
+//! registered platform, with machine-readable results and a golden
+//! verdict gate.
+//!
+//! ```text
+//! campaign --list                         # what would run, and where
+//! campaign                                # everything, all platforms
+//! campaign --platform skylake             # one platform
+//! campaign --only l1d,flush-latency       # a subset of experiments
+//! campaign --json results.json            # write structured results
+//! campaign --check goldens/verdicts.json  # fail on any verdict diff
+//! campaign --update-goldens goldens/verdicts.json
+//! ```
+//!
+//! `TP_SAMPLES` scales sample counts as everywhere else; the pinned
+//! golden file is generated at `TP_SAMPLES=0.25` (what CI runs).
+
+use std::process::ExitCode;
+use std::time::Instant;
+use tp_bench::campaign::{
+    check_goldens, golden_json, registry, results_json, ExperimentDef, ExperimentResult,
+};
+use tp_bench::util::Table;
+use tp_sim::Platform;
+
+struct Args {
+    list: bool,
+    only: Vec<String>,
+    platforms: Vec<Platform>,
+    json: Option<String>,
+    check: Option<String>,
+    update_goldens: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        list: false,
+        only: Vec::new(),
+        platforms: Vec::new(),
+        json: None,
+        check: None,
+        update_goldens: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--list" => args.list = true,
+            "--only" => {
+                args.only
+                    .extend(value("--only")?.split(',').map(str::to_string));
+            }
+            "--platform" => {
+                for key in value("--platform")?.split(',') {
+                    let p = Platform::from_key(key).ok_or_else(|| {
+                        let known: Vec<_> = Platform::ALL.iter().map(|p| p.key()).collect();
+                        format!("unknown platform {key:?}; known: {}", known.join(", "))
+                    })?;
+                    args.platforms.push(p);
+                }
+            }
+            "--json" => args.json = Some(value("--json")?),
+            "--check" => args.check = Some(value("--check")?),
+            "--update-goldens" => args.update_goldens = Some(value("--update-goldens")?),
+            other => {
+                return Err(format!(
+                    "unknown argument {other:?} (see --list usage in the module docs)"
+                ))
+            }
+        }
+    }
+    if args.platforms.is_empty() {
+        args.platforms = Platform::ALL.to_vec();
+    }
+    Ok(args)
+}
+
+fn print_list(defs: &[ExperimentDef], platforms: &[Platform]) {
+    let mut t = Table::new(&["Name", "Cost", "Platforms", "Paper", "Title"]);
+    for d in defs {
+        let supported: Vec<&str> = platforms
+            .iter()
+            .filter(|&&p| (d.supports)(p))
+            .map(|p| p.key())
+            .collect();
+        t.row(&[
+            d.name.to_string(),
+            format!("{}", d.cost),
+            supported.join(","),
+            d.paper.to_string(),
+            d.title.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Registry sanity: a malformed platform entry should fail loudly
+    // before any experiment burns time on it.
+    for &p in &args.platforms {
+        let errs = p.config().validate();
+        if !errs.is_empty() {
+            eprintln!("campaign: platform {} fails validation: {errs:?}", p.key());
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut defs = registry();
+    if !args.only.is_empty() {
+        for name in &args.only {
+            if !defs.iter().any(|d| d.name == name) {
+                eprintln!("campaign: unknown experiment {name:?}; see campaign --list");
+                return ExitCode::from(2);
+            }
+        }
+        defs.retain(|d| args.only.iter().any(|n| n == d.name));
+    }
+
+    if args.list {
+        print_list(&defs, &args.platforms);
+        return ExitCode::SUCCESS;
+    }
+
+    // Work items keyed by registry × platform report order, scheduled
+    // heavy-first so expensive experiments overlap the cheap tail.
+    let mut schedule: Vec<(usize, &ExperimentDef, Platform)> = Vec::new();
+    for d in &defs {
+        for &p in &args.platforms {
+            if (d.supports)(p) {
+                schedule.push((schedule.len(), d, p));
+            }
+        }
+    }
+    schedule.sort_by_key(|&(_, d, _)| std::cmp::Reverse(d.cost));
+
+    let t_all = Instant::now();
+    let mut results: Vec<(usize, ExperimentResult)> = rayon::par_map(&schedule, |&(i, d, p)| {
+        let t0 = Instant::now();
+        let channels = (d.run)(p);
+        eprintln!(
+            "[{} on {}: {:.1}s]",
+            d.name,
+            p.key(),
+            t0.elapsed().as_secs_f64()
+        );
+        (
+            i,
+            ExperimentResult {
+                experiment: d.name,
+                platform: p,
+                seconds: t0.elapsed().as_secs_f64(),
+                channels,
+            },
+        )
+    });
+    results.sort_by_key(|&(i, _)| i);
+    let results: Vec<ExperimentResult> = results.into_iter().map(|(_, r)| r).collect();
+    let total_seconds = t_all.elapsed().as_secs_f64();
+
+    // Human-readable verdict table.
+    let mut t = Table::new(&[
+        "Experiment",
+        "Platform",
+        "Channel",
+        "Mechanism",
+        "Value",
+        "Base",
+        "Verdict",
+    ]);
+    for r in &results {
+        for c in &r.channels {
+            t.row(&[
+                r.experiment.to_string(),
+                r.platform.key().to_string(),
+                c.channel.to_string(),
+                c.mechanism.to_string(),
+                format!(
+                    "{:.1} {}",
+                    c.value,
+                    if c.metric == "M_mb" { "mb" } else { "%" }
+                ),
+                format!("{:.1}", c.baseline),
+                c.verdict().to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    eprintln!(
+        "[campaign total {total_seconds:.1}s, {} experiment runs, {} threads, TP_SAMPLES={}]",
+        results.len(),
+        tp_bench::util::threads(),
+        tp_bench::util::effort()
+    );
+
+    if let Some(path) = &args.json {
+        let json = results_json(&results, total_seconds);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("campaign: failed to write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("[wrote {path}]");
+    }
+
+    if let Some(path) = &args.update_goldens {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(path, golden_json(&results)) {
+            eprintln!("campaign: failed to write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("[pinned goldens to {path}]");
+    }
+
+    if let Some(path) = &args.check {
+        let golden = match std::fs::read_to_string(path) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("campaign: cannot read golden file {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match check_goldens(&golden, &results) {
+            Ok(n) => eprintln!("[goldens OK: {n} verdicts match {path}]"),
+            Err(report) => {
+                eprintln!("golden verdict check against {path} FAILED:\n{report}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    ExitCode::SUCCESS
+}

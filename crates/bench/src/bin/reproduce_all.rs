@@ -22,13 +22,18 @@ type Experiment = (&'static str, fn() -> String);
 /// numbers from a `TP_THREADS=1` run. `total_seconds` is always honest.
 fn bench_json(per_exp: &[(&str, f64)], total_s: f64) -> String {
     let mut s = String::from("{\n");
-    s.push_str(&format!("  \"tp_samples\": {},\n", tp_bench::util::effort()));
+    s.push_str(&format!(
+        "  \"tp_samples\": {},\n",
+        tp_bench::util::effort()
+    ));
     s.push_str(&format!("  \"threads\": {},\n", tp_bench::util::threads()));
     s.push_str(&format!("  \"total_seconds\": {total_s:.3},\n"));
     s.push_str("  \"experiments\": [\n");
     for (i, (name, secs)) in per_exp.iter().enumerate() {
         let comma = if i + 1 < per_exp.len() { "," } else { "" };
-        s.push_str(&format!("    {{\"name\": \"{name}\", \"seconds\": {secs:.3}}}{comma}\n"));
+        s.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"seconds\": {secs:.3}}}{comma}\n"
+        ));
     }
     s.push_str("  ]\n}\n");
     s

@@ -1,0 +1,664 @@
+//! The experiment registry and campaign runner.
+//!
+//! Every channel experiment of the paper is registered as data: name,
+//! paper reference, supported platforms and a relative cost weight. The
+//! `campaign` binary iterates the registry crossed with the platform
+//! registry ([`tp_sim::Platform::ALL`]), runs each supported combination
+//! and emits *structured* per-channel results — capacity estimates,
+//! leak/closed verdicts and wall times — instead of prose tables.
+//!
+//! The leak/closed verdicts of a run are diffable against a pinned golden
+//! file (`goldens/verdicts.json`): CI fails when any channel × mechanism ×
+//! platform verdict diverges, turning the reproduction into a regression
+//! gate for *result correctness*, not just wall-clock. Each verdict is a
+//! majority vote over three independent seeds (see `VOTE_SEEDS`) so the
+//! gate is robust against single-shot boundary noise in the §5.1 shuffle
+//! test.
+
+use crate::util::samples;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use tp_attacks::harness::{ChannelOutcome, IntraCoreSpec, Scenario};
+use tp_attacks::{branchchan, bus, cache, flush_latency, interrupt, kernel_image, llc, tlbchan};
+use tp_core::ProtectionConfig;
+use tp_sim::Platform;
+
+/// One structured measurement: a channel under one defence mechanism.
+#[derive(Debug, Clone)]
+pub struct ChannelResult {
+    /// Channel name (e.g. `L1-D`).
+    pub channel: &'static str,
+    /// Defence mechanism / scenario (e.g. `raw`, `protected`).
+    pub mechanism: &'static str,
+    /// What `value` measures: `M_mb` (channel capacity, millibits) or
+    /// `accuracy_pct` (key-recovery accuracy, the LLC attack).
+    pub metric: &'static str,
+    /// The measured value.
+    pub value: f64,
+    /// The zero-leakage baseline (M0 in millibits, or chance accuracy).
+    pub baseline: f64,
+    /// The §5.1 verdict: does the channel leak?
+    pub leaks: bool,
+    /// Number of paired observations behind the verdict.
+    pub samples: usize,
+}
+
+/// Seeds for the three independent repetitions behind every pinned
+/// verdict. A channel is reported as leaking iff at least two of three
+/// seeds flag it: real channels (M ≫ M0) leak under every seed, while a
+/// cell whose M hovers at the M0 boundary — a ~1% single-shot false
+/// positive of the §5.1 shuffle test — does not survive the vote. This is
+/// what makes the golden file a stable CI gate.
+const VOTE_SEEDS: [u64; 3] = [0x5EED, 0x5EED ^ 0x9E37_79B9, 0x5EED ^ 0x6A09_E667];
+
+/// Run one measurement under each of [`VOTE_SEEDS`] and combine: leak
+/// verdict by majority, value/baseline from the first seed that agrees
+/// with the majority (so a reported row is always self-consistent — a
+/// "leak" row shows an M above its M0, a "closed" row one below).
+fn vote(
+    channel: &'static str,
+    mechanism: &'static str,
+    run: impl Fn(u64) -> ChannelOutcome,
+) -> ChannelResult {
+    let outcomes: Vec<ChannelOutcome> = VOTE_SEEDS.iter().map(|&s| run(s)).collect();
+    let leaks = outcomes.iter().filter(|o| o.verdict.leaks).count() * 2 > outcomes.len();
+    let o = outcomes
+        .iter()
+        .find(|o| o.verdict.leaks == leaks)
+        .expect("majority verdict has at least one witness");
+    ChannelResult {
+        channel,
+        mechanism,
+        metric: "M_mb",
+        value: o.verdict.m.millibits(),
+        baseline: o.verdict.m0_millibits(),
+        leaks,
+        samples: o.dataset.len(),
+    }
+}
+
+impl ChannelResult {
+    /// `leak` / `closed`, the strings pinned in the golden file.
+    #[must_use]
+    pub fn verdict(&self) -> &'static str {
+        if self.leaks {
+            "leak"
+        } else {
+            "closed"
+        }
+    }
+}
+
+/// The outcome of one experiment on one platform.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Registry name of the experiment.
+    pub experiment: &'static str,
+    /// Platform it ran on.
+    pub platform: Platform,
+    /// Wall time of this experiment alone, seconds.
+    pub seconds: f64,
+    /// Per-channel × mechanism measurements.
+    pub channels: Vec<ChannelResult>,
+}
+
+/// A registered experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentDef {
+    /// Stable registry name (CLI `--only` values, JSON output).
+    pub name: &'static str,
+    /// One-line description.
+    pub title: &'static str,
+    /// Where in the paper the experiment comes from.
+    pub paper: &'static str,
+    /// Relative cost weight (higher = slower); the runner schedules
+    /// heavier experiments first so they overlap with the cheap tail.
+    pub cost: u32,
+    /// Which platforms the experiment supports.
+    pub supports: fn(Platform) -> bool,
+    /// Run on one platform, producing the structured results.
+    pub run: fn(Platform) -> Vec<ChannelResult>,
+}
+
+fn any_platform(_: Platform) -> bool {
+    true
+}
+
+fn needs_llc(p: Platform) -> bool {
+    p.config().llc.is_some()
+}
+
+/// Run one intra-core channel under the three §5.2 scenarios.
+fn scenario_sweep(
+    channel: &'static str,
+    run: fn(&IntraCoreSpec) -> ChannelOutcome,
+    platform: Platform,
+) -> Vec<ChannelResult> {
+    // The L2 channel's protected residue is the paper's most marginal
+    // effect; at small sample scales the M-vs-M0 test is noise-prone
+    // there, so it gets twice the observations.
+    let n = if channel == "L2" {
+        samples(500)
+    } else {
+        samples(250)
+    };
+    [
+        (Scenario::Raw, "raw"),
+        (Scenario::FullFlush, "full-flush"),
+        (Scenario::Protected, "protected"),
+    ]
+    .into_iter()
+    .map(|(scenario, mech)| {
+        vote(channel, mech, |seed| {
+            let n_symbols = if channel == "BHB" { 2 } else { 8 };
+            let mut spec = IntraCoreSpec::new(platform, scenario, n_symbols, n).with_seed(seed);
+            if channel == "L2" {
+                spec = spec.with_slice_us(cache::l2_slice_us(&platform.config()));
+            }
+            run(&spec)
+        })
+    })
+    .collect()
+}
+
+fn run_l1d(p: Platform) -> Vec<ChannelResult> {
+    scenario_sweep("L1-D", cache::l1d_channel, p)
+}
+
+fn run_l1i(p: Platform) -> Vec<ChannelResult> {
+    scenario_sweep("L1-I", cache::l1i_channel, p)
+}
+
+fn run_tlb(p: Platform) -> Vec<ChannelResult> {
+    scenario_sweep("TLB", tlbchan::tlb_channel, p)
+}
+
+fn run_btb(p: Platform) -> Vec<ChannelResult> {
+    scenario_sweep("BTB", branchchan::btb_channel, p)
+}
+
+fn run_bhb(p: Platform) -> Vec<ChannelResult> {
+    scenario_sweep("BHB", branchchan::bhb_channel, p)
+}
+
+fn run_l2(p: Platform) -> Vec<ChannelResult> {
+    scenario_sweep("L2", cache::l2_channel, p)
+}
+
+fn run_kernel_image(p: Platform) -> Vec<ChannelResult> {
+    let n = samples(300);
+    [
+        ("coloured-only", kernel_image::coloured_userland_config()),
+        ("protected", ProtectionConfig::protected()),
+    ]
+    .into_iter()
+    .map(|(mech, prot)| {
+        vote("kernel-image", mech, |seed| {
+            let spec = IntraCoreSpec {
+                platform: p,
+                prot: prot.clone(),
+                n_symbols: 4,
+                samples: n,
+                slice_us: 50.0,
+                seed,
+            };
+            kernel_image::kernel_image_channel(&spec)
+        })
+    })
+    .collect()
+}
+
+fn run_flush(p: Platform) -> Vec<ChannelResult> {
+    let n = samples(250);
+    let pad = flush_latency::table4_pad_us(p);
+    let mk = |pad_us: Option<f64>, seed: u64| IntraCoreSpec {
+        platform: p,
+        prot: flush_latency::flush_channel_config(pad_us),
+        n_symbols: 8,
+        samples: n,
+        slice_us: 50.0,
+        seed,
+    };
+    [
+        ("online-nopad", flush_latency::Timing::Online, None),
+        ("online-pad", flush_latency::Timing::Online, Some(pad)),
+        ("offline-nopad", flush_latency::Timing::Offline, None),
+        ("offline-pad", flush_latency::Timing::Offline, Some(pad)),
+    ]
+    .into_iter()
+    .map(|(mech, timing, pad_us)| {
+        vote("flush-latency", mech, |seed| {
+            flush_latency::flush_channel(&mk(pad_us, seed), timing)
+        })
+    })
+    .collect()
+}
+
+fn run_interrupt(p: Platform) -> Vec<ChannelResult> {
+    let n = samples(250);
+    [("raw", false), ("partitioned", true)]
+        .into_iter()
+        .map(|(mech, part)| {
+            vote("interrupt", mech, |seed| {
+                interrupt::interrupt_channel(&interrupt::paper_spec(p, part, n).with_seed(seed))
+            })
+        })
+        .collect()
+}
+
+fn run_bus(p: Platform) -> Vec<ChannelResult> {
+    let n = samples(150);
+    [("raw", Scenario::Raw), ("protected", Scenario::Protected)]
+        .into_iter()
+        .map(|(mech, scenario)| {
+            vote("bus", mech, |seed| {
+                let spec = IntraCoreSpec::new(p, scenario, 2, n)
+                    .with_slice_us(30.0)
+                    .with_seed(seed);
+                bus::bus_channel(&spec)
+            })
+        })
+        .collect()
+}
+
+fn run_llc(p: Platform) -> Vec<ChannelResult> {
+    let slots = samples(6_000).max(3_000);
+    [
+        ("raw", ProtectionConfig::raw(), slots),
+        ("protected", ProtectionConfig::protected(), slots / 2),
+    ]
+    .into_iter()
+    .map(|(mech, prot, slots)| {
+        let r = llc::llc_attack_on(p, prot, slots, 42);
+        ChannelResult {
+            channel: "LLC-ElGamal",
+            mechanism: mech,
+            metric: "accuracy_pct",
+            value: r.accuracy * 100.0,
+            baseline: 50.0,
+            leaks: r.activity_detected && r.accuracy > 0.65,
+            samples: r.recovered_bits.len(),
+        }
+    })
+    .collect()
+}
+
+/// The experiment registry, in report order.
+#[must_use]
+pub fn registry() -> Vec<ExperimentDef> {
+    vec![
+        ExperimentDef {
+            name: "l1d",
+            title: "L1-D prime&probe channel",
+            paper: "§5.3.2, Table 3",
+            cost: 3,
+            supports: any_platform,
+            run: run_l1d,
+        },
+        ExperimentDef {
+            name: "l1i",
+            title: "L1-I prime&probe channel",
+            paper: "§5.3.2, Table 3",
+            cost: 3,
+            supports: any_platform,
+            run: run_l1i,
+        },
+        ExperimentDef {
+            name: "tlb",
+            title: "TLB eviction channel",
+            paper: "§5.3.2, Table 3",
+            cost: 2,
+            supports: any_platform,
+            run: run_tlb,
+        },
+        ExperimentDef {
+            name: "btb",
+            title: "BTB conflict channel",
+            paper: "§5.3.2, Table 3",
+            cost: 2,
+            supports: any_platform,
+            run: run_btb,
+        },
+        ExperimentDef {
+            name: "bhb",
+            title: "Branch-history (PHT bias) channel",
+            paper: "§5.3.2, Table 3",
+            cost: 2,
+            supports: any_platform,
+            run: run_bhb,
+        },
+        ExperimentDef {
+            name: "l2",
+            title: "L2 prime&probe channel (+prefetcher residue)",
+            paper: "§5.3.2, Table 3",
+            cost: 5,
+            supports: any_platform,
+            run: run_l2,
+        },
+        ExperimentDef {
+            name: "kernel-image",
+            title: "Shared-kernel-image syscall channel",
+            paper: "§5.3.1, Figure 3",
+            cost: 3,
+            supports: any_platform,
+            run: run_kernel_image,
+        },
+        ExperimentDef {
+            name: "flush-latency",
+            title: "Cache-flush latency channel, padded and not",
+            paper: "§5.3.4, Figure 5 / Table 4",
+            cost: 4,
+            supports: any_platform,
+            run: run_flush,
+        },
+        ExperimentDef {
+            name: "interrupt",
+            title: "Timer-interrupt placement channel",
+            paper: "§5.3.5, Figure 6",
+            cost: 4,
+            supports: any_platform,
+            run: run_interrupt,
+        },
+        ExperimentDef {
+            name: "bus",
+            title: "Cross-core memory-bus channel (unpartitionable)",
+            paper: "§2.3 / §6.1",
+            cost: 2,
+            supports: any_platform,
+            run: run_bus,
+        },
+        ExperimentDef {
+            name: "llc",
+            title: "Cross-core LLC prime&probe vs ElGamal",
+            paper: "§5.3.3, Figure 4",
+            cost: 6,
+            supports: needs_llc,
+            run: run_llc,
+        },
+    ]
+}
+
+/// Serialise a campaign run to JSON (hand-rolled: the workspace is
+/// dependency-free by design; all strings are static identifiers).
+#[must_use]
+pub fn results_json(results: &[ExperimentResult], total_seconds: f64) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"schema\": 1,");
+    let _ = writeln!(s, "  \"tp_samples\": {},", crate::util::effort());
+    let _ = writeln!(s, "  \"threads\": {},", crate::util::threads());
+    let _ = writeln!(s, "  \"total_seconds\": {total_seconds:.3},");
+    s.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"experiment\": \"{}\", \"platform\": \"{}\", \"seconds\": {:.3}, \"channels\": [",
+            r.experiment,
+            r.platform.key(),
+            r.seconds
+        );
+        for (j, c) in r.channels.iter().enumerate() {
+            let comma = if j + 1 < r.channels.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "      {{\"channel\": \"{}\", \"mechanism\": \"{}\", \"metric\": \"{}\", \"value\": {:.3}, \"baseline\": {:.3}, \"verdict\": \"{}\", \"samples\": {}}}{comma}",
+                c.channel, c.mechanism, c.metric, c.value, c.baseline, c.verdict(), c.samples
+            );
+        }
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(s, "    ]}}{comma}");
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// The canonical identity of one verdict: experiment, platform key,
+/// channel, mechanism.
+type VerdictKey = (String, String, String, String);
+
+fn verdict_map(results: &[ExperimentResult]) -> BTreeMap<VerdictKey, String> {
+    let mut m = BTreeMap::new();
+    for r in results {
+        for c in &r.channels {
+            m.insert(
+                (
+                    r.experiment.to_string(),
+                    r.platform.key().to_string(),
+                    c.channel.to_string(),
+                    c.mechanism.to_string(),
+                ),
+                c.verdict().to_string(),
+            );
+        }
+    }
+    m
+}
+
+/// Serialise the golden verdict file: every channel × mechanism ×
+/// platform leak/closed verdict, one object per line so the file diffs
+/// cleanly under git.
+#[must_use]
+pub fn golden_json(results: &[ExperimentResult]) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"schema\": 1,");
+    let _ = writeln!(s, "  \"tp_samples\": {},", crate::util::effort());
+    s.push_str("  \"verdicts\": [\n");
+    let m = verdict_map(results);
+    for (i, ((exp, plat, chan, mech), verdict)) in m.iter().enumerate() {
+        let comma = if i + 1 < m.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"experiment\": \"{exp}\", \"platform\": \"{plat}\", \"channel\": \"{chan}\", \"mechanism\": \"{mech}\", \"verdict\": \"{verdict}\"}}{comma}"
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extract a `"field": "value"` string from one line of golden JSON.
+/// (The golden file is machine-written, one verdict object per line; a
+/// full JSON parser would be a dependency for no robustness gain.)
+fn field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("\"{name}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')?;
+    Some(&line[start..start + end])
+}
+
+/// Extract the `tp_samples` header a golden file was pinned at, if any.
+#[must_use]
+pub fn golden_tp_samples(text: &str) -> Option<f64> {
+    let line = text.lines().find(|l| l.contains("\"tp_samples\":"))?;
+    line.split(':')
+        .nth(1)?
+        .trim()
+        .trim_end_matches(',')
+        .parse()
+        .ok()
+}
+
+/// Parse a golden verdict file into the canonical map.
+#[must_use]
+pub fn parse_golden(text: &str) -> BTreeMap<VerdictKey, String> {
+    let mut m = BTreeMap::new();
+    for line in text.lines() {
+        let (Some(exp), Some(plat), Some(chan), Some(mech), Some(verdict)) = (
+            field(line, "experiment"),
+            field(line, "platform"),
+            field(line, "channel"),
+            field(line, "mechanism"),
+            field(line, "verdict"),
+        ) else {
+            continue;
+        };
+        m.insert(
+            (
+                exp.to_string(),
+                plat.to_string(),
+                chan.to_string(),
+                mech.to_string(),
+            ),
+            verdict.to_string(),
+        );
+    }
+    m
+}
+
+/// Diff a run against a golden file. Verdicts for combinations absent
+/// from the run (e.g. a platform-filtered campaign) are not required, but
+/// a combination the golden knows nothing about is an error: new
+/// experiments must be pinned.
+///
+/// # Errors
+/// Returns a human-readable report of every divergence.
+pub fn check_goldens(golden_text: &str, results: &[ExperimentResult]) -> Result<usize, String> {
+    let golden = parse_golden(golden_text);
+    if golden.is_empty() {
+        return Err("golden file contains no verdicts".into());
+    }
+    // Verdicts are only comparable at the sample scale they were pinned
+    // at (M0 is noisier at low TP_SAMPLES); refuse a cross-scale diff
+    // rather than report misleading regressions.
+    let run_scale = crate::util::effort();
+    if let Some(pinned) = golden_tp_samples(golden_text) {
+        if (pinned - run_scale).abs() > 1e-9 {
+            return Err(format!(
+                "golden file was pinned at TP_SAMPLES={pinned} but this run used \
+                 TP_SAMPLES={run_scale}; rerun with TP_SAMPLES={pinned} (or re-pin \
+                 with --update-goldens after review)"
+            ));
+        }
+    }
+    let run = verdict_map(results);
+    let mut report = String::new();
+    let mut checked = 0usize;
+    for (key, verdict) in &run {
+        let (exp, plat, chan, mech) = key;
+        match golden.get(key) {
+            Some(g) if g == verdict => checked += 1,
+            Some(g) => {
+                let _ = writeln!(
+                    report,
+                    "VERDICT REGRESSION: {exp}/{plat}/{chan}/{mech}: golden \"{g}\", run \"{verdict}\""
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    report,
+                    "UNPINNED: {exp}/{plat}/{chan}/{mech} = \"{verdict}\" has no golden entry (re-pin goldens/verdicts.json)"
+                );
+            }
+        }
+    }
+    if report.is_empty() {
+        Ok(checked)
+    } else {
+        Err(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_results() -> Vec<ExperimentResult> {
+        vec![ExperimentResult {
+            experiment: "l1d",
+            platform: Platform::Haswell,
+            seconds: 0.5,
+            channels: vec![
+                ChannelResult {
+                    channel: "L1-D",
+                    mechanism: "raw",
+                    metric: "M_mb",
+                    value: 1234.5,
+                    baseline: 40.0,
+                    leaks: true,
+                    samples: 120,
+                },
+                ChannelResult {
+                    channel: "L1-D",
+                    mechanism: "protected",
+                    metric: "M_mb",
+                    value: 10.0,
+                    baseline: 40.0,
+                    leaks: false,
+                    samples: 120,
+                },
+            ],
+        }]
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_supported_somewhere() {
+        let reg = registry();
+        let mut names: Vec<_> = reg.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), reg.len(), "duplicate experiment names");
+        for d in &reg {
+            assert!(
+                Platform::ALL.iter().any(|&p| (d.supports)(p)),
+                "{} supports no platform",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn llc_requires_a_last_level_cache() {
+        let reg = registry();
+        let llc = reg
+            .iter()
+            .find(|d| d.name == "llc")
+            .expect("llc registered");
+        assert!((llc.supports)(Platform::Haswell));
+        assert!((llc.supports)(Platform::Skylake));
+        assert!(!(llc.supports)(Platform::Sabre));
+        assert!(!(llc.supports)(Platform::HiKey));
+    }
+
+    #[test]
+    fn golden_roundtrip_and_check() {
+        let results = fake_results();
+        let golden = golden_json(&results);
+        assert_eq!(check_goldens(&golden, &results), Ok(2));
+
+        // A flipped verdict is a regression.
+        let flipped = golden.replace("\"verdict\": \"closed\"", "\"verdict\": \"leak\"");
+        let err = check_goldens(&flipped, &results).unwrap_err();
+        assert!(err.contains("VERDICT REGRESSION"), "{err}");
+
+        // An unpinned combination is an error too.
+        let missing: String = golden
+            .lines()
+            .filter(|l| !l.contains("\"raw\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = check_goldens(&missing, &results).unwrap_err();
+        assert!(err.contains("UNPINNED"), "{err}");
+    }
+
+    #[test]
+    fn golden_scale_mismatch_is_refused() {
+        let results = fake_results();
+        let golden = golden_json(&results);
+        let pinned = golden_tp_samples(&golden).expect("header present");
+        assert!((pinned - crate::util::effort()).abs() < 1e-9);
+
+        let other = golden.replace(
+            &format!("\"tp_samples\": {}", crate::util::effort()),
+            "\"tp_samples\": 0.125",
+        );
+        let err = check_goldens(&other, &results).unwrap_err();
+        assert!(err.contains("TP_SAMPLES"), "{err}");
+    }
+
+    #[test]
+    fn results_json_is_well_formed_enough() {
+        let s = results_json(&fake_results(), 1.0);
+        assert!(s.contains("\"experiment\": \"l1d\""));
+        assert!(s.contains("\"platform\": \"haswell\""));
+        assert!(s.contains("\"verdict\": \"leak\""));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+}

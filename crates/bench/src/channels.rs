@@ -12,10 +12,16 @@ use tp_sim::Platform;
 #[must_use]
 pub fn fig3() -> String {
     let mut out = String::from("Figure 3: Kernel timing-channel matrix (conditional probability\nof LLC misses given the sender's system call).\n\n");
-    for platform in [Platform::Haswell, Platform::Sabre] {
+    for platform in Platform::ALL {
         for (name, prot) in [
-            ("coloured userland only (shared kernel)", kernel_image::coloured_userland_config()),
-            ("full time protection (cloned kernels)", ProtectionConfig::protected()),
+            (
+                "coloured userland only (shared kernel)",
+                kernel_image::coloured_userland_config(),
+            ),
+            (
+                "full time protection (cloned kernels)",
+                ProtectionConfig::protected(),
+            ),
         ] {
             let spec = IntraCoreSpec {
                 platform,
@@ -53,9 +59,10 @@ fn run_channel(name: &str, spec: &IntraCoreSpec) -> ChannelOutcome {
 fn channel_spec(platform: Platform, scenario: Scenario, name: &str, n: usize) -> IntraCoreSpec {
     let n_symbols = if name == "BHB" { 2 } else { 8 };
     let mut spec = IntraCoreSpec::new(platform, scenario, n_symbols, n);
-    // The Arm L2 probe is large; give it longer slices.
-    if name == "L2" && platform == Platform::Sabre {
-        spec = spec.with_slice_us(400.0);
+    // Large L2 probes (slow clocks, big caches) get proportionally longer
+    // slices, derived from the platform geometry.
+    if name == "L2" {
+        spec = spec.with_slice_us(cache::l2_slice_us(&platform.config()));
     }
     spec
 }
@@ -67,17 +74,23 @@ fn channel_spec(platform: Platform, scenario: Scenario, name: &str, n: usize) ->
 #[must_use]
 pub fn table3() -> String {
     let mut t = Table::new(&[
-        "Platform", "Cache", "Raw M", "FullFlush M", "(M0)", "Protected M", "(M0)",
+        "Platform",
+        "Cache",
+        "Raw M",
+        "FullFlush M",
+        "(M0)",
+        "Protected M",
+        "(M0)",
     ]);
     let n = samples(250);
     let mut residual_note = String::new();
-    for platform in [Platform::Haswell, Platform::Sabre] {
+    for platform in Platform::ALL {
         for name in ["L1-D", "L1-I", "TLB", "BTB", "BHB", "L2"] {
             let raw = run_channel(name, &channel_spec(platform, Scenario::Raw, name, n));
             let ff = run_channel(name, &channel_spec(platform, Scenario::FullFlush, name, n));
             let prot = run_channel(name, &channel_spec(platform, Scenario::Protected, name, n));
             t.row(&[
-                platform_short(platform),
+                platform.short_name().to_string(),
                 name.to_string(),
                 fmt_mb(raw.verdict.m.millibits(), raw.verdict.leaks),
                 fmt_mb(ff.verdict.m.millibits(), ff.verdict.leaks),
@@ -112,13 +125,6 @@ pub fn table3() -> String {
         t.render(),
         residual_note
     )
-}
-
-fn platform_short(p: Platform) -> String {
-    match p {
-        Platform::Haswell => "x86".into(),
-        Platform::Sabre => "Arm".into(),
-    }
 }
 
 /// Figure 4: the cross-core LLC side channel against ElGamal, raw and
@@ -184,11 +190,21 @@ pub fn fig5() -> String {
 /// without padding.
 #[must_use]
 pub fn table4() -> String {
-    let mut t = Table::new(&["Platform", "Timing", "No pad M", "(M0)", "Protected M", "(M0)"]);
+    let mut t = Table::new(&[
+        "Platform",
+        "Timing",
+        "No pad M",
+        "(M0)",
+        "Protected M",
+        "(M0)",
+    ]);
     let n = samples(250);
-    for platform in [Platform::Haswell, Platform::Sabre] {
+    for platform in Platform::ALL {
         let pad = flush_latency::table4_pad_us(platform);
-        for timing in [flush_latency::Timing::Online, flush_latency::Timing::Offline] {
+        for timing in [
+            flush_latency::Timing::Online,
+            flush_latency::Timing::Offline,
+        ] {
             let mk = |pad_us: Option<f64>| IntraCoreSpec {
                 platform,
                 prot: flush_latency::flush_channel_config(pad_us),
@@ -200,7 +216,7 @@ pub fn table4() -> String {
             let no_pad = flush_latency::flush_channel(&mk(None), timing);
             let padded = flush_latency::flush_channel(&mk(Some(pad)), timing);
             t.row(&[
-                format!("{} (pad {pad} µs)", platform_short(platform)),
+                format!("{} (pad {pad} µs)", platform.short_name()),
                 format!("{timing:?}"),
                 fmt_mb(no_pad.verdict.m.millibits(), no_pad.verdict.leaks),
                 format!("{:.1}", no_pad.verdict.m0_millibits()),
@@ -242,7 +258,13 @@ pub fn fig6() -> String {
 pub fn ablations() -> String {
     use tp_attacks::bus;
     let n = samples(150);
-    let mut t = Table::new(&["Mechanism disabled", "Re-opened channel", "M (mb)", "M0 (mb)", "leak?"]);
+    let mut t = Table::new(&[
+        "Mechanism disabled",
+        "Re-opened channel",
+        "M (mb)",
+        "M0 (mb)",
+        "leak?",
+    ]);
 
     // Requirement 1: on-core flush off -> L1-D channel.
     let mut prot = ProtectionConfig::protected();
@@ -288,14 +310,24 @@ pub fn ablations() -> String {
 
     // Requirement 5: interrupt partitioning off.
     let o = interrupt::interrupt_channel(&interrupt::paper_spec(Platform::Haswell, false, n));
-    push_ablation(&mut t, "R5 IRQ partitioning", "timer-interrupt placement", &o);
+    push_ablation(
+        &mut t,
+        "R5 IRQ partitioning",
+        "timer-interrupt placement",
+        &o,
+    );
 
     // The limitation: nothing disables the bus channel's defence, because
     // there is none (§2.3: no bandwidth-partitioning hardware exists).
     let o = bus::bus_channel(
         &IntraCoreSpec::new(Platform::Haswell, Scenario::Protected, 2, n).with_slice_us(30.0),
     );
-    push_ablation(&mut t, "(none: unpartitionable)", "cross-core memory bus", &o);
+    push_ablation(
+        &mut t,
+        "(none: unpartitionable)",
+        "cross-core memory bus",
+        &o,
+    );
 
     format!(
         "Ablations: each time-protection mechanism individually disabled\n(everything else active). The re-opened channel demonstrates what the\nmechanism defends; the bus row is the paper's declared hardware\nlimitation — it leaks under FULL protection.\n\n{}",
@@ -309,7 +341,11 @@ fn push_ablation(t: &mut Table, mech: &str, chan: &str, o: &ChannelOutcome) {
         chan.to_string(),
         format!("{:.1}", o.verdict.m.millibits()),
         format!("{:.1}", o.verdict.m0_millibits()),
-        if o.verdict.leaks { "YES".into() } else { "no".into() },
+        if o.verdict.leaks {
+            "YES".into()
+        } else {
+            "no".into()
+        },
     ]);
 }
 

@@ -32,9 +32,14 @@ pub fn fig7() -> String {
     let mut out = String::from(
         "Figure 7: Slowdowns of Splash-2 benchmarks against the baseline\nkernel without partitioning (single process on the system).\n\n",
     );
-    for platform in [Platform::Haswell, Platform::Sabre] {
+    for platform in Platform::ALL {
         let mut t = Table::new(&[
-            "benchmark", CASES[0].0, CASES[1].0, CASES[2].0, CASES[3].0, CASES[4].0,
+            "benchmark",
+            CASES[0].0,
+            CASES[1].0,
+            CASES[2].0,
+            CASES[3].0,
+            CASES[4].0,
         ]);
         let mut per_case: Vec<Vec<f64>> = vec![Vec::new(); CASES.len()];
         for bench in all_benchmarks() {
@@ -75,7 +80,7 @@ pub fn table8() -> String {
     let mut out = String::from(
         "Table 8: Performance impact on Splash-2 of time protection with 50%\ncolours, time-shared with an idle domain, with and without padding.\n\n",
     );
-    for platform in [Platform::Haswell, Platform::Sabre] {
+    for platform in Platform::ALL {
         let pad = tp_attacks::flush_latency::table4_pad_us(platform);
         let mut rows: Vec<(String, f64, f64)> = Vec::new();
         for bench in all_benchmarks() {
@@ -87,8 +92,7 @@ pub fn table8() -> String {
             );
             let no_pad = run_workload(
                 &bench,
-                &WorkloadRun::shared(platform, ProtectionConfig::protected(), (1, 2))
-                    .with_ops(ops),
+                &WorkloadRun::shared(platform, ProtectionConfig::protected(), (1, 2)).with_ops(ops),
             );
             let padded = run_workload(
                 &bench,

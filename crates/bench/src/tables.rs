@@ -5,41 +5,56 @@
 //! concurrent user programs needed), which makes them exactly repeatable.
 
 use crate::util::Table;
-use tp_core::kernel::{Kernel, Syscall, SysReturn};
+use tp_core::kernel::{Kernel, SysReturn, Syscall};
 use tp_core::{CapObject, Capability, ProtectionConfig, Rights};
 use tp_sim::flush as hwflush;
 use tp_sim::{Asid, ColorSet, Machine, PAddr, Platform, VAddr, FRAME_SIZE};
 
-/// Table 1: the hardware platforms.
+/// Format a cache size in KiB below one MiB, MiB above.
+fn fmt_cache(size: u64, ways: u32) -> String {
+    if size >= 1024 * 1024 {
+        format!("{} MiB, {ways}-way", size / 1024 / 1024)
+    } else {
+        format!("{} KiB, {ways}-way", size / 1024)
+    }
+}
+
+/// Table 1: the hardware platforms — one column per registry entry.
 #[must_use]
 pub fn table1() -> String {
-    let mut t = Table::new(&["System", "Haswell (x86)", "Sabre (Arm v7)"]);
-    let h = Platform::Haswell.config();
-    let a = Platform::Sabre.config();
-    let row = |name: &str, x: String, r: String| vec![name.to_string(), x, r];
-    t.row(&row("Cores", format!("{}", h.cores), format!("{}", a.cores)));
-    t.row(&row("Clock", format!("{:.1} GHz", h.freq_mhz as f64 / 1000.0), format!("{:.1} GHz", a.freq_mhz as f64 / 1000.0)));
-    t.row(&row("Cache line size", format!("{} B", h.line), format!("{} B", a.line)));
-    t.row(&row(
-        "L1-D/L1-I cache",
-        format!("{} KiB, {}-way", h.l1d.size / 1024, h.l1d.ways),
-        format!("{} KiB, {}-way", a.l1d.size / 1024, a.l1d.ways),
-    ));
-    t.row(&row(
-        "L2 cache",
-        format!("{} KiB, {}-way", h.l2.size / 1024, h.l2.ways),
-        format!("{} MiB, {}-way", a.l2.size / 1024 / 1024, a.l2.ways),
-    ));
-    t.row(&row(
-        "L3 cache",
-        h.llc.map_or("N/A".into(), |l| format!("{} MiB, {}-way", l.size / 1024 / 1024, l.ways)),
-        a.llc.map_or("N/A".into(), |l| format!("{} MiB, {}-way", l.size / 1024 / 1024, l.ways)),
-    ));
-    t.row(&row("I-TLB", format!("{}, {}-way", h.itlb.entries, h.itlb.ways), format!("{}, {}-way", a.itlb.entries, a.itlb.ways)));
-    t.row(&row("D-TLB", format!("{}, {}-way", h.dtlb.entries, h.dtlb.ways), format!("{}, {}-way", a.dtlb.entries, a.dtlb.ways)));
-    t.row(&row("L2-TLB", format!("{}, {}-way", h.stlb.entries, h.stlb.ways), format!("{}, {}-way", a.stlb.entries, a.stlb.ways)));
-    t.row(&row("Page colours (L2)", format!("{}", h.partition_colors()), format!("{}", a.partition_colors())));
-    t.row(&row("Page colours (LLC)", format!("{}", h.llc_colors()), format!("{}", a.llc_colors())));
+    let cfgs: Vec<_> = Platform::ALL.iter().map(|p| p.config()).collect();
+    let mut header = vec!["System"];
+    header.extend(Platform::ALL.iter().map(|p| p.name()));
+    let mut t = Table::new(&header);
+    let mut row = |name: &str, cell: &dyn Fn(&tp_sim::PlatformConfig) -> String| {
+        let mut cells = vec![name.to_string()];
+        cells.extend(cfgs.iter().map(cell));
+        t.row(&cells);
+    };
+    row("Cores", &|c| format!("{}", c.cores));
+    row("Clock", &|c| {
+        format!("{:.1} GHz", c.freq_mhz as f64 / 1000.0)
+    });
+    row("Cache line size", &|c| format!("{} B", c.line));
+    row("L1-D cache", &|c| fmt_cache(c.l1d.size, c.l1d.ways));
+    row("L1-I cache", &|c| fmt_cache(c.l1i.size, c.l1i.ways));
+    row("L2 cache", &|c| fmt_cache(c.l2.size, c.l2.ways));
+    row("L3 cache", &|c| {
+        c.llc.map_or("N/A".into(), |l| fmt_cache(l.size, l.ways))
+    });
+    row("I-TLB", &|c| {
+        format!("{}, {}-way", c.itlb.entries, c.itlb.ways)
+    });
+    row("D-TLB", &|c| {
+        format!("{}, {}-way", c.dtlb.entries, c.dtlb.ways)
+    });
+    row("L2-TLB", &|c| {
+        format!("{}, {}-way", c.stlb.entries, c.stlb.ways)
+    });
+    row("Page colours (L2)", &|c| {
+        format!("{}", c.partition_colors())
+    });
+    row("Page colours (LLC)", &|c| format!("{}", c.llc_colors()));
     format!("Table 1: Hardware platforms.\n\n{}", t.render())
 }
 
@@ -66,16 +81,21 @@ fn pass_time(m: &mut Machine, core: usize, base: u64, bytes: u64) -> u64 {
 /// application whose working set is the size of the flushed cache).
 #[must_use]
 pub fn table2() -> String {
-    let mut t = Table::new(&["Cache", "x86 dir", "x86 ind", "x86 total", "Arm dir", "Arm ind", "Arm total"]);
+    let mut header: Vec<String> = vec!["Cache".into()];
+    for p in Platform::ALL {
+        let s = p.short_name();
+        header.extend([format!("{s} dir"), format!("{s} ind"), format!("{s} total")]);
+    }
+    let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
     let mut cells_l1 = Vec::new();
     let mut cells_full = Vec::new();
-    for platform in [Platform::Haswell, Platform::Sabre] {
+    for platform in Platform::ALL {
         let cfg = platform.config();
         let x86 = cfg.llc.is_some();
         let app_base = 0x400_0000u64;
 
         // --- L1-only flush ---
-        let mut m = Machine::new(cfg.clone(), 7);
+        let mut m = Machine::new(cfg, 7);
         // Application working set = L1 size, warmed.
         dirty_buffer(&mut m, 0, app_base, cfg.l1d.size);
         let warm = pass_time(&mut m, 0, app_base, cfg.l1d.size);
@@ -95,7 +115,7 @@ pub fn table2() -> String {
         cells_l1.push((cfg.cycles_to_us(direct), cfg.cycles_to_us(indirect)));
 
         // --- Full hierarchy flush ---
-        let mut m = Machine::new(cfg.clone(), 7);
+        let mut m = Machine::new(cfg, 7);
         let hier = cfg.l2.size + cfg.llc.map_or(0, |l| l.size);
         dirty_buffer(&mut m, 0, app_base, hier.min(8 * 1024 * 1024));
         let warm = pass_time(&mut m, 0, app_base, hier.min(8 * 1024 * 1024));
@@ -112,28 +132,31 @@ pub fn table2() -> String {
         cells_full.push((cfg.cycles_to_us(direct), cfg.cycles_to_us(indirect)));
     }
     let f = |x: f64| format!("{x:.0}");
-    t.row(&[
-        "L1 only".into(),
-        f(cells_l1[0].0), f(cells_l1[0].1), f(cells_l1[0].0 + cells_l1[0].1),
-        f(cells_l1[1].0), f(cells_l1[1].1), f(cells_l1[1].0 + cells_l1[1].1),
-    ]);
-    t.row(&[
-        "Full flush".into(),
-        f(cells_full[0].0), f(cells_full[0].1), f(cells_full[0].0 + cells_full[0].1),
-        f(cells_full[1].0), f(cells_full[1].1), f(cells_full[1].0 + cells_full[1].1),
-    ]);
-    format!("Table 2: Worst-case cost of cache flushes (µs).\n\n{}", t.render())
+    for (name, cells) in [("L1 only", &cells_l1), ("Full flush", &cells_full)] {
+        let mut row = vec![name.to_string()];
+        for &(dir, ind) in cells.iter() {
+            row.extend([f(dir), f(ind), f(dir + ind)]);
+        }
+        t.row(&row);
+    }
+    format!(
+        "Table 2: Worst-case cost of cache flushes (µs).\n\n{}",
+        t.render()
+    )
 }
 
 /// One IPC configuration of Table 5.
 fn ipc_cycles(platform: Platform, prot: ProtectionConfig, cross_domain: bool) -> f64 {
     let cfg = platform.config();
-    let mut m = Machine::new(cfg.clone(), 21);
+    let mut m = Machine::new(cfg, 21);
     let mut k = Kernel::new(cfg, prot, 16_384, u64::MAX / 4);
     let n = k.cfg.partition_colors();
-    let d0 = k.create_domain(ColorSet::range(0, n / 2), 2048).expect("domain");
+    let d0 = k
+        .create_domain(ColorSet::range(0, n / 2), 2048)
+        .expect("domain");
     let d1 = if cross_domain {
-        k.create_domain(ColorSet::range(n / 2, n), 2048).expect("domain")
+        k.create_domain(ColorSet::range(n / 2, n), 2048)
+            .expect("domain")
     } else {
         d0
     };
@@ -146,7 +169,10 @@ fn ipc_cycles(platform: Platform, prot: ProtectionConfig, cross_domain: bool) ->
     let client = k.create_thread(d0, 0, 100).expect("client");
     let server = k.create_thread(d1, 0, 100).expect("server");
     let ep = k.create_endpoint(d0).expect("ep");
-    let cap = Capability { obj: CapObject::Endpoint(ep), rights: Rights::all() };
+    let cap = Capability {
+        obj: CapObject::Endpoint(ep),
+        rights: Rights::all(),
+    };
     let ccap = k.grant_cap(client, cap);
     let scap = k.grant_cap(server, cap);
     // Open scheduling: IPC performs the direct switch.
@@ -182,9 +208,14 @@ fn ipc_cycles(platform: Platform, prot: ProtectionConfig, cross_domain: bool) ->
 /// Table 5: cross-address-space IPC microbenchmark.
 #[must_use]
 pub fn table5() -> String {
-    let mut t = Table::new(&["Version", "x86 cycles", "x86 slowd.", "Arm cycles", "Arm slowd."]);
+    let mut header: Vec<String> = vec!["Version".into()];
+    for p in Platform::ALL {
+        let s = p.short_name();
+        header.extend([format!("{s} cycles"), format!("{s} slowd.")]);
+    }
+    let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
     let mut results: Vec<Vec<f64>> = Vec::new();
-    for platform in [Platform::Haswell, Platform::Sabre] {
+    for platform in Platform::ALL {
         let original = ipc_cycles(platform, ProtectionConfig::raw(), false);
         let ready = ipc_cycles(platform, ProtectionConfig::colour_ready(), false);
         let intra = ipc_cycles(platform, ProtectionConfig::protected(), false);
@@ -193,19 +224,23 @@ pub fn table5() -> String {
     }
     let names = ["original", "colour-ready", "intra-colour", "inter-colour"];
     for (i, name) in names.iter().enumerate() {
-        let x = results[0][i];
-        let a = results[1][i];
-        let sx = (x / results[0][0] - 1.0) * 100.0;
-        let sa = (a / results[1][0] - 1.0) * 100.0;
-        t.row(&[
-            (*name).to_string(),
-            format!("{x:.0}"),
-            if i == 0 { "-".into() } else { format!("{sx:.0}%") },
-            format!("{a:.0}"),
-            if i == 0 { "-".into() } else { format!("{sa:.0}%") },
-        ]);
+        let mut row = vec![(*name).to_string()];
+        for per_platform in &results {
+            let cycles = per_platform[i];
+            let slow = (cycles / per_platform[0] - 1.0) * 100.0;
+            row.push(format!("{cycles:.0}"));
+            row.push(if i == 0 {
+                "-".into()
+            } else {
+                format!("{slow:.0}%")
+            });
+        }
+        t.row(&row);
     }
-    format!("Table 5: IPC microbenchmark performance and slowdown.\n\n{}", t.render())
+    format!(
+        "Table 5: IPC microbenchmark performance and slowdown.\n\n{}",
+        t.render()
+    )
 }
 
 /// The receiver workloads of Table 6: pollute the caches like the §5.3.2
@@ -232,24 +267,28 @@ fn table6_workload(m: &mut Machine, cfg: &tp_sim::PlatformConfig, which: &str) {
 #[must_use]
 pub fn table6() -> String {
     let mut t = Table::new(&["Platf.", "Mode", "Idle", "L1-D", "L1-I", "L2", "L3"]);
-    for platform in [Platform::Haswell, Platform::Sabre] {
+    for platform in Platform::ALL {
         let cfg = platform.config();
         for (mode_name, prot) in [
             ("Raw", ProtectionConfig::raw()),
             ("Full flush", ProtectionConfig::full_flush()),
             ("Protected", ProtectionConfig::protected()),
         ] {
-            let mut cells = vec![platform_short(platform), mode_name.to_string()];
+            let mut cells = vec![platform.short_name().to_string(), mode_name.to_string()];
             for wl in ["Idle", "L1-D", "L1-I", "L2", "L3"] {
                 if wl == "L3" && cfg.llc.is_none() {
                     cells.push("N/A".into());
                     continue;
                 }
-                let mut m = Machine::new(cfg.clone(), 33);
-                let mut k = Kernel::new(cfg.clone(), prot.clone(), 16_384, u64::MAX / 4);
+                let mut m = Machine::new(cfg, 33);
+                let mut k = Kernel::new(cfg, prot.clone(), 16_384, u64::MAX / 4);
                 let n = k.cfg.partition_colors();
-                let d0 = k.create_domain(ColorSet::range(0, n / 2), 2048).expect("d0");
-                let d1 = k.create_domain(ColorSet::range(n / 2, n), 2048).expect("d1");
+                let d0 = k
+                    .create_domain(ColorSet::range(0, n / 2), 2048)
+                    .expect("d0");
+                let d1 = k
+                    .create_domain(ColorSet::range(n / 2, n), 2048)
+                    .expect("d1");
                 let (img0, img1) = if prot.clone_kernel {
                     (
                         k.clone_kernel_for_domain(&mut m, 0, d0).expect("clone"),
@@ -279,13 +318,6 @@ pub fn table6() -> String {
     )
 }
 
-fn platform_short(p: Platform) -> String {
-    match p {
-        Platform::Haswell => "x86".into(),
-        Platform::Sabre => "Arm".into(),
-    }
-}
-
 /// A modelled monolithic-kernel `fork+exec`: copy-on-write setup over the
 /// page tables, loading the executable image and zeroing bss through the
 /// memory system. Substitutes for the paper's Linux measurement (Table 7's
@@ -304,7 +336,7 @@ fn modeled_fork_exec(m: &mut Machine, core: usize) -> u64 {
         }
     }
     m.advance(core, 20_000); // scheduler, vfs, accounting
-    // exec: read a ~150-page binary and zero ~40 pages of bss.
+                             // exec: read a ~150-page binary and zero ~40 pages of bss.
     for p in 0..150u64 {
         for l in 0..lines_per_page {
             let pa = PAddr(0xC00_0000 + p * FRAME_SIZE + l * line);
@@ -325,13 +357,20 @@ fn modeled_fork_exec(m: &mut Machine, core: usize) -> u64 {
 /// creation.
 #[must_use]
 pub fn table7() -> String {
-    let mut t = Table::new(&["Arch", "clone (µs)", "destroy (µs)", "fork+exec (µs, modelled)"]);
-    for platform in [Platform::Haswell, Platform::Sabre] {
+    let mut t = Table::new(&[
+        "Arch",
+        "clone (µs)",
+        "destroy (µs)",
+        "fork+exec (µs, modelled)",
+    ]);
+    for platform in Platform::ALL {
         let cfg = platform.config();
-        let mut m = Machine::new(cfg.clone(), 55);
-        let mut k = Kernel::new(cfg.clone(), ProtectionConfig::protected(), 16_384, u64::MAX / 4);
+        let mut m = Machine::new(cfg, 55);
+        let mut k = Kernel::new(cfg, ProtectionConfig::protected(), 16_384, u64::MAX / 4);
         let n = cfg.partition_colors();
-        let d = k.create_domain(ColorSet::range(0, n / 2), 4096).expect("domain");
+        let d = k
+            .create_domain(ColorSet::range(0, n / 2), 4096)
+            .expect("domain");
         // Average over several clone/destroy cycles.
         let runs = 10;
         let mut clone_total = 0u64;
@@ -346,7 +385,7 @@ pub fn table7() -> String {
         }
         let fork = modeled_fork_exec(&mut m, 0);
         t.row(&[
-            platform_short(platform),
+            platform.short_name().to_string(),
             format!("{:.0}", cfg.cycles_to_us(clone_total / runs)),
             format!("{:.1}", cfg.cycles_to_us(destroy_total / runs)),
             format!("{:.0}", cfg.cycles_to_us(fork)),
@@ -363,9 +402,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn table1_prints_both_platforms() {
+    fn table1_prints_every_registered_platform() {
         let s = table1();
-        assert!(s.contains("Haswell") && s.contains("Sabre"));
+        for p in Platform::ALL {
+            assert!(s.contains(p.name()), "missing {}: {s}", p.name());
+        }
         assert!(s.contains("8")); // 8 colours
     }
 
@@ -389,9 +430,11 @@ mod tests {
             .split_whitespace()
             .filter_map(|w| w.parse().ok())
             .collect();
-        // totals are the 3rd and 6th numeric columns.
-        assert!(full[2] > 5.0 * l1[2], "x86: full {} vs L1 {}", full[2], l1[2]);
-        assert!(full[5] > 5.0 * l1[5], "Arm: full {} vs L1 {}", full[5], l1[5]);
+        // Totals are every 3rd numeric column, one triple per platform.
+        for (i, p) in Platform::ALL.iter().enumerate() {
+            let (f, l) = (full[3 * i + 2], l1[3 * i + 2]);
+            assert!(f > 5.0 * l, "{}: full {f} vs L1 {l}", p.short_name());
+        }
     }
 
     #[test]
@@ -406,7 +449,10 @@ mod tests {
         let ready = ipc_cycles(Platform::Sabre, ProtectionConfig::colour_ready(), false);
         let slow = ready / orig - 1.0;
         // Table 5: ~14% on the Sabre's 2-way L2 TLB; accept a loose band.
-        assert!(slow > 0.02, "expected visible Arm colour-ready cost, got {slow}");
+        assert!(
+            slow > 0.02,
+            "expected visible Arm colour-ready cost, got {slow}"
+        );
         assert!(slow < 0.60, "implausible Arm colour-ready cost {slow}");
     }
 
@@ -429,11 +475,20 @@ mod tests {
     #[test]
     fn table7_clone_beats_fork_exec() {
         let s = table7();
-        for line in s.lines().filter(|l| l.starts_with("x86") || l.starts_with("Arm")) {
-            let nums: Vec<f64> =
-                line.split_whitespace().filter_map(|w| w.parse().ok()).collect();
+        let mut rows = 0;
+        for line in s.lines().filter(|l| {
+            Platform::ALL
+                .iter()
+                .any(|p| l.trim_start().starts_with(p.short_name()))
+        }) {
+            let nums: Vec<f64> = line
+                .split_whitespace()
+                .filter_map(|w| w.parse().ok())
+                .collect();
             assert!(nums[0] < nums[2], "clone must beat fork+exec: {line}");
             assert!(nums[1] < nums[0], "destroy must beat clone: {line}");
+            rows += 1;
         }
+        assert_eq!(rows, Platform::ALL.len());
     }
 }

@@ -48,7 +48,10 @@ impl Table {
     /// Start a table with the given column headers.
     #[must_use]
     pub fn new(header: &[&str]) -> Self {
-        Table { header: header.iter().map(|s| (*s).to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row.

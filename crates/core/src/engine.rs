@@ -13,7 +13,7 @@
 //! simulation state, all randomness is seeded, and cross-core interleaving
 //! is quantised to a fixed cycle window.
 
-use crate::kernel::{Kernel, KernelError, Syscall, SysReturn};
+use crate::kernel::{Kernel, KernelError, SysReturn, Syscall};
 use crate::objects::{DomainId, TcbId, ThreadState};
 use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
@@ -221,7 +221,10 @@ impl SimCtl {
     /// Wrap inner state.
     #[must_use]
     pub fn new(inner: SimInner) -> Arc<Self> {
-        Arc::new(SimCtl { inner: Mutex::new(inner), cv: Condvar::new() })
+        Arc::new(SimCtl {
+            inner: Mutex::new(inner),
+            cv: Condvar::new(),
+        })
     }
 }
 
@@ -261,7 +264,14 @@ impl UserEnv {
         cfg: PlatformConfig,
         colors: ColorSet,
     ) -> Self {
-        UserEnv { ctl, tcb, core, domain, cfg, colors }
+        UserEnv {
+            ctl,
+            tcb,
+            core,
+            domain,
+            cfg,
+            colors,
+        }
     }
 
     /// Platform configuration.
@@ -276,10 +286,7 @@ impl UserEnv {
         self.colors
     }
 
-    fn wait_turn<'a>(
-        &self,
-        g: &mut parking_lot::MutexGuard<'a, SimInner>,
-    ) {
+    fn wait_turn<'a>(&self, g: &mut parking_lot::MutexGuard<'a, SimInner>) {
         loop {
             if g.stop {
                 std::panic::panic_any(SimExit);
@@ -370,7 +377,9 @@ impl UserEnv {
 
     /// Execute a branch instruction; returns its latency.
     pub fn branch(&self, pc: VAddr, target: VAddr, taken: bool, conditional: bool) -> u64 {
-        self.op(false, |g| g.machine.branch(self.core, pc, target, taken, conditional))
+        self.op(false, |g| {
+            g.machine.branch(self.core, pc, target, taken, conditional)
+        })
     }
 
     /// Pure computation for `n` cycles.
@@ -385,7 +394,9 @@ impl UserEnv {
     /// Panics if the domain pool is exhausted.
     pub fn map_pages(&self, n: usize) -> (VAddr, Vec<u64>) {
         self.op(false, |g| {
-            g.kernel.map_user_pages(self.tcb, n).expect("domain pool exhausted")
+            g.kernel
+                .map_user_pages(self.tcb, n)
+                .expect("domain pool exhausted")
         })
     }
 
@@ -406,7 +417,9 @@ impl UserEnv {
     /// Kernel errors (bad capability, rights, types) are returned verbatim.
     pub fn syscall(&self, sys: Syscall) -> Result<u64, KernelError> {
         let ret = self.op(true, |g| {
-            let SimInner { machine, kernel, .. } = g;
+            let SimInner {
+                machine, kernel, ..
+            } = g;
             let out = kernel.syscall(machine, self.core, self.tcb, sys);
             if let Some((at, irq)) = out.arm_timer {
                 g.push_event(self.core, at, EvKind::Timer { irq });
@@ -509,7 +522,7 @@ pub type ProgramSpec = (TcbId, usize, DomainId, ColorSet, Box<dyn UserProgram>, 
 #[must_use]
 pub fn run_programs(ctl: Arc<SimCtl>, programs: Vec<ProgramSpec>) -> Arc<SimCtl> {
     install_quiet_panic_hook();
-    let cfg = ctl.inner.lock().machine.cfg.clone();
+    let cfg = ctl.inner.lock().machine.cfg;
     {
         let mut g = ctl.inner.lock();
         g.primaries_left = programs.iter().filter(|p| p.5).count();
@@ -517,7 +530,7 @@ pub fn run_programs(ctl: Arc<SimCtl>, programs: Vec<ProgramSpec>) -> Arc<SimCtl>
     let mut handles = Vec::new();
     for (tcb, core, domain, colors, mut prog, primary) in programs {
         let ctl2 = Arc::clone(&ctl);
-        let cfg2 = cfg.clone();
+        let cfg2 = cfg;
         handles.push(std::thread::spawn(move || {
             let mut env = UserEnv::new(Arc::clone(&ctl2), tcb, core, domain, cfg2, colors);
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -537,7 +550,9 @@ pub fn run_programs(ctl: Arc<SimCtl>, programs: Vec<ProgramSpec>) -> Arc<SimCtl>
                     }
                 }
             }
-            let SimInner { machine, kernel, .. } = &mut *g;
+            let SimInner {
+                machine, kernel, ..
+            } = &mut *g;
             kernel.thread_exited(machine, tcb);
             if primary {
                 g.primaries_left = g.primaries_left.saturating_sub(1);

@@ -11,9 +11,9 @@
 use crate::config::ProtectionConfig;
 use crate::layout::{ImageFrames, ImageLayout, SharedKernelData, KERNEL_VBASE};
 use crate::objects::{
-    Arena, CapIdx, CapObject, Capability, Domain, DomainId, Endpoint, EpId, ImageId,
-    KernelImage, KernelMemory, NtfnId, Notification, Tcb, TcbId, ThreadState,
-    Untyped, UntypedId, VSpace, VSpaceId,
+    Arena, CapIdx, CapObject, Capability, Domain, DomainId, Endpoint, EpId, ImageId, KernelImage,
+    KernelMemory, Notification, NtfnId, Tcb, TcbId, ThreadState, Untyped, UntypedId, VSpace,
+    VSpaceId,
 };
 use crate::sched::ReadyQueues;
 use std::collections::HashMap;
@@ -178,17 +178,72 @@ pub struct Foot {
 #[must_use]
 pub fn foot(kind: FootKind) -> Foot {
     match kind {
-        FootKind::Fastpath => Foot { off: 0, text: 26, shared: 3, stack: 3 },
-        FootKind::Nop => Foot { off: 32, text: 8, shared: 1, stack: 1 },
-        FootKind::Signal => Foot { off: 64, text: 46, shared: 2, stack: 4 },
-        FootKind::Wait => Foot { off: 128, text: 30, shared: 2, stack: 3 },
-        FootKind::Poll => Foot { off: 192, text: 22, shared: 1, stack: 2 },
-        FootKind::SetPriority => Foot { off: 256, text: 58, shared: 5, stack: 4 },
-        FootKind::Recv => Foot { off: 352, text: 30, shared: 2, stack: 3 },
-        FootKind::Yield => Foot { off: 384, text: 20, shared: 4, stack: 2 },
-        FootKind::SetTimer => Foot { off: 416, text: 26, shared: 2, stack: 3 },
-        FootKind::Tick => Foot { off: 448, text: 36, shared: 6, stack: 4 },
-        FootKind::Irq => Foot { off: 512, text: 40, shared: 4, stack: 4 },
+        FootKind::Fastpath => Foot {
+            off: 0,
+            text: 26,
+            shared: 3,
+            stack: 3,
+        },
+        FootKind::Nop => Foot {
+            off: 32,
+            text: 8,
+            shared: 1,
+            stack: 1,
+        },
+        FootKind::Signal => Foot {
+            off: 64,
+            text: 46,
+            shared: 2,
+            stack: 4,
+        },
+        FootKind::Wait => Foot {
+            off: 128,
+            text: 30,
+            shared: 2,
+            stack: 3,
+        },
+        FootKind::Poll => Foot {
+            off: 192,
+            text: 22,
+            shared: 1,
+            stack: 2,
+        },
+        FootKind::SetPriority => Foot {
+            off: 256,
+            text: 58,
+            shared: 5,
+            stack: 4,
+        },
+        FootKind::Recv => Foot {
+            off: 352,
+            text: 30,
+            shared: 2,
+            stack: 3,
+        },
+        FootKind::Yield => Foot {
+            off: 384,
+            text: 20,
+            shared: 4,
+            stack: 2,
+        },
+        FootKind::SetTimer => Foot {
+            off: 416,
+            text: 26,
+            shared: 2,
+            stack: 3,
+        },
+        FootKind::Tick => Foot {
+            off: 448,
+            text: 36,
+            shared: 6,
+            stack: 4,
+        },
+        FootKind::Irq => Foot {
+            off: 512,
+            text: 40,
+            shared: 4,
+            stack: 4,
+        },
     }
 }
 
@@ -312,12 +367,14 @@ impl Kernel {
     /// Boot the kernel: build the boot image, the shared-data region and
     /// the boot domain owning all remaining memory as one Untyped pool.
     #[must_use]
-    pub fn new(cfg: PlatformConfig, prot: ProtectionConfig, ram_frames: u64, slice_cycles: u64) -> Self {
+    pub fn new(
+        cfg: PlatformConfig,
+        prot: ProtectionConfig,
+        ram_frames: u64,
+        slice_cycles: u64,
+    ) -> Self {
         let boot_frames = ImageFrames::contiguous(BOOT_IMAGE_PFN);
-        let shared = SharedKernelData::new(
-            PAddr(boot_frames.data[0] * FRAME_SIZE),
-            &cfg,
-        );
+        let shared = SharedKernelData::new(PAddr(boot_frames.data[0] * FRAME_SIZE), &cfg);
         let mut images = Arena::new();
         let boot_image = ImageId(images.alloc(KernelImage {
             layout: boot_frames,
@@ -333,10 +390,8 @@ impl Kernel {
         let first_free = BOOT_IMAGE_PFN + ImageLayout::total_pages();
         let all_colors = ColorSet::all(cfg.partition_colors());
         let mut untypeds = Arena::new();
-        let pool = UntypedId(untypeds.alloc(Untyped::new(
-            (first_free..ram_frames).collect(),
-            all_colors,
-        )));
+        let pool =
+            UntypedId(untypeds.alloc(Untyped::new((first_free..ram_frames).collect(), all_colors)));
 
         let mut domains = Arena::new();
         let boot_domain = DomainId(domains.alloc(Domain {
@@ -409,10 +464,17 @@ impl Kernel {
     ///
     /// # Errors
     /// Propagates pool exhaustion.
-    pub fn create_domain(&mut self, colors: ColorSet, max_frames: usize) -> Result<DomainId, KernelError> {
+    pub fn create_domain(
+        &mut self,
+        colors: ColorSet,
+        max_frames: usize,
+    ) -> Result<DomainId, KernelError> {
         let n_colors = self.cfg.partition_colors();
         let boot_pool = self.domains.get(self.boot_domain.0).unwrap().pool;
-        let pool = self.untypeds.get_mut(boot_pool.0).ok_or(KernelError::ObjectGone)?;
+        let pool = self
+            .untypeds
+            .get_mut(boot_pool.0)
+            .ok_or(KernelError::ObjectGone)?;
         // Drain matching frames from the boot pool.
         let mut taken = Vec::new();
         let mut rest = Vec::new();
@@ -450,7 +512,11 @@ impl Kernel {
     ) -> Result<TcbId, KernelError> {
         let frames = self.alloc_frames(domain, 1)?;
         let asid = self.alloc_asid();
-        let image = self.domains.get(domain.0).ok_or(KernelError::ObjectGone)?.image;
+        let image = self
+            .domains
+            .get(domain.0)
+            .ok_or(KernelError::ObjectGone)?
+            .image;
         let vspace = VSpaceId(self.vspaces.alloc(VSpace {
             asid,
             map: tp_sim::PhysMap::new(asid),
@@ -469,7 +535,10 @@ impl Kernel {
             ipc_msg: 0,
             reply_to: None,
         }));
-        self.run_queues.entry((core, domain)).or_default().enqueue(prio, t);
+        self.run_queues
+            .entry((core, domain))
+            .or_default()
+            .enqueue(prio, t);
         if !self.cores[core].slots.contains(&domain) {
             self.cores[core].slots.push(domain);
         }
@@ -482,7 +551,10 @@ impl Kernel {
     /// Propagates pool exhaustion.
     pub fn create_endpoint(&mut self, domain: DomainId) -> Result<EpId, KernelError> {
         let frames = self.alloc_frames(domain, 1)?;
-        Ok(EpId(self.eps.alloc(Endpoint { obj_frame: frames[0], ..Endpoint::default() })))
+        Ok(EpId(self.eps.alloc(Endpoint {
+            obj_frame: frames[0],
+            ..Endpoint::default()
+        })))
     }
 
     /// Create a notification in a domain's memory.
@@ -491,7 +563,10 @@ impl Kernel {
     /// Propagates pool exhaustion.
     pub fn create_notification(&mut self, domain: DomainId) -> Result<NtfnId, KernelError> {
         let frames = self.alloc_frames(domain, 1)?;
-        Ok(NtfnId(self.ntfns.alloc(Notification { obj_frame: frames[0], ..Notification::default() })))
+        Ok(NtfnId(self.ntfns.alloc(Notification {
+            obj_frame: frames[0],
+            ..Notification::default()
+        })))
     }
 
     /// Install a capability into a thread's CSpace; returns the index.
@@ -506,22 +581,25 @@ impl Kernel {
     ///
     /// # Errors
     /// Propagates pool exhaustion.
-    pub fn map_user_pages(
-        &mut self,
-        t: TcbId,
-        n: usize,
-    ) -> Result<(VAddr, Vec<u64>), KernelError> {
+    pub fn map_user_pages(&mut self, t: TcbId, n: usize) -> Result<(VAddr, Vec<u64>), KernelError> {
         let (domain, vspace) = {
             let tcb = self.tcbs.get(t.0).ok_or(KernelError::ObjectGone)?;
             (tcb.domain, tcb.vspace)
         };
         let frames = self.alloc_frames(domain, n)?;
-        let vs = self.vspaces.get_mut(vspace.0).ok_or(KernelError::ObjectGone)?;
+        let vs = self
+            .vspaces
+            .get_mut(vspace.0)
+            .ok_or(KernelError::ObjectGone)?;
         let base = vs.next_va;
         for (i, pfn) in frames.iter().enumerate() {
             vs.map.map(
                 base / FRAME_SIZE + i as u64,
-                Mapping { pfn: *pfn, global: false, writable: true },
+                Mapping {
+                    pfn: *pfn,
+                    global: false,
+                    writable: true,
+                },
             );
         }
         vs.next_va += n as u64 * FRAME_SIZE;
@@ -605,7 +683,10 @@ impl Kernel {
             (tcb.core, tcb.domain, tcb.priority)
         };
         self.tcbs.get_mut(t.0).unwrap().state = ThreadState::Ready;
-        self.run_queues.entry((core, domain)).or_default().enqueue(prio, t);
+        self.run_queues
+            .entry((core, domain))
+            .or_default()
+            .enqueue(prio, t);
     }
 
     /// Pick the next thread for `core` after the current one blocked or
@@ -614,9 +695,14 @@ impl Kernel {
         let mode = self.cores[core].mode;
         let next = match mode {
             EngineMode::Slotted => {
-                let domain = self.cores[core].slots.get(self.cores[core].slot_idx).copied();
+                let domain = self.cores[core]
+                    .slots
+                    .get(self.cores[core].slot_idx)
+                    .copied();
                 domain.and_then(|d| {
-                    self.run_queues.get_mut(&(core, d)).and_then(ReadyQueues::dequeue)
+                    self.run_queues
+                        .get_mut(&(core, d))
+                        .and_then(ReadyQueues::dequeue)
                 })
             }
             EngineMode::Open => self.pick_best_any_domain(core),
@@ -642,7 +728,9 @@ impl Kernel {
             }
         }
         let (_, d) = best?;
-        self.run_queues.get_mut(&(core, d)).and_then(ReadyQueues::dequeue)
+        self.run_queues
+            .get_mut(&(core, d))
+            .and_then(ReadyQueues::dequeue)
     }
 
     /// Install `t` as the current thread of `core`, performing the fast
@@ -702,20 +790,27 @@ impl Kernel {
                 SysReturn::Val(0)
             }
             Syscall::Signal { cap } => match self.cap(t, cap) {
-                Ok(Capability { obj: CapObject::Notification(n), rights }) if rights.write => {
+                Ok(Capability {
+                    obj: CapObject::Notification(n),
+                    rights,
+                }) if rights.write => {
                     let nf = self.obj_frame_pa(self.ntfns.get(n.0).expect("live ntfn").obj_frame);
                     self.kexec(m, core, image, FootKind::Signal, asid, &[tcb_frame, nf]);
                     self.do_signal(n, 1);
                     SysReturn::Val(0)
                 }
-                Ok(Capability { obj: CapObject::Notification(_), .. }) => {
-                    SysReturn::Err(KernelError::InsufficientRights)
-                }
+                Ok(Capability {
+                    obj: CapObject::Notification(_),
+                    ..
+                }) => SysReturn::Err(KernelError::InsufficientRights),
                 Ok(_) => SysReturn::Err(KernelError::TypeMismatch),
                 Err(e) => SysReturn::Err(e),
             },
             Syscall::Poll { cap } => match self.cap(t, cap) {
-                Ok(Capability { obj: CapObject::Notification(n), rights }) if rights.read => {
+                Ok(Capability {
+                    obj: CapObject::Notification(n),
+                    rights,
+                }) if rights.read => {
                     let nf = self.obj_frame_pa(self.ntfns.get(n.0).expect("live ntfn").obj_frame);
                     self.kexec(m, core, image, FootKind::Poll, asid, &[tcb_frame, nf]);
                     let ntfn = self.ntfns.get_mut(n.0).unwrap();
@@ -723,14 +818,18 @@ impl Kernel {
                     ntfn.word = 0;
                     SysReturn::Val(w)
                 }
-                Ok(Capability { obj: CapObject::Notification(_), .. }) => {
-                    SysReturn::Err(KernelError::InsufficientRights)
-                }
+                Ok(Capability {
+                    obj: CapObject::Notification(_),
+                    ..
+                }) => SysReturn::Err(KernelError::InsufficientRights),
                 Ok(_) => SysReturn::Err(KernelError::TypeMismatch),
                 Err(e) => SysReturn::Err(e),
             },
             Syscall::Wait { cap } => match self.cap(t, cap) {
-                Ok(Capability { obj: CapObject::Notification(n), rights }) if rights.read => {
+                Ok(Capability {
+                    obj: CapObject::Notification(n),
+                    rights,
+                }) if rights.read => {
                     let nf = self.obj_frame_pa(self.ntfns.get(n.0).expect("live ntfn").obj_frame);
                     self.kexec(m, core, image, FootKind::Wait, asid, &[tcb_frame, nf]);
                     let ntfn = self.ntfns.get_mut(n.0).unwrap();
@@ -744,47 +843,69 @@ impl Kernel {
                         SysReturn::Blocked
                     }
                 }
-                Ok(Capability { obj: CapObject::Notification(_), .. }) => {
-                    SysReturn::Err(KernelError::InsufficientRights)
-                }
+                Ok(Capability {
+                    obj: CapObject::Notification(_),
+                    ..
+                }) => SysReturn::Err(KernelError::InsufficientRights),
                 Ok(_) => SysReturn::Err(KernelError::TypeMismatch),
                 Err(e) => SysReturn::Err(e),
             },
             Syscall::TcbSetPriority { cap, prio } => match self.cap(t, cap) {
-                Ok(Capability { obj: CapObject::Tcb(target), rights }) if rights.write => {
-                    let tf = self.obj_frame_pa(self.tcbs.get(target.0).expect("live tcb").obj_frame);
-                    self.kexec(m, core, image, FootKind::SetPriority, asid, &[tcb_frame, tf]);
+                Ok(Capability {
+                    obj: CapObject::Tcb(target),
+                    rights,
+                }) if rights.write => {
+                    let tf =
+                        self.obj_frame_pa(self.tcbs.get(target.0).expect("live tcb").obj_frame);
+                    self.kexec(
+                        m,
+                        core,
+                        image,
+                        FootKind::SetPriority,
+                        asid,
+                        &[tcb_frame, tf],
+                    );
                     self.tcbs.get_mut(target.0).unwrap().priority = prio;
                     SysReturn::Val(0)
                 }
-                Ok(Capability { obj: CapObject::Tcb(_), .. }) => {
-                    SysReturn::Err(KernelError::InsufficientRights)
-                }
+                Ok(Capability {
+                    obj: CapObject::Tcb(_),
+                    ..
+                }) => SysReturn::Err(KernelError::InsufficientRights),
                 Ok(_) => SysReturn::Err(KernelError::TypeMismatch),
                 Err(e) => SysReturn::Err(e),
             },
             Syscall::Call { cap, msg } => match self.cap(t, cap) {
-                Ok(Capability { obj: CapObject::Endpoint(ep), rights }) if rights.write => {
-                    self.do_call(m, core, t, ep, msg, image, asid, tcb_frame)
-                }
-                Ok(Capability { obj: CapObject::Endpoint(_), .. }) => {
-                    SysReturn::Err(KernelError::InsufficientRights)
-                }
+                Ok(Capability {
+                    obj: CapObject::Endpoint(ep),
+                    rights,
+                }) if rights.write => self.do_call(m, core, t, ep, msg, image, asid, tcb_frame),
+                Ok(Capability {
+                    obj: CapObject::Endpoint(_),
+                    ..
+                }) => SysReturn::Err(KernelError::InsufficientRights),
                 Ok(_) => SysReturn::Err(KernelError::TypeMismatch),
                 Err(e) => SysReturn::Err(e),
             },
             Syscall::ReplyRecv { cap, msg } => match self.cap(t, cap) {
-                Ok(Capability { obj: CapObject::Endpoint(ep), rights }) if rights.read => {
+                Ok(Capability {
+                    obj: CapObject::Endpoint(ep),
+                    rights,
+                }) if rights.read => {
                     self.do_reply_recv(m, core, t, ep, msg, image, asid, tcb_frame)
                 }
-                Ok(Capability { obj: CapObject::Endpoint(_), .. }) => {
-                    SysReturn::Err(KernelError::InsufficientRights)
-                }
+                Ok(Capability {
+                    obj: CapObject::Endpoint(_),
+                    ..
+                }) => SysReturn::Err(KernelError::InsufficientRights),
                 Ok(_) => SysReturn::Err(KernelError::TypeMismatch),
                 Err(e) => SysReturn::Err(e),
             },
             Syscall::Recv { cap } => match self.cap(t, cap) {
-                Ok(Capability { obj: CapObject::Endpoint(ep), rights }) if rights.read => {
+                Ok(Capability {
+                    obj: CapObject::Endpoint(ep),
+                    rights,
+                }) if rights.read => {
                     let ef = self.obj_frame_pa(self.eps.get(ep.0).expect("live ep").obj_frame);
                     self.kexec(m, core, image, FootKind::Recv, asid, &[tcb_frame, ef]);
                     let sender = self.eps.get_mut(ep.0).unwrap().send_queue.pop_front();
@@ -799,9 +920,10 @@ impl Kernel {
                         SysReturn::Blocked
                     }
                 }
-                Ok(Capability { obj: CapObject::Endpoint(_), .. }) => {
-                    SysReturn::Err(KernelError::InsufficientRights)
-                }
+                Ok(Capability {
+                    obj: CapObject::Endpoint(_),
+                    ..
+                }) => SysReturn::Err(KernelError::InsufficientRights),
                 Ok(_) => SysReturn::Err(KernelError::TypeMismatch),
                 Err(e) => SysReturn::Err(e),
             },
@@ -811,13 +933,19 @@ impl Kernel {
                     let tcb = self.tcbs.get(t.0).unwrap();
                     (tcb.domain, tcb.priority)
                 };
-                self.run_queues.entry((core, domain)).or_default().enqueue(prio, t);
+                self.run_queues
+                    .entry((core, domain))
+                    .or_default()
+                    .enqueue(prio, t);
                 self.cores[core].cur = None;
                 self.schedule_same_slot(m, core);
                 SysReturn::Val(0)
             }
             Syscall::SetTimer { cap, us } => match self.cap(t, cap) {
-                Ok(Capability { obj: CapObject::IrqHandler(irq), .. }) => {
+                Ok(Capability {
+                    obj: CapObject::IrqHandler(irq),
+                    ..
+                }) => {
                     if (irq as usize) >= NUM_IRQS || us <= 0.0 {
                         SysReturn::Err(KernelError::InvalidIrq)
                     } else {
@@ -1008,7 +1136,12 @@ impl Kernel {
     ///
     /// # Errors
     /// [`KernelError::InvalidIrq`] for out-of-range IRQs.
-    pub fn kernel_set_int(&mut self, image: ImageId, irq: u32, ntfn: Option<NtfnId>) -> Result<(), KernelError> {
+    pub fn kernel_set_int(
+        &mut self,
+        image: ImageId,
+        irq: u32,
+        ntfn: Option<NtfnId>,
+    ) -> Result<(), KernelError> {
         let i = irq as usize;
         if i == 0 || i >= NUM_IRQS {
             return Err(KernelError::InvalidIrq);
@@ -1038,7 +1171,7 @@ mod tests {
 
     fn setup() -> (Machine, Kernel) {
         let cfg = Platform::Haswell.config();
-        let m = Machine::new(cfg.clone(), 42);
+        let m = Machine::new(cfg, 42);
         let k = Kernel::new(cfg, ProtectionConfig::raw(), 4096, 3_400_000);
         (m, k)
     }
@@ -1059,21 +1192,27 @@ mod tests {
         assert_eq!(frames.len(), 4);
         let pa = k.translate(t, va).unwrap();
         assert_eq!(pa.pfn(), frames[0]);
-        assert_eq!(k.translate(t, VAddr(va.0 + 3 * FRAME_SIZE)).unwrap().pfn(), frames[3]);
+        assert_eq!(
+            k.translate(t, VAddr(va.0 + 3 * FRAME_SIZE)).unwrap().pfn(),
+            frames[3]
+        );
         assert!(k.translate(t, VAddr(0xdead_0000)).is_none());
     }
 
     #[test]
     fn colored_domain_gets_only_its_colors() {
         let cfg = Platform::Haswell.config();
-        let mut k = Kernel::new(cfg.clone(), ProtectionConfig::protected(), 4096, 3_400_000);
+        let mut k = Kernel::new(cfg, ProtectionConfig::protected(), 4096, 3_400_000);
         let colors = ColorSet::range(0, 4);
         let d = k.create_domain(colors, 256).unwrap();
         let t = k.create_thread(d, 0, 100).unwrap();
         let (_, frames) = k.map_user_pages(t, 32).unwrap();
         let n = cfg.partition_colors();
         for f in frames {
-            assert!(colors.contains(color_of_frame(f, n)), "frame {f} off-colour");
+            assert!(
+                colors.contains(color_of_frame(f, n)),
+                "frame {f} off-colour"
+            );
         }
     }
 
@@ -1083,7 +1222,13 @@ mod tests {
         let t = k.create_thread(k.boot_domain, 0, 100).unwrap();
         k.cores[0].cur = Some(t);
         let n = k.create_notification(k.boot_domain).unwrap();
-        let cap = k.grant_cap(t, Capability { obj: CapObject::Notification(n), rights: Rights::all() });
+        let cap = k.grant_cap(
+            t,
+            Capability {
+                obj: CapObject::Notification(n),
+                rights: Rights::all(),
+            },
+        );
         let out = k.syscall(&mut m, 0, t, Syscall::Signal { cap });
         assert_eq!(out.ret, SysReturn::Val(0));
         let out = k.syscall(&mut m, 0, t, Syscall::Poll { cap });
@@ -1099,8 +1244,19 @@ mod tests {
         let t = k.create_thread(k.boot_domain, 0, 100).unwrap();
         k.cores[0].cur = Some(t);
         let n = k.create_notification(k.boot_domain).unwrap();
-        let ro = Rights { read: true, write: false, grant: false, clone: false };
-        let cap = k.grant_cap(t, Capability { obj: CapObject::Notification(n), rights: ro });
+        let ro = Rights {
+            read: true,
+            write: false,
+            grant: false,
+            clone: false,
+        };
+        let cap = k.grant_cap(
+            t,
+            Capability {
+                obj: CapObject::Notification(n),
+                rights: ro,
+            },
+        );
         let out = k.syscall(&mut m, 0, t, Syscall::Signal { cap });
         assert_eq!(out.ret, SysReturn::Err(KernelError::InsufficientRights));
         let out = k.syscall(&mut m, 0, t, Syscall::Poll { cap });
@@ -1122,7 +1278,13 @@ mod tests {
         let t = k.create_thread(k.boot_domain, 0, 100).unwrap();
         k.cores[0].cur = Some(t);
         let ep = k.create_endpoint(k.boot_domain).unwrap();
-        let cap = k.grant_cap(t, Capability { obj: CapObject::Endpoint(ep), rights: Rights::all() });
+        let cap = k.grant_cap(
+            t,
+            Capability {
+                obj: CapObject::Endpoint(ep),
+                rights: Rights::all(),
+            },
+        );
         let out = k.syscall(&mut m, 0, t, Syscall::Signal { cap });
         assert_eq!(out.ret, SysReturn::Err(KernelError::TypeMismatch));
     }
@@ -1133,8 +1295,20 @@ mod tests {
         let client = k.create_thread(k.boot_domain, 0, 100).unwrap();
         let server = k.create_thread(k.boot_domain, 0, 100).unwrap();
         let ep = k.create_endpoint(k.boot_domain).unwrap();
-        let ccap = k.grant_cap(client, Capability { obj: CapObject::Endpoint(ep), rights: Rights::all() });
-        let scap = k.grant_cap(server, Capability { obj: CapObject::Endpoint(ep), rights: Rights::all() });
+        let ccap = k.grant_cap(
+            client,
+            Capability {
+                obj: CapObject::Endpoint(ep),
+                rights: Rights::all(),
+            },
+        );
+        let scap = k.grant_cap(
+            server,
+            Capability {
+                obj: CapObject::Endpoint(ep),
+                rights: Rights::all(),
+            },
+        );
 
         // Server blocks in Recv first.
         k.cores[0].cur = Some(server);
@@ -1149,7 +1323,15 @@ mod tests {
         assert_eq!(k.tcbs.get(server.0).unwrap().ipc_msg, 99);
 
         // Server replies; switches back to client.
-        let out = k.syscall(&mut m, 0, server, Syscall::ReplyRecv { cap: scap, msg: 123 });
+        let out = k.syscall(
+            &mut m,
+            0,
+            server,
+            Syscall::ReplyRecv {
+                cap: scap,
+                msg: 123,
+            },
+        );
         assert_eq!(out.ret, SysReturn::Blocked);
         assert_eq!(k.cores[0].cur, Some(client));
         assert_eq!(k.tcbs.get(client.0).unwrap().ipc_msg, 123);
@@ -1159,7 +1341,7 @@ mod tests {
     #[test]
     fn irq_partitioning_defers_foreign_interrupts() {
         let cfg = Platform::Haswell.config();
-        let mut m = Machine::new(cfg.clone(), 42);
+        let mut m = Machine::new(cfg, 42);
         let mut k = Kernel::new(cfg, ProtectionConfig::protected(), 8192, 3_400_000);
         // Two coloured domains, each with a cloned kernel.
         let d0 = k.create_domain(ColorSet::range(0, 4), 512).unwrap();
@@ -1187,6 +1369,9 @@ mod tests {
         let before = m.cycles(0);
         k.kexec(&mut m, 0, boot, FootKind::Signal, Asid(5), &[]);
         let warm = m.cycles(0) - before;
-        assert!(cold > warm, "kernel text must become cache-resident: {cold} vs {warm}");
+        assert!(
+            cold > warm,
+            "kernel text must become cache-resident: {cold} vs {warm}"
+        );
     }
 }

@@ -52,8 +52,15 @@ impl Kernel {
         domain: DomainId,
     ) -> Result<ImageId, KernelError> {
         let frames = self.alloc_frames(domain, ImageLayout::total_pages() as usize)?;
-        let kmem = KmemId(self.kmems.alloc(KernelMemory { frames, image: None }));
-        let src = self.domains.get(domain.0).ok_or(KernelError::ObjectGone)?.image;
+        let kmem = KmemId(self.kmems.alloc(KernelMemory {
+            frames,
+            image: None,
+        }));
+        let src = self
+            .domains
+            .get(domain.0)
+            .ok_or(KernelError::ObjectGone)?
+            .image;
         let img = self.kernel_clone(m, core, src, kmem)?;
         self.domains.get_mut(domain.0).unwrap().image = img;
         // Threads already created in the domain are re-bound to the clone.
@@ -112,7 +119,8 @@ impl Kernel {
                 for l in 0..lines_per_page {
                     let spa = PAddr(sp * FRAME_SIZE + l * line);
                     let dpa = PAddr(dp * FRAME_SIZE + l * line);
-                    let va = VAddr(KERNEL_VBASE + 0x70_0000 + (pi as u64 * lines_per_page + l) * line);
+                    let va =
+                        VAddr(KERNEL_VBASE + 0x70_0000 + (pi as u64 * lines_per_page + l) * line);
                     m.data_access(core, Asid::KERNEL, va, spa, false, global);
                     m.data_access(core, Asid::KERNEL, va, dpa, true, global);
                 }
@@ -161,7 +169,10 @@ impl Kernel {
         if target == self.boot_image {
             return Err(KernelError::InvalidArg);
         }
-        let img = self.images.get_mut(target.0).ok_or(KernelError::ObjectGone)?;
+        let img = self
+            .images
+            .get_mut(target.0)
+            .ok_or(KernelError::ObjectGone)?;
         if img.zombie {
             return Err(KernelError::ObjectGone);
         }
@@ -202,8 +213,11 @@ impl Kernel {
         // determines the pool).
         // Frames revert to the most specific pool containing their colour
         // (domain pools are narrower than the boot pool).
-        let pools: Vec<(usize, u32)> =
-            self.untypeds.iter().map(|(i, u)| (i, u.colors.count())).collect();
+        let pools: Vec<(usize, u32)> = self
+            .untypeds
+            .iter()
+            .map(|(i, u)| (i, u.colors.count()))
+            .collect();
         let n_colors = self.cfg.partition_colors();
         for f in frames {
             let c = tp_sim::color_of_frame(f, n_colors);
@@ -241,8 +255,17 @@ impl Kernel {
     /// Grant the master `Kernel_Image` capability (with clone right) for an
     /// image to a thread, as the kernel does for the initial process.
     pub fn grant_image_cap(&mut self, t: TcbId, image: ImageId, clone_right: bool) -> usize {
-        let rights = Rights { clone: clone_right, ..Rights::all() };
-        self.grant_cap(t, Capability { obj: CapObject::KernelImage(image), rights })
+        let rights = Rights {
+            clone: clone_right,
+            ..Rights::all()
+        };
+        self.grant_cap(
+            t,
+            Capability {
+                obj: CapObject::KernelImage(image),
+                rights,
+            },
+        )
     }
 
     /// The capability-checked `Kernel_Clone` invocation (§4.1 step 3): the
@@ -354,7 +377,10 @@ impl Kernel {
             return Err(KernelError::InvalidArg);
         }
         // Drain the colour's free frames from the source pool.
-        let src = self.untypeds.get_mut(from_pool.0).ok_or(KernelError::ObjectGone)?;
+        let src = self
+            .untypeds
+            .get_mut(from_pool.0)
+            .ok_or(KernelError::ObjectGone)?;
         let all = src.alloc(src.available()).unwrap_or_default();
         let (moved, kept): (Vec<u64>, Vec<u64>) = all
             .into_iter()
@@ -362,7 +388,10 @@ impl Kernel {
         src.free(kept);
         src.colors = src.colors.minus(tp_sim::ColorSet::EMPTY.with(color));
         let n = moved.len();
-        let dst = self.untypeds.get_mut(to_pool.0).ok_or(KernelError::ObjectGone)?;
+        let dst = self
+            .untypeds
+            .get_mut(to_pool.0)
+            .ok_or(KernelError::ObjectGone)?;
         dst.free(moved);
         dst.colors = dst.colors.with(color);
         self.domains.get_mut(from.0).unwrap().colors =
@@ -395,7 +424,10 @@ impl Kernel {
             return Err(KernelError::InvalidArg);
         }
         let n_colors = self.cfg.partition_colors();
-        let src = self.untypeds.get_mut(p_pool.0).ok_or(KernelError::ObjectGone)?;
+        let src = self
+            .untypeds
+            .get_mut(p_pool.0)
+            .ok_or(KernelError::ObjectGone)?;
         let all = src.alloc(src.available()).unwrap_or_default();
         let (taken, kept): (Vec<u64>, Vec<u64>) = all
             .into_iter()
@@ -404,7 +436,8 @@ impl Kernel {
         src.colors = src.colors.minus(colors);
         self.domains.get_mut(parent.0).unwrap().colors = p_colors.minus(colors);
         let pool = crate::objects::UntypedId(
-            self.untypeds.alloc(crate::objects::Untyped::new(taken, colors)),
+            self.untypeds
+                .alloc(crate::objects::Untyped::new(taken, colors)),
         );
         Ok(DomainId(self.domains.alloc(crate::objects::Domain {
             colors,
@@ -423,7 +456,7 @@ mod tests {
 
     fn setup() -> (Machine, Kernel) {
         let cfg = Platform::Haswell.config();
-        let m = Machine::new(cfg.clone(), 7);
+        let m = Machine::new(cfg, 7);
         let k = Kernel::new(cfg, ProtectionConfig::protected(), 16384, 3_400_000);
         (m, k)
     }
@@ -439,7 +472,10 @@ mod tests {
         for f in image.layout.all_frames() {
             assert!(colors.contains(tp_sim::color_of_frame(f, n)));
         }
-        assert_ne!(image.layout.text, k.images.get(k.boot_image.0).unwrap().layout.text);
+        assert_ne!(
+            image.layout.text,
+            k.images.get(k.boot_image.0).unwrap().layout.text
+        );
         assert_eq!(k.domains.get(d.0).unwrap().image, img);
     }
 
@@ -459,9 +495,15 @@ mod tests {
     fn clone_requires_sufficient_kmem() {
         let (mut m, mut k) = setup();
         let frames = k.alloc_frames(k.boot_domain, 3).unwrap();
-        let kmem = KmemId(k.kmems.alloc(KernelMemory { frames, image: None }));
+        let kmem = KmemId(k.kmems.alloc(KernelMemory {
+            frames,
+            image: None,
+        }));
         let boot = k.boot_image;
-        assert_eq!(k.kernel_clone(&mut m, 0, boot, kmem), Err(KernelError::InvalidArg));
+        assert_eq!(
+            k.kernel_clone(&mut m, 0, boot, kmem),
+            Err(KernelError::InvalidArg)
+        );
     }
 
     #[test]
@@ -494,7 +536,10 @@ mod tests {
     fn boot_image_is_indestructible() {
         let (mut m, mut k) = setup();
         let boot = k.boot_image;
-        assert_eq!(k.kernel_destroy(&mut m, 0, boot), Err(KernelError::InvalidArg));
+        assert_eq!(
+            k.kernel_destroy(&mut m, 0, boot),
+            Err(KernelError::InvalidArg)
+        );
     }
 
     #[test]
@@ -520,11 +565,19 @@ mod tests {
         let boot = k.boot_image;
         // A derived capability with the clone right stripped.
         let weak = k.grant_image_cap(t, boot, false);
-        let frames = k.alloc_frames(d, ImageLayout::total_pages() as usize).unwrap();
-        let kmem = KmemId(k.kmems.alloc(KernelMemory { frames, image: None }));
+        let frames = k
+            .alloc_frames(d, ImageLayout::total_pages() as usize)
+            .unwrap();
+        let kmem = KmemId(k.kmems.alloc(KernelMemory {
+            frames,
+            image: None,
+        }));
         let kcap = k.grant_cap(
             t,
-            Capability { obj: CapObject::KernelMemory(kmem), rights: Rights::all() },
+            Capability {
+                obj: CapObject::KernelMemory(kmem),
+                rights: Rights::all(),
+            },
         );
         assert_eq!(
             k.kernel_clone_invocation(&mut m, 0, t, weak, kcap),
@@ -532,7 +585,9 @@ mod tests {
         );
         // The master capability (with clone right) succeeds.
         let master = k.grant_image_cap(t, boot, true);
-        let img = k.kernel_clone_invocation(&mut m, 0, t, master, kcap).unwrap();
+        let img = k
+            .kernel_clone_invocation(&mut m, 0, t, master, kcap)
+            .unwrap();
         assert_eq!(k.images.get(img.0).unwrap().parent, Some(boot));
     }
 
@@ -543,8 +598,13 @@ mod tests {
         // boot -> a -> b, boot -> a -> c: revoking a kills a, b and c.
         let a = k.clone_kernel_for_domain(&mut m, 0, d).unwrap();
         let mk_kmem = |k: &mut Kernel| {
-            let frames = k.alloc_frames(d, ImageLayout::total_pages() as usize).unwrap();
-            KmemId(k.kmems.alloc(KernelMemory { frames, image: None }))
+            let frames = k
+                .alloc_frames(d, ImageLayout::total_pages() as usize)
+                .unwrap();
+            KmemId(k.kmems.alloc(KernelMemory {
+                frames,
+                image: None,
+            }))
         };
         let km_b = mk_kmem(&mut k);
         let b = k.kernel_clone(&mut m, 0, a, km_b).unwrap();
@@ -555,7 +615,10 @@ mod tests {
         for img in [a, b, c] {
             assert!(k.images.get(img.0).is_none(), "{img:?} must be destroyed");
         }
-        assert!(k.images.get(k.boot_image.0).is_some(), "boot image survives");
+        assert!(
+            k.images.get(k.boot_image.0).is_some(),
+            "boot image survives"
+        );
     }
 
     #[test]
@@ -563,28 +626,48 @@ mod tests {
         let (_, mut k) = setup();
         let d0 = k.create_domain(ColorSet::range(0, 4), 4000).unwrap();
         let d1 = k.create_domain(ColorSet::range(4, 8), 4000).unwrap();
-        let before0 = k.untypeds.get(k.domains.get(d0.0).unwrap().pool.0).unwrap().available();
+        let before0 = k
+            .untypeds
+            .get(k.domains.get(d0.0).unwrap().pool.0)
+            .unwrap()
+            .available();
         let moved = k.move_color(d0, d1, 3).unwrap();
         assert!(moved > 100, "a full colour's worth of frames moves");
         assert!(!k.domains.get(d0.0).unwrap().colors.contains(3));
         assert!(k.domains.get(d1.0).unwrap().colors.contains(3));
-        let after0 = k.untypeds.get(k.domains.get(d0.0).unwrap().pool.0).unwrap().available();
+        let after0 = k
+            .untypeds
+            .get(k.domains.get(d0.0).unwrap().pool.0)
+            .unwrap()
+            .available();
         assert_eq!(before0 - after0, moved);
         // A domain cannot give away a colour it does not own, nor its last.
         assert_eq!(k.move_color(d0, d1, 3), Err(KernelError::InvalidArg));
         for c in [0, 1] {
             let _ = k.move_color(d0, d1, c);
         }
-        assert_eq!(k.move_color(d0, d1, 2), Err(KernelError::InvalidArg), "last colour stays");
+        assert_eq!(
+            k.move_color(d0, d1, 2),
+            Err(KernelError::InvalidArg),
+            "last colour stays"
+        );
     }
 
     #[test]
     fn nested_partitioning() {
         let (_, mut k) = setup();
         let parent = k.create_domain(ColorSet::range(0, 4), 6000).unwrap();
-        let child = k.create_nested_domain(parent, ColorSet::range(0, 2)).unwrap();
-        assert_eq!(k.domains.get(parent.0).unwrap().colors, ColorSet::range(2, 4));
-        assert_eq!(k.domains.get(child.0).unwrap().colors, ColorSet::range(0, 2));
+        let child = k
+            .create_nested_domain(parent, ColorSet::range(0, 2))
+            .unwrap();
+        assert_eq!(
+            k.domains.get(parent.0).unwrap().colors,
+            ColorSet::range(2, 4)
+        );
+        assert_eq!(
+            k.domains.get(child.0).unwrap().colors,
+            ColorSet::range(0, 2)
+        );
         // Child allocations respect the sub-partition.
         let t = k.create_thread(child, 0, 100).unwrap();
         let (_, frames) = k.map_user_pages(t, 16).unwrap();
@@ -610,9 +693,20 @@ mod tests {
         let d = k.create_domain(ColorSet::range(0, 4), 4096).unwrap();
         let img = k.clone_kernel_for_domain(&mut m, 0, d).unwrap();
         k.kernel_destroy(&mut m, 0, img).unwrap();
-        assert_eq!(k.kernel_destroy(&mut m, 0, img), Err(KernelError::ObjectGone));
-        let frames = k.alloc_frames(k.boot_domain, ImageLayout::total_pages() as usize).unwrap();
-        let kmem = KmemId(k.kmems.alloc(KernelMemory { frames, image: None }));
-        assert_eq!(k.kernel_clone(&mut m, 0, img, kmem), Err(KernelError::ObjectGone));
+        assert_eq!(
+            k.kernel_destroy(&mut m, 0, img),
+            Err(KernelError::ObjectGone)
+        );
+        let frames = k
+            .alloc_frames(k.boot_domain, ImageLayout::total_pages() as usize)
+            .unwrap();
+        let kmem = KmemId(k.kmems.alloc(KernelMemory {
+            frames,
+            image: None,
+        }));
+        assert_eq!(
+            k.kernel_clone(&mut m, 0, img, kmem),
+            Err(KernelError::ObjectGone)
+        );
     }
 }

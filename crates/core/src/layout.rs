@@ -210,17 +210,72 @@ pub struct SharedItem {
 
 /// The §4.1 audit list: data shared between all kernel images.
 pub const SHARED_ITEMS: &[SharedItem] = &[
-    SharedItem { name: "scheduler ready-queue head array", bytes: 4096, x86_only: false, user_indexed: false },
-    SharedItem { name: "priority bitmap", bytes: 32, x86_only: false, user_indexed: false },
-    SharedItem { name: "current scheduling decision", bytes: 8, x86_only: false, user_indexed: false },
-    SharedItem { name: "IRQ state table", bytes: 1126, x86_only: false, user_indexed: false },
-    SharedItem { name: "IRQ handler table", bytes: 1126, x86_only: false, user_indexed: false },
-    SharedItem { name: "interrupt currently being handled", bytes: 8, x86_only: false, user_indexed: false },
-    SharedItem { name: "first-level hardware ASID table", bytes: 1126, x86_only: false, user_indexed: false },
-    SharedItem { name: "IO port control table", bytes: 2048, x86_only: true, user_indexed: false },
-    SharedItem { name: "current thread/cspace/kernel/idle/FPU-owner pointers", bytes: 40, x86_only: false, user_indexed: false },
-    SharedItem { name: "SMP kernel lock", bytes: 8, x86_only: false, user_indexed: false },
-    SharedItem { name: "IPI barrier", bytes: 8, x86_only: false, user_indexed: false },
+    SharedItem {
+        name: "scheduler ready-queue head array",
+        bytes: 4096,
+        x86_only: false,
+        user_indexed: false,
+    },
+    SharedItem {
+        name: "priority bitmap",
+        bytes: 32,
+        x86_only: false,
+        user_indexed: false,
+    },
+    SharedItem {
+        name: "current scheduling decision",
+        bytes: 8,
+        x86_only: false,
+        user_indexed: false,
+    },
+    SharedItem {
+        name: "IRQ state table",
+        bytes: 1126,
+        x86_only: false,
+        user_indexed: false,
+    },
+    SharedItem {
+        name: "IRQ handler table",
+        bytes: 1126,
+        x86_only: false,
+        user_indexed: false,
+    },
+    SharedItem {
+        name: "interrupt currently being handled",
+        bytes: 8,
+        x86_only: false,
+        user_indexed: false,
+    },
+    SharedItem {
+        name: "first-level hardware ASID table",
+        bytes: 1126,
+        x86_only: false,
+        user_indexed: false,
+    },
+    SharedItem {
+        name: "IO port control table",
+        bytes: 2048,
+        x86_only: true,
+        user_indexed: false,
+    },
+    SharedItem {
+        name: "current thread/cspace/kernel/idle/FPU-owner pointers",
+        bytes: 40,
+        x86_only: false,
+        user_indexed: false,
+    },
+    SharedItem {
+        name: "SMP kernel lock",
+        bytes: 8,
+        x86_only: false,
+        user_indexed: false,
+    },
+    SharedItem {
+        name: "IPI barrier",
+        bytes: 8,
+        x86_only: false,
+        user_indexed: false,
+    },
 ];
 
 /// The residual shared kernel data region, placed in the *boot* image's
@@ -242,7 +297,11 @@ impl SharedKernelData {
             .filter(|i| x86 || !i.x86_only)
             .map(|i| i.bytes)
             .sum();
-        SharedKernelData { base, bytes, line: cfg.line }
+        SharedKernelData {
+            base,
+            bytes,
+            line: cfg.line,
+        }
     }
 
     /// Total shared bytes (≈ 9.5 KiB per core on x64, §4.1).

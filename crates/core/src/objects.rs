@@ -74,13 +74,23 @@ impl Rights {
     /// All rights.
     #[must_use]
     pub fn all() -> Self {
-        Rights { read: true, write: true, grant: true, clone: true }
+        Rights {
+            read: true,
+            write: true,
+            grant: true,
+            clone: true,
+        }
     }
 
     /// Read+write without grant or clone.
     #[must_use]
     pub fn rw() -> Self {
-        Rights { read: true, write: true, grant: false, clone: false }
+        Rights {
+            read: true,
+            write: true,
+            grant: false,
+            clone: false,
+        }
     }
 
     /// Derive a weaker capability: rights can only be removed (§4.1: "the
@@ -212,7 +222,11 @@ impl Untyped {
         // Allocate low frames first.
         frames.sort_unstable_by(|a, b| b.cmp(a));
         let total = frames.len();
-        Untyped { free: frames, colors, total }
+        Untyped {
+            free: frames,
+            colors,
+            total,
+        }
     }
 
     /// Allocate `n` frames; `None` if exhausted (allocation is
@@ -391,7 +405,10 @@ mod tests {
     #[test]
     fn rights_can_only_shrink() {
         let all = Rights::all();
-        let no_clone = Rights { clone: false, ..Rights::all() };
+        let no_clone = Rights {
+            clone: false,
+            ..Rights::all()
+        };
         let derived = all.mask(no_clone);
         assert!(!derived.clone);
         // Masking with all() again cannot restore the right.

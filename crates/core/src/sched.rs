@@ -25,7 +25,10 @@ pub struct ReadyQueues {
 
 impl Default for ReadyQueues {
     fn default() -> Self {
-        ReadyQueues { queues: (0..NUM_PRIOS).map(|_| VecDeque::new()).collect(), bitmap: [0; 4] }
+        ReadyQueues {
+            queues: (0..NUM_PRIOS).map(|_| VecDeque::new()).collect(),
+            bitmap: [0; 4],
+        }
     }
 }
 

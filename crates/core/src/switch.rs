@@ -73,7 +73,10 @@ impl Kernel {
                 (tcb.domain, tcb.priority, tcb.state)
             };
             if state == ThreadState::Ready {
-                self.run_queues.entry((core, domain)).or_default().enqueue(prio, t);
+                self.run_queues
+                    .entry((core, domain))
+                    .or_default()
+                    .enqueue(prio, t);
             }
         }
 
@@ -107,7 +110,9 @@ impl Kernel {
         let from_domain = self.cores[core].cur_domain;
         let to_domain = match self.cores[core].mode {
             EngineMode::Slotted => next_domain,
-            EngineMode::Open => next_thread.map(|t| self.tcbs.get(t.0).expect("live thread").domain),
+            EngineMode::Open => {
+                next_thread.map(|t| self.tcbs.get(t.0).expect("live thread").domain)
+            }
         };
         let switched = to_domain.is_some() && to_domain != from_domain;
         if let Some(d) = to_domain {
@@ -185,7 +190,10 @@ impl Kernel {
         // Step 12: return to user.
         m.advance(core, self.cfg.lat.mode_switch / 2);
 
-        TickOutcome { next_tick_at, switched_domain: switched }
+        TickOutcome {
+            next_tick_at,
+            switched_domain: switched,
+        }
     }
 
     fn rotate_slot(&mut self, core: usize) -> Option<DomainId> {
@@ -294,7 +302,14 @@ impl Kernel {
         for i in 0..self.shared.lines() {
             let pa = self.shared.line_pa(i);
             let va = VAddr(KERNEL_VBASE + 0x40_0000 + i * line);
-            m.data_access(core, Asid::KERNEL, va, pa, false, self.prot.kernel_global_mappings);
+            m.data_access(
+                core,
+                Asid::KERNEL,
+                va,
+                pa,
+                false,
+                self.prot.kernel_global_mappings,
+            );
         }
     }
 
@@ -341,7 +356,7 @@ mod tests {
 
     fn two_domain_kernel(prot: ProtectionConfig) -> (Machine, Kernel) {
         let cfg = Platform::Haswell.config();
-        let mut m = Machine::new(cfg.clone(), 11);
+        let mut m = Machine::new(cfg, 11);
         let mut k = Kernel::new(cfg, prot, 16384, 3_400_000);
         let d0 = k.create_domain(ColorSet::range(0, 4), 2048).unwrap();
         let d1 = k.create_domain(ColorSet::range(4, 8), 2048).unwrap();
@@ -415,8 +430,8 @@ mod tests {
         let mut prot = ProtectionConfig::protected();
         prot.pad_us = Some(pad_us);
         let (mut m, mut k) = {
-            let mut m = Machine::new(cfg.clone(), 11);
-            let mut k = Kernel::new(cfg.clone(), prot, 16384, 3_400_000);
+            let mut m = Machine::new(cfg, 11);
+            let mut k = Kernel::new(cfg, prot, 16384, 3_400_000);
             let d0 = k.create_domain(ColorSet::range(0, 4), 2048).unwrap();
             let d1 = k.create_domain(ColorSet::range(4, 8), 2048).unwrap();
             k.clone_kernel_for_domain(&mut m, 0, d0).unwrap();
@@ -441,7 +456,10 @@ mod tests {
         for &l in &latencies {
             assert!(l >= pad_cycles, "switch {l} below pad {pad_cycles}");
             // Fixed epilogue (timer reprogram + return) rides on top.
-            assert!(l < pad_cycles + 500, "switch {l} far above pad {pad_cycles}");
+            assert!(
+                l < pad_cycles + 500,
+                "switch {l} far above pad {pad_cycles}"
+            );
         }
         assert!(k.stats.pad_cycles > 0);
     }
@@ -483,7 +501,10 @@ mod tests {
         let d1_thread = k
             .tcbs
             .iter()
-            .find(|(_, t)| Some(crate::objects::TcbId(0)) != Some(crate::objects::TcbId(t.core)) && k.cores[0].cur != Some(crate::objects::TcbId(0)))
+            .find(|(_, t)| {
+                Some(crate::objects::TcbId(0)) != Some(crate::objects::TcbId(t.core))
+                    && k.cores[0].cur != Some(crate::objects::TcbId(0))
+            })
             .map(|(i, _)| crate::objects::TcbId(i));
         let _ = d1_thread;
         // Simpler: directly mark the non-current thread sleeping.
@@ -499,7 +520,10 @@ mod tests {
                 let t = k.tcbs.get(s.0).unwrap();
                 (t.core, t.domain, t.priority)
             };
-            k.run_queues.get_mut(&(core, domain)).unwrap().remove(prio, s);
+            k.run_queues
+                .get_mut(&(core, domain))
+                .unwrap()
+                .remove(prio, s);
             k.tcbs.get_mut(s.0).unwrap().state = ThreadState::SleepingUntilSlice;
         }
         k.handle_tick(&mut m, 0);

@@ -11,7 +11,7 @@ use crate::engine::{run_programs, EvKind, SimCtl, SimInner, UserProgram, DEFAULT
 use crate::kernel::{EngineMode, Kernel, KernelStats};
 use crate::objects::{DomainId, TcbId};
 
-use tp_sim::{ColorSet, Machine, Platform, PlatformConfig};
+use tp_sim::{ColorSet, Machine, PlatformConfig};
 
 /// Default simulated RAM in frames (128 MiB — ample for every experiment).
 pub const DEFAULT_RAM_FRAMES: u64 = 32_768;
@@ -42,7 +42,7 @@ pub type SetupFn = Box<dyn FnOnce(&mut Kernel, &mut Machine, &[TcbId], &[DomainI
 
 /// Builder for a complete simulated system.
 pub struct SystemBuilder {
-    platform: Platform,
+    cfg: PlatformConfig,
     prot: ProtectionConfig,
     seed: u64,
     slice_us: f64,
@@ -56,11 +56,13 @@ pub struct SystemBuilder {
 }
 
 impl SystemBuilder {
-    /// Start describing a system on `platform` with a protection config.
+    /// Start describing a system with a protection config. Accepts either
+    /// a [`tp_sim::Platform`] registry key or a full [`PlatformConfig`] (so
+    /// experiments can run on custom hardware descriptions).
     #[must_use]
-    pub fn new(platform: Platform, prot: ProtectionConfig) -> Self {
+    pub fn new(platform: impl Into<PlatformConfig>, prot: ProtectionConfig) -> Self {
         SystemBuilder {
-            platform,
+            cfg: platform.into(),
             prot,
             seed: 0xC0FFEE,
             slice_us: 1_000.0,
@@ -134,7 +136,13 @@ impl SystemBuilder {
     /// Spawn a primary program in a domain; the simulation ends when all
     /// primary programs finish.
     pub fn spawn(&mut self, domain: DomainHandle, core: usize, prio: u8, prog: impl UserProgram) {
-        self.threads.push(ThreadSpec { domain: domain.0, core, prio, prog: Box::new(prog), primary: true });
+        self.threads.push(ThreadSpec {
+            domain: domain.0,
+            core,
+            prio,
+            prog: Box::new(prog),
+            primary: true,
+        });
     }
 
     /// Spawn a daemon program (victims, idlers): it does not keep the
@@ -146,7 +154,13 @@ impl SystemBuilder {
         prio: u8,
         prog: impl UserProgram,
     ) {
-        self.threads.push(ThreadSpec { domain: domain.0, core, prio, prog: Box::new(prog), primary: false });
+        self.threads.push(ThreadSpec {
+            domain: domain.0,
+            core,
+            prio,
+            prog: Box::new(prog),
+            primary: false,
+        });
     }
 
     /// Install the post-setup hook.
@@ -161,10 +175,10 @@ impl SystemBuilder {
     /// if construction fails (e.g. pool exhaustion).
     #[must_use]
     pub fn run(self) -> SystemReport {
-        let cfg = self.platform.config();
-        let mut machine = Machine::new(cfg.clone(), self.seed);
+        let cfg = self.cfg;
+        let mut machine = Machine::new(cfg, self.seed);
         let slice_cycles = cfg.us_to_cycles(self.slice_us);
-        let mut kernel = Kernel::new(cfg.clone(), self.prot.clone(), self.ram_frames, slice_cycles);
+        let mut kernel = Kernel::new(cfg, self.prot.clone(), self.ram_frames, slice_cycles);
 
         if self.prot.disable_data_prefetcher {
             for c in &mut machine.cores {
@@ -210,7 +224,9 @@ impl SystemBuilder {
         let mut specs = Vec::new();
         for spec in self.threads {
             let d = domain_ids[spec.domain];
-            let t = kernel.create_thread(d, spec.core, spec.prio).expect("thread");
+            let t = kernel
+                .create_thread(d, spec.core, spec.prio)
+                .expect("thread");
             tcbs.push(t);
             specs.push((t, spec.core, d, spec.prog, spec.primary));
         }
@@ -253,7 +269,14 @@ impl SystemBuilder {
         let programs = specs
             .into_iter()
             .map(|(t, core, d, prog, primary)| {
-                let colors = ctl.inner.lock().kernel.domains.get(d.0).expect("domain").colors;
+                let colors = ctl
+                    .inner
+                    .lock()
+                    .kernel
+                    .domains
+                    .get(d.0)
+                    .expect("domain")
+                    .colors;
                 (t, core, d, colors, prog, primary)
             })
             .collect();
@@ -264,9 +287,11 @@ impl SystemBuilder {
             panic!("simulated program failed: {e}");
         }
         SystemReport {
-            cfg: g.machine.cfg.clone(),
+            cfg: g.machine.cfg,
             stats: g.kernel.stats,
-            cycles: (0..g.machine.cfg.cores).map(|c| g.machine.cycles(c)).collect(),
+            cycles: (0..g.machine.cfg.cores)
+                .map(|c| g.machine.cycles(c))
+                .collect(),
             domains: domain_ids,
         }
     }
@@ -290,6 +315,7 @@ mod tests {
     use super::*;
     use parking_lot::Mutex;
     use std::sync::Arc;
+    use tp_sim::Platform;
 
     #[test]
     fn single_thread_runs_to_completion() {
@@ -325,10 +351,8 @@ mod tests {
                 log2.lock().push((gap, resume));
             }
         });
-        b.spawn_daemon(d1, 0, 100, move |env: &mut crate::engine::UserEnv| {
-            loop {
-                env.compute(1000);
-            }
+        b.spawn_daemon(d1, 0, 100, move |env: &mut crate::engine::UserEnv| loop {
+            env.compute(1000);
         });
         let report = b.run();
         let log = log.lock();
@@ -370,7 +394,10 @@ mod tests {
         let d1 = b.domain(None);
         b.setup(Box::new(|k, _m, tcbs, domains| {
             let ep = k.create_endpoint(domains[0]).unwrap();
-            let cap = Capability { obj: CapObject::Endpoint(ep), rights: Rights::all() };
+            let cap = Capability {
+                obj: CapObject::Endpoint(ep),
+                rights: Rights::all(),
+            };
             let c0 = k.grant_cap(tcbs[0], cap);
             let c1 = k.grant_cap(tcbs[1], cap);
             assert_eq!(c0, 0);
@@ -388,13 +415,22 @@ mod tests {
             let first = env.syscall(Syscall::Recv { cap: 0 }).unwrap();
             let mut msg = first;
             loop {
-                msg = env.syscall(Syscall::ReplyRecv { cap: 0, msg: msg + 1 }).unwrap();
+                msg = env
+                    .syscall(Syscall::ReplyRecv {
+                        cap: 0,
+                        msg: msg + 1,
+                    })
+                    .unwrap();
             }
         });
         let report = b.run();
         assert_eq!(*count.lock(), 10);
         // First Call goes through the slow path (server not yet waiting);
         // all later Calls and every ReplyRecv hit the fastpath.
-        assert!(report.stats.ipc_fastpath >= 15, "fastpath {}", report.stats.ipc_fastpath);
+        assert!(
+            report.stats.ipc_fastpath >= 15,
+            "fastpath {}",
+            report.stats.ipc_fastpath
+        );
     }
 }

@@ -34,7 +34,12 @@ impl Btb {
     pub fn new(geom: TlbGeom) -> Self {
         let sets = geom.sets() as usize;
         let ways = geom.ways as usize;
-        Btb { sets, ways, entries: vec![BtbEntry::default(); sets * ways], clock: 0 }
+        Btb {
+            sets,
+            ways,
+            entries: vec![BtbEntry::default(); sets * ways],
+            clock: 0,
+        }
     }
 
     fn index(&self, pc: u64) -> (usize, u64) {
@@ -70,7 +75,12 @@ impl Btb {
                     .map(|(i, _)| i)
             })
             .unwrap_or(0);
-        slice[idx] = BtbEntry { tag, target, valid: true, stamp: clock };
+        slice[idx] = BtbEntry {
+            tag,
+            target,
+            valid: true,
+            stamp: clock,
+        };
         false
     }
 
@@ -160,7 +170,10 @@ mod tests {
 
     #[test]
     fn btb_hit_after_install() {
-        let mut b = Btb::new(TlbGeom { entries: 16, ways: 2 });
+        let mut b = Btb::new(TlbGeom {
+            entries: 16,
+            ways: 2,
+        });
         let mut r = StdRng::seed_from_u64(3);
         assert!(!b.access(0x400, 0x500, &mut r));
         assert!(b.access(0x400, 0x500, &mut r));
@@ -170,7 +183,10 @@ mod tests {
     #[test]
     fn btb_conflict_eviction() {
         // 8 sets x 2 ways; pcs 4*(8*k) map to set 0.
-        let mut b = Btb::new(TlbGeom { entries: 16, ways: 2 });
+        let mut b = Btb::new(TlbGeom {
+            entries: 16,
+            ways: 2,
+        });
         let mut r = StdRng::seed_from_u64(3);
         for k in 0..3u64 {
             b.access(4 * 8 * k, 0, &mut r);
@@ -181,7 +197,10 @@ mod tests {
 
     #[test]
     fn btb_flush_clears() {
-        let mut b = Btb::new(TlbGeom { entries: 16, ways: 2 });
+        let mut b = Btb::new(TlbGeom {
+            entries: 16,
+            ways: 2,
+        });
         let mut r = StdRng::seed_from_u64(3);
         for k in 0..10u64 {
             b.access(4 * k, 0, &mut r);

@@ -182,7 +182,11 @@ impl Cache {
                     line.stamp = clock;
                     line.dirty |= write;
                     self.stats.hits += 1;
-                    return AccessOutcome { hit: true, writeback: false, evicted: None };
+                    return AccessOutcome {
+                        hit: true,
+                        writeback: false,
+                        evicted: None,
+                    };
                 }
                 if line.stamp < lru_stamp {
                     lru_stamp = line.stamp;
@@ -211,7 +215,11 @@ impl Cache {
             },
         };
         let victim = slice[victim_idx];
-        let mut outcome = AccessOutcome { hit: false, writeback: false, evicted: None };
+        let mut outcome = AccessOutcome {
+            hit: false,
+            writeback: false,
+            evicted: None,
+        };
         if victim.valid {
             outcome.evicted = Some(EvictedLine {
                 line_addr: victim.tag * self.sets as u64 + set as u64,
@@ -222,7 +230,12 @@ impl Cache {
                 self.stats.writebacks += 1;
             }
         }
-        slice[victim_idx] = Line { tag, valid: true, dirty: write, stamp: clock };
+        slice[victim_idx] = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            stamp: clock,
+        };
         debug_assert_eq!(line_addr % self.sets as u64, set as u64 % self.sets as u64);
         outcome
     }
@@ -344,7 +357,11 @@ mod tests {
 
     fn small() -> Cache {
         // 4 sets x 2 ways x 64B lines.
-        let geom = CacheGeom { size: 512, ways: 2, line: 64 };
+        let geom = CacheGeom {
+            size: 512,
+            ways: 2,
+            line: 64,
+        };
         Cache::new("t", geom, Replacement::Lru)
     }
 
@@ -432,7 +449,11 @@ mod tests {
 
     #[test]
     fn phys_indexing_helpers() {
-        let geom = CacheGeom { size: 256 * 1024, ways: 8, line: 64 };
+        let geom = CacheGeom {
+            size: 256 * 1024,
+            ways: 8,
+            line: 64,
+        };
         assert_eq!(geom.sets(), 512);
         assert_eq!(phys_set(geom, 0), 0);
         assert_eq!(phys_set(geom, 64), 1);
@@ -442,7 +463,11 @@ mod tests {
 
     #[test]
     fn random_policy_fills_invalid_ways_first() {
-        let geom = CacheGeom { size: 512, ways: 2, line: 64 };
+        let geom = CacheGeom {
+            size: 512,
+            ways: 2,
+            line: 64,
+        };
         let mut c = Cache::new("r", geom, Replacement::Random);
         let mut r = rng();
         c.access(0, 1, 4, false, &mut r);

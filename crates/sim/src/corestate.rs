@@ -59,7 +59,9 @@ impl CoreState {
     #[must_use]
     pub fn new(id: usize, cfg: &PlatformConfig) -> Self {
         let l1_policy = if cfg.l1_plru_noise > 0 {
-            Replacement::PseudoLru { noise: cfg.l1_plru_noise }
+            Replacement::PseudoLru {
+                noise: cfg.l1_plru_noise,
+            }
         } else {
             Replacement::Lru
         };

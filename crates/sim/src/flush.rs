@@ -41,7 +41,11 @@ pub fn flush_l1d_arch(m: &mut Machine, core: usize) -> FlushWork {
     let total_lines = m.cfg.l1d.lines();
     let cycles = FLUSH_BASE + total_lines * lat.maint_per_line + dirty * lat.writeback;
     m.advance(core, cycles);
-    FlushWork { lines: valid, writebacks: dirty, cycles }
+    FlushWork {
+        lines: valid,
+        writebacks: dirty,
+        cycles,
+    }
 }
 
 /// Arm `ICIALLU`: invalidate the whole L1-I (no dirty data).
@@ -50,7 +54,11 @@ pub fn flush_l1i_arch(m: &mut Machine, core: usize) -> FlushWork {
     let valid = m.cores[core].l1i.invalidate_all();
     let cycles = FLUSH_BASE + m.cfg.l1i.lines() * lat.maint_per_line / 2;
     m.advance(core, cycles);
-    FlushWork { lines: valid, writebacks: 0, cycles }
+    FlushWork {
+        lines: valid,
+        writebacks: 0,
+        cycles,
+    }
 }
 
 /// Flush all TLB levels (`TLBIALL` / `invpcid` all-contexts).
@@ -58,7 +66,11 @@ pub fn flush_tlbs(m: &mut Machine, core: usize) -> FlushWork {
     let dropped = m.cores[core].tlb.flush_all();
     let cycles = FLUSH_BASE / 2 + dropped;
     m.advance(core, cycles);
-    FlushWork { lines: dropped, writebacks: 0, cycles }
+    FlushWork {
+        lines: dropped,
+        writebacks: 0,
+        cycles,
+    }
 }
 
 /// Reset the branch predictor (`BPIALL` on Arm, IBC on x86).
@@ -67,7 +79,11 @@ pub fn flush_branch_predictor(m: &mut Machine, core: usize) -> FlushWork {
     m.cores[core].bhb.flush();
     let cycles = FLUSH_BASE / 2;
     m.advance(core, cycles);
-    FlushWork { lines: n, writebacks: 0, cycles }
+    FlushWork {
+        lines: n,
+        writebacks: 0,
+        cycles,
+    }
 }
 
 /// x86 "manual" L1-D flush: load one word per line of an L1-D-sized kernel
@@ -87,7 +103,11 @@ pub fn manual_flush_l1d(m: &mut Machine, core: usize, buf_pa: PAddr) -> FlushWor
     let cycles = m.cycles(core) - start;
     // Count how many pre-existing lines survived (non-buffer tags).
     let survivors = count_foreign_lines(m, core, buf_pa, false);
-    FlushWork { lines: before.saturating_sub(survivors), writebacks: 0, cycles }
+    FlushWork {
+        lines: before.saturating_sub(survivors),
+        writebacks: 0,
+        cycles,
+    }
 }
 
 /// x86 "manual" L1-I flush: follow a chain of jumps through an L1-I-sized
@@ -104,12 +124,22 @@ pub fn manual_flush_l1i(m: &mut Machine, core: usize, buf_pa: PAddr) -> FlushWor
         let pa = PAddr(buf_pa.0 + i * line);
         m.insn_fetch(core, Asid::KERNEL, crate::VAddr(pa.0), pa, true);
         // The chained jump: mispredicted, BTB entry installed.
-        m.branch(core, crate::VAddr(pa.0), crate::VAddr(pa.0 + line), true, false);
+        m.branch(
+            core,
+            crate::VAddr(pa.0),
+            crate::VAddr(pa.0 + line),
+            true,
+            false,
+        );
         m.advance(core, jump_cost);
     }
     let cycles = m.cycles(core) - start;
     let survivors = count_foreign_lines(m, core, buf_pa, true);
-    FlushWork { lines: before.saturating_sub(survivors), writebacks: 0, cycles }
+    FlushWork {
+        lines: before.saturating_sub(survivors),
+        writebacks: 0,
+        cycles,
+    }
 }
 
 fn count_foreign_lines(m: &Machine, core: usize, buf_pa: PAddr, insn: bool) -> u64 {
@@ -117,8 +147,9 @@ fn count_foreign_lines(m: &Machine, core: usize, buf_pa: PAddr, insn: bool) -> u
     let cache = if insn { &c.l1i } else { &c.l1d };
     let geom = cache.geom();
     let line = geom.line;
-    let buf_lines: std::collections::HashSet<u64> =
-        (0..geom.lines()).map(|i| (buf_pa.0 + i * line) / line).collect();
+    let buf_lines: std::collections::HashSet<u64> = (0..geom.lines())
+        .map(|i| (buf_pa.0 + i * line) / line)
+        .collect();
     // Foreign lines = valid lines that are not buffer lines.
     let mut buffer_resident = 0;
     for la in &buf_lines {
@@ -146,7 +177,11 @@ pub fn wbinvd(m: &mut Machine, core: usize) -> FlushWork {
         lines += v;
         dirty += d;
     }
-    let slices = if m.cfg.llc.is_some() { m.cfg.llc_slices as usize } else { 1 };
+    let slices = if m.cfg.llc.is_some() {
+        m.cfg.llc_slices as usize
+    } else {
+        1
+    };
     for s in 0..slices {
         let (v, d) = shared_flush(m, s);
         lines += v;
@@ -161,7 +196,11 @@ pub fn wbinvd(m: &mut Machine, core: usize) -> FlushWork {
         + m.cfg.llc.map_or(0, |l| l.lines());
     let cycles = FLUSH_BASE + capacity_lines * lat.maint_per_line + dirty * lat.writeback;
     m.advance(core, cycles);
-    FlushWork { lines, writebacks: dirty, cycles }
+    FlushWork {
+        lines,
+        writebacks: dirty,
+        cycles,
+    }
 }
 
 /// Arm full flush: L1 flushes plus clean/invalidate of the (shared) L2,
@@ -217,12 +256,17 @@ mod tests {
     #[test]
     fn arch_flush_cost_scales_with_dirtiness() {
         let cfg = Platform::Sabre.config();
-        let mut m = Machine::new(cfg.clone(), 1);
+        let mut m = Machine::new(cfg, 1);
         dirty_l1(&mut m, 0, 16);
         let low = flush_l1d_arch(&mut m, 0);
         dirty_l1(&mut m, 0, 512);
         let high = flush_l1d_arch(&mut m, 0);
-        assert!(high.cycles > low.cycles, "{} vs {}", high.cycles, low.cycles);
+        assert!(
+            high.cycles > low.cycles,
+            "{} vs {}",
+            high.cycles,
+            low.cycles
+        );
         assert_eq!(m.cores[0].l1d.valid_lines(), 0);
     }
 
@@ -238,7 +282,7 @@ mod tests {
     #[test]
     fn manual_l1i_flush_cost_matches_table2_scale() {
         let cfg = Platform::Haswell.config();
-        let mut m = Machine::new(cfg.clone(), 1);
+        let mut m = Machine::new(cfg, 1);
         let w = manual_flush_l1i(&mut m, 0, PAddr(0x20_0000));
         let us = cfg.cycles_to_us(w.cycles);
         // Paper Table 2: ~26 µs dominated by mispredicted jumps.
@@ -248,7 +292,7 @@ mod tests {
     #[test]
     fn wbinvd_empties_hierarchy_and_is_expensive() {
         let cfg = Platform::Haswell.config();
-        let mut m = Machine::new(cfg.clone(), 1);
+        let mut m = Machine::new(cfg, 1);
         for i in 0..4096u64 {
             let a = 0x100_0000 + i * 64;
             m.data_access(0, Asid(1), VAddr(a), PAddr(a), true, false);
@@ -276,7 +320,7 @@ mod tests {
     #[test]
     fn arm_full_flush_much_more_expensive_than_l1() {
         let cfg = Platform::Sabre.config();
-        let mut m = Machine::new(cfg.clone(), 1);
+        let mut m = Machine::new(cfg, 1);
         dirty_l1(&mut m, 0, 512);
         let l1 = flush_l1d_arch(&mut m, 0);
         dirty_l1(&mut m, 0, 512);

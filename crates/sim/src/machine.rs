@@ -83,7 +83,14 @@ impl Machine {
             .map(|_| Cache::new("llc", slice_geom, Replacement::Lru))
             .collect();
         let cores = (0..cfg.cores).map(|i| CoreState::new(i, &cfg)).collect();
-        Machine { cfg, cores, shared, rng: StdRng::seed_from_u64(seed), bus: VecDeque::new(), dram_accesses: 0 }
+        Machine {
+            cfg,
+            cores,
+            shared,
+            rng: StdRng::seed_from_u64(seed),
+            bus: VecDeque::new(),
+            dram_accesses: 0,
+        }
     }
 
     /// The per-slice geometry of the shared cache.
@@ -220,7 +227,14 @@ impl Machine {
     }
 
     /// An instruction fetch at `pa`.
-    pub fn insn_fetch(&mut self, core: usize, asid: Asid, va: VAddr, pa: PAddr, global: bool) -> u64 {
+    pub fn insn_fetch(
+        &mut self,
+        core: usize,
+        asid: Asid,
+        va: VAddr,
+        pa: PAddr,
+        global: bool,
+    ) -> u64 {
         let _ = va;
         self.timed_access(core, asid, pa, false, global, AccessKind::Fetch)
     }
@@ -242,7 +256,8 @@ impl Machine {
         let insn = kind == AccessKind::Fetch;
         let level = {
             let c = &mut self.cores[core];
-            c.tlb.translate(asid, pa.0 / crate::FRAME_SIZE, insn, global, &mut self.rng)
+            c.tlb
+                .translate(asid, pa.0 / crate::FRAME_SIZE, insn, global, &mut self.rng)
         };
         cost += match level {
             TlbLevel::L1 => 0,
@@ -251,7 +266,11 @@ impl Machine {
         };
 
         // 2. L1.
-        let l1_geom = if insn { self.cores[core].l1i.geom() } else { self.cores[core].l1d.geom() };
+        let l1_geom = if insn {
+            self.cores[core].l1i.geom()
+        } else {
+            self.cores[core].l1d.geom()
+        };
         let set = phys_set(l1_geom, pa.0);
         let tag = phys_tag(l1_geom, pa.0);
         let line_addr = pa.0 / line;
@@ -293,7 +312,9 @@ impl Machine {
             let tag = phys_tag(geom, pa.0);
             let out = {
                 let c = &mut self.cores[core];
-                c.l2.as_mut().unwrap().access(set, tag, line_addr, write, &mut self.rng)
+                c.l2.as_mut()
+                    .unwrap()
+                    .access(set, tag, line_addr, write, &mut self.rng)
             };
             cost += lat.l2_hit;
             if out.writeback {
@@ -310,7 +331,11 @@ impl Machine {
             let set = phys_set(geom, pa.0);
             let tag = phys_tag(geom, pa.0);
             let out = self.shared[slice].access(set, tag, line_addr, write, &mut self.rng);
-            cost += if self.cores[core].l2.is_some() { lat.llc_hit } else { lat.l2_hit };
+            cost += if self.cores[core].l2.is_some() {
+                lat.llc_hit
+            } else {
+                lat.l2_hit
+            };
             if out.writeback {
                 cost += lat.writeback;
             }
@@ -408,7 +433,10 @@ mod tests {
         let mut m = Machine::new(Platform::Haswell.config(), 1);
         let c1 = m.data_access(0, Asid(1), va(0x1000), pa(0x1000), false, false);
         let c2 = m.data_access(0, Asid(1), va(0x1000), pa(0x1000), false, false);
-        assert!(c1 > c2, "cold miss ({c1}) must cost more than L1 hit ({c2})");
+        assert!(
+            c1 > c2,
+            "cold miss ({c1}) must cost more than L1 hit ({c2})"
+        );
         assert_eq!(c2, m.cfg.lat.l1_hit);
     }
 
@@ -447,7 +475,7 @@ mod tests {
         let cfg = Platform::Sabre.config(); // single slice, no private L2
         let sets = cfg.l2.sets();
         let ways = cfg.l2.ways as u64;
-        let mut m = Machine::new(cfg.clone(), 1);
+        let mut m = Machine::new(cfg, 1);
         // Fill one shared set with ways+1 conflicting lines; the first must
         // be evicted and back-invalidated from core 0's L1.
         let stride = sets * cfg.line;

@@ -117,7 +117,10 @@ impl PhysMap {
     /// Create an empty address space with the given ASID.
     #[must_use]
     pub fn new(asid: Asid) -> Self {
-        PhysMap { asid: asid.0, map: BTreeMap::new() }
+        PhysMap {
+            asid: asid.0,
+            map: BTreeMap::new(),
+        }
     }
 
     /// The address space's ASID.
@@ -190,7 +193,14 @@ mod tests {
     #[test]
     fn physmap_translate() {
         let mut pm = PhysMap::new(Asid(3));
-        pm.map(5, Mapping { pfn: 42, global: false, writable: true });
+        pm.map(
+            5,
+            Mapping {
+                pfn: 42,
+                global: false,
+                writable: true,
+            },
+        );
         let pa = pm.translate(VAddr(5 * FRAME_SIZE + 123)).unwrap();
         assert_eq!(pa, PAddr(42 * FRAME_SIZE + 123));
         assert!(pm.translate(VAddr(6 * FRAME_SIZE)).is_none());

@@ -1,37 +1,104 @@
-//! Platform descriptions — geometry and latency tables.
+//! The platform registry — geometry and latency tables.
 //!
-//! The numbers mirror Table 1 of the paper: a Haswell Core i7-4770 ("x86")
-//! and an i.MX6 Sabre board with a Cortex-A9 ("Arm"). Latencies are
-//! representative documented/measured values for these parts; the paper's
-//! results depend on their *relative* magnitudes (L1 ≪ L2 ≪ LLC ≪ DRAM,
-//! mispredict ≫ predicted branch), which these tables preserve.
+//! Platforms are *data*: a [`PlatformConfig`] fully describes a simulated
+//! machine, and everything downstream (kernel, attacks, benches) sizes
+//! itself off that geometry. The [`Platform`] enum survives only as the
+//! registry key; [`Platform::ALL`] enumerates every registered platform so
+//! new entries automatically appear in every table and experiment.
+//!
+//! The first two entries mirror Table 1 of the paper: a Haswell Core
+//! i7-4770 ("x86") and an i.MX6 Sabre board with a Cortex-A9 ("Arm"). The
+//! other two extend the matrix: a Skylake-class server part (larger
+//! non-inclusive LLC, twice the partition colours) and a HiKey LeMaker
+//! board (Cortex-A53, the Armv8 platform of the authors' follow-up work).
+//! Latencies are representative documented/measured values for these
+//! parts; the paper's results depend on their *relative* magnitudes
+//! (L1 ≪ L2 ≪ LLC ≪ DRAM, mispredict ≫ predicted branch), which these
+//! tables preserve.
 
-/// The two evaluation platforms of the paper.
+/// Registry key for an evaluation platform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Platform {
     /// Intel Core i7-4770 (Haswell), 4 cores, 3.4 GHz.
     Haswell,
     /// NXP i.MX6Q Sabre (Cortex-A9), 4 cores, 0.8 GHz.
     Sabre,
+    /// Skylake-class Xeon: private 1 MiB L2, non-inclusive sliced LLC.
+    Skylake,
+    /// HiKey LeMaker (Cortex-A53, Armv8), 8 cores, 1.2 GHz.
+    HiKey,
 }
 
 impl Platform {
+    /// Every registered platform, in table order. Iterate this — never a
+    /// hand-written platform list — so new registry entries appear in
+    /// every experiment automatically.
+    pub const ALL: [Platform; 4] = [
+        Platform::Haswell,
+        Platform::Sabre,
+        Platform::Skylake,
+        Platform::HiKey,
+    ];
+
+    /// The two platforms evaluated in the paper itself (golden results are
+    /// pinned against these).
+    pub const PAPER: [Platform; 2] = [Platform::Haswell, Platform::Sabre];
+
     /// Human-readable platform name as used in the paper's tables.
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             Platform::Haswell => "x86 (Haswell)",
             Platform::Sabre => "Arm (Sabre)",
+            Platform::Skylake => "x86 (Skylake)",
+            Platform::HiKey => "Armv8 (HiKey)",
         }
     }
 
-    /// Build the full configuration for this platform.
+    /// Short column label for tables.
+    #[must_use]
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Platform::Haswell => "x86",
+            Platform::Sabre => "Arm",
+            Platform::Skylake => "Sky",
+            Platform::HiKey => "A53",
+        }
+    }
+
+    /// Stable machine-readable key (CLI `--platform` values, JSON output).
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            Platform::Haswell => "haswell",
+            Platform::Sabre => "sabre",
+            Platform::Skylake => "skylake",
+            Platform::HiKey => "hikey",
+        }
+    }
+
+    /// Look a platform up by its [`Platform::key`].
+    #[must_use]
+    pub fn from_key(key: &str) -> Option<Platform> {
+        Platform::ALL.into_iter().find(|p| p.key() == key)
+    }
+
+    /// Build the full configuration for this platform (the registry
+    /// lookup).
     #[must_use]
     pub fn config(self) -> PlatformConfig {
         match self {
             Platform::Haswell => PlatformConfig::haswell(),
             Platform::Sabre => PlatformConfig::sabre(),
+            Platform::Skylake => PlatformConfig::skylake(),
+            Platform::HiKey => PlatformConfig::hikey(),
         }
+    }
+}
+
+impl From<Platform> for PlatformConfig {
+    fn from(p: Platform) -> PlatformConfig {
+        p.config()
     }
 }
 
@@ -121,7 +188,11 @@ pub struct Latency {
 }
 
 /// Full description of a simulated platform.
-#[derive(Debug, Clone)]
+///
+/// Configurations are plain `Copy` data and travel by value: the kernel,
+/// the attacks and the bench harness all size themselves off this geometry
+/// rather than matching on [`Platform`].
+#[derive(Debug, Clone, Copy)]
 pub struct PlatformConfig {
     /// Which platform this is.
     pub platform: Platform,
@@ -163,6 +234,10 @@ pub struct PlatformConfig {
     pub l1_plru_noise: u8,
     /// Page size in bytes.
     pub page: u64,
+    /// The Requirement-4 switch padding (µs) that provably exceeds the
+    /// worst-case domain-switch latency on this platform (Table 4's pad
+    /// values for the paper platforms; measured analogues for the rest).
+    pub switch_pad_us: f64,
 }
 
 impl PlatformConfig {
@@ -174,15 +249,43 @@ impl PlatformConfig {
             cores: 4,
             freq_mhz: 3400,
             line: 64,
-            l1d: CacheGeom { size: 32 * 1024, ways: 8, line: 64 },
-            l1i: CacheGeom { size: 32 * 1024, ways: 8, line: 64 },
-            l2: CacheGeom { size: 256 * 1024, ways: 8, line: 64 },
-            llc: Some(CacheGeom { size: 8 * 1024 * 1024, ways: 16, line: 64 }),
+            l1d: CacheGeom {
+                size: 32 * 1024,
+                ways: 8,
+                line: 64,
+            },
+            l1i: CacheGeom {
+                size: 32 * 1024,
+                ways: 8,
+                line: 64,
+            },
+            l2: CacheGeom {
+                size: 256 * 1024,
+                ways: 8,
+                line: 64,
+            },
+            llc: Some(CacheGeom {
+                size: 8 * 1024 * 1024,
+                ways: 16,
+                line: 64,
+            }),
             llc_slices: 4,
-            itlb: TlbGeom { entries: 64, ways: 8 },
-            dtlb: TlbGeom { entries: 64, ways: 4 },
-            stlb: TlbGeom { entries: 1024, ways: 8 },
-            btb: TlbGeom { entries: 4096, ways: 4 },
+            itlb: TlbGeom {
+                entries: 64,
+                ways: 8,
+            },
+            dtlb: TlbGeom {
+                entries: 64,
+                ways: 4,
+            },
+            stlb: TlbGeom {
+                entries: 1024,
+                ways: 8,
+            },
+            btb: TlbGeom {
+                entries: 4096,
+                ways: 4,
+            },
             pht_bits: 14,
             ghr_bits: 16,
             dpf_entries: 32,
@@ -203,6 +306,7 @@ impl PlatformConfig {
             },
             l1_plru_noise: 18,
             page: 4096,
+            switch_pad_us: 58.8,
         }
     }
 
@@ -214,15 +318,39 @@ impl PlatformConfig {
             cores: 4,
             freq_mhz: 800,
             line: 32,
-            l1d: CacheGeom { size: 32 * 1024, ways: 4, line: 32 },
-            l1i: CacheGeom { size: 32 * 1024, ways: 4, line: 32 },
-            l2: CacheGeom { size: 1024 * 1024, ways: 16, line: 32 },
+            l1d: CacheGeom {
+                size: 32 * 1024,
+                ways: 4,
+                line: 32,
+            },
+            l1i: CacheGeom {
+                size: 32 * 1024,
+                ways: 4,
+                line: 32,
+            },
+            l2: CacheGeom {
+                size: 1024 * 1024,
+                ways: 16,
+                line: 32,
+            },
             llc: None,
             llc_slices: 1,
-            itlb: TlbGeom { entries: 32, ways: 1 },
-            dtlb: TlbGeom { entries: 32, ways: 1 },
-            stlb: TlbGeom { entries: 128, ways: 2 },
-            btb: TlbGeom { entries: 512, ways: 2 },
+            itlb: TlbGeom {
+                entries: 32,
+                ways: 1,
+            },
+            dtlb: TlbGeom {
+                entries: 32,
+                ways: 1,
+            },
+            stlb: TlbGeom {
+                entries: 128,
+                ways: 2,
+            },
+            btb: TlbGeom {
+                entries: 512,
+                ways: 2,
+            },
             pht_bits: 12,
             ghr_bits: 8,
             dpf_entries: 0,
@@ -243,6 +371,150 @@ impl PlatformConfig {
             },
             l1_plru_noise: 0,
             page: 4096,
+            switch_pad_us: 62.5,
+        }
+    }
+
+    /// A Skylake-class Xeon: private 1 MiB L2 (16 partition colours, twice
+    /// Haswell's 8) in front of a larger *non-inclusive* sliced LLC. The
+    /// non-inclusive LLC changes nothing for the simulator's dirty-line
+    /// accounting but is why the part leans even harder on L2 colouring;
+    /// like every x86, it has no architected L1 flush (manual flush +
+    /// pseudo-LRU noise).
+    #[must_use]
+    pub fn skylake() -> Self {
+        PlatformConfig {
+            platform: Platform::Skylake,
+            cores: 4,
+            freq_mhz: 3600,
+            line: 64,
+            l1d: CacheGeom {
+                size: 32 * 1024,
+                ways: 8,
+                line: 64,
+            },
+            l1i: CacheGeom {
+                size: 32 * 1024,
+                ways: 8,
+                line: 64,
+            },
+            l2: CacheGeom {
+                size: 1024 * 1024,
+                ways: 16,
+                line: 64,
+            },
+            llc: Some(CacheGeom {
+                size: 11 * 1024 * 1024,
+                ways: 11,
+                line: 64,
+            }),
+            llc_slices: 8,
+            itlb: TlbGeom {
+                entries: 128,
+                ways: 8,
+            },
+            dtlb: TlbGeom {
+                entries: 64,
+                ways: 4,
+            },
+            stlb: TlbGeom {
+                entries: 1536,
+                ways: 12,
+            },
+            btb: TlbGeom {
+                entries: 4096,
+                ways: 4,
+            },
+            pht_bits: 15,
+            ghr_bits: 18,
+            dpf_entries: 32,
+            lat: Latency {
+                l1_hit: 4,
+                l2_hit: 14,
+                llc_hit: 50,
+                dram: 190,
+                writeback: 6,
+                tlb_l2: 9,
+                tlb_walk: 40,
+                mispredict: 17,
+                btb_miss: 9,
+                bus_contend: 22,
+                mode_switch: 140,
+                manual_jump: 160,
+                maint_per_line: 4,
+            },
+            l1_plru_noise: 18,
+            page: 4096,
+            switch_pad_us: 58.8,
+        }
+    }
+
+    /// The HiKey LeMaker board (8× Cortex-A53, Armv8): the platform of the
+    /// authors' follow-up work. Shared 512 KiB L2 as the LLC, tiny
+    /// first-level micro-TLBs backed by a 512-entry main TLB, and
+    /// architected set/way cache maintenance (no manual-flush
+    /// brittleness).
+    #[must_use]
+    pub fn hikey() -> Self {
+        PlatformConfig {
+            platform: Platform::HiKey,
+            cores: 8,
+            freq_mhz: 1200,
+            line: 64,
+            l1d: CacheGeom {
+                size: 32 * 1024,
+                ways: 4,
+                line: 64,
+            },
+            l1i: CacheGeom {
+                size: 32 * 1024,
+                ways: 2,
+                line: 64,
+            },
+            l2: CacheGeom {
+                size: 512 * 1024,
+                ways: 16,
+                line: 64,
+            },
+            llc: None,
+            llc_slices: 1,
+            itlb: TlbGeom {
+                entries: 10,
+                ways: 10,
+            },
+            dtlb: TlbGeom {
+                entries: 10,
+                ways: 10,
+            },
+            stlb: TlbGeom {
+                entries: 512,
+                ways: 4,
+            },
+            btb: TlbGeom {
+                entries: 256,
+                ways: 2,
+            },
+            pht_bits: 12,
+            ghr_bits: 8,
+            dpf_entries: 0,
+            lat: Latency {
+                l1_hit: 3,
+                l2_hit: 16,
+                llc_hit: 16,
+                dram: 140,
+                writeback: 9,
+                tlb_l2: 8,
+                tlb_walk: 34,
+                mispredict: 8,
+                btb_miss: 5,
+                bus_contend: 14,
+                mode_switch: 170,
+                manual_jump: 0,
+                maint_per_line: 4,
+            },
+            l1_plru_noise: 0,
+            page: 4096,
+            switch_pad_us: 70.0,
         }
     }
 
@@ -280,6 +552,94 @@ impl PlatformConfig {
     #[must_use]
     pub fn cycles_to_us(&self, cycles: u64) -> f64 {
         cycles as f64 / self.freq_mhz as f64
+    }
+
+    /// Check the structural invariants every registered platform must
+    /// satisfy. Returns every violation (empty = valid).
+    ///
+    /// * every cache level has a power-of-two set count, at least one
+    ///   page colour, and the platform-wide line size;
+    /// * TLB/BTB set counts are powers of two;
+    /// * latencies are ordered `L1 ≤ L2 ≤ LLC ≤ DRAM`;
+    /// * clock, core count, page size and switch padding are sane.
+    #[must_use]
+    pub fn validate(&self) -> Vec<String> {
+        let mut errs = Vec::new();
+        let mut err = |cond: bool, msg: String| {
+            if !cond {
+                errs.push(msg);
+            }
+        };
+        let caches: Vec<(&str, CacheGeom)> = [
+            Some(("L1-D", self.l1d)),
+            Some(("L1-I", self.l1i)),
+            Some(("L2", self.l2)),
+            self.llc.map(|g| ("LLC", g)),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        for (name, g) in &caches {
+            err(
+                g.sets().is_power_of_two(),
+                format!("{name}: {} sets not a power of two", g.sets()),
+            );
+            err(
+                g.colors(self.page) >= 1,
+                format!("{name}: zero page colours"),
+            );
+            err(
+                g.line == self.line,
+                format!("{name}: line {} != platform line {}", g.line, self.line),
+            );
+            err(
+                g.size % (g.line * u64::from(g.ways)) == 0,
+                format!("{name}: size not set-aligned"),
+            );
+        }
+        for (name, t) in [
+            ("I-TLB", self.itlb),
+            ("D-TLB", self.dtlb),
+            ("L2-TLB", self.stlb),
+            ("BTB", self.btb),
+        ] {
+            err(
+                t.sets().is_power_of_two(),
+                format!("{name}: {} sets not a power of two", t.sets()),
+            );
+        }
+        if let Some(llc) = self.llc {
+            err(self.llc_slices >= 1, "LLC present but zero slices".into());
+            err(
+                llc.size % u64::from(self.llc_slices.max(1)) == 0,
+                "LLC size not divisible by slice count".into(),
+            );
+        }
+        let l = &self.lat;
+        err(
+            l.l1_hit <= l.l2_hit,
+            format!("L1 hit {} > L2 hit {}", l.l1_hit, l.l2_hit),
+        );
+        err(
+            l.l2_hit <= l.llc_hit,
+            format!("L2 hit {} > LLC hit {}", l.l2_hit, l.llc_hit),
+        );
+        err(
+            l.llc_hit <= l.dram,
+            format!("LLC hit {} > DRAM {}", l.llc_hit, l.dram),
+        );
+        err(self.freq_mhz > 0, "zero clock frequency".into());
+        err(self.cores >= 1, "no cores".into());
+        err(
+            self.page.is_power_of_two(),
+            format!("page size {} not a power of two", self.page),
+        );
+        err(
+            self.switch_pad_us > 0.0,
+            "non-positive switch padding".into(),
+        );
+        err(self.partition_colors() >= 1, "no partition colours".into());
+        errs
     }
 }
 
@@ -322,7 +682,49 @@ mod tests {
     #[test]
     fn colors_never_zero() {
         // Even a single-colour cache reports one colour.
-        let g = CacheGeom { size: 32 * 1024, ways: 8, line: 64 };
+        let g = CacheGeom {
+            size: 32 * 1024,
+            ways: 8,
+            line: 64,
+        };
         assert_eq!(g.colors(4096), 1);
+    }
+
+    #[test]
+    fn skylake_doubles_haswell_partition_colors() {
+        let c = PlatformConfig::skylake();
+        assert_eq!(c.l2.sets(), 1024);
+        assert_eq!(c.partition_colors(), 16);
+        assert_eq!(c.llc.unwrap().sets(), 16384);
+        // Non-inclusive 11 MiB LLC across 8 slices: 32 colours per slice.
+        assert_eq!(c.llc_colors(), 32);
+    }
+
+    #[test]
+    fn hikey_geometry() {
+        let c = PlatformConfig::hikey();
+        assert!(c.llc.is_none(), "the A53 L2 is the LLC");
+        assert_eq!(c.l2.sets(), 512);
+        assert_eq!(c.partition_colors(), 8);
+        assert_eq!(c.dtlb.sets(), 1, "micro-TLB is fully associative");
+    }
+
+    #[test]
+    fn registry_covers_all_and_keys_roundtrip() {
+        assert_eq!(Platform::ALL.len(), 4);
+        assert_eq!(Platform::PAPER, [Platform::Haswell, Platform::Sabre]);
+        for p in Platform::ALL {
+            assert_eq!(Platform::from_key(p.key()), Some(p));
+            assert_eq!(p.config().platform, p);
+        }
+        assert_eq!(Platform::from_key("epyc"), None);
+    }
+
+    #[test]
+    fn every_registered_platform_validates() {
+        for p in Platform::ALL {
+            let errs = p.config().validate();
+            assert!(errs.is_empty(), "{}: {errs:?}", p.key());
+        }
     }
 }

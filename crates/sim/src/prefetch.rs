@@ -199,7 +199,13 @@ impl StreamPrefetcher {
             }
         } else {
             // Allocate, evicting the LRU stream.
-            let s = Stream { page, last_line: line, stride: 0, confidence: 0, stamp: clock };
+            let s = Stream {
+                page,
+                last_line: line,
+                stride: 0,
+                confidence: 0,
+                stamp: clock,
+            };
             if self.entries.len() < self.capacity {
                 self.entries.push(s);
             } else if let Some(victim) = self.entries.iter_mut().min_by_key(|s| s.stamp) {
@@ -225,7 +231,10 @@ impl InsnPrefetcher {
     /// Create an instruction prefetcher with no history.
     #[must_use]
     pub fn new() -> Self {
-        InsnPrefetcher { last_line: None, resume_budget: 0 }
+        InsnPrefetcher {
+            last_line: None,
+            resume_budget: 0,
+        }
     }
 
     /// Note a domain switch: a small amount of stale fetch-region state
@@ -241,7 +250,11 @@ impl InsnPrefetcher {
         self.last_line = Some(line_addr);
         let resumed = self.resume_budget.min(1);
         self.resume_budget -= resumed;
-        let pf = if sequential { Some(line_addr + 1) } else { None };
+        let pf = if sequential {
+            Some(line_addr + 1)
+        } else {
+            None
+        };
         (pf, resumed)
     }
 

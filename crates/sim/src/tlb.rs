@@ -10,7 +10,6 @@ use crate::params::TlbGeom;
 use crate::Asid;
 use rand::rngs::StdRng;
 
-
 #[derive(Debug, Clone, Copy, Default)]
 struct Entry {
     vpn: u64,
@@ -105,7 +104,13 @@ impl TlbArray {
                     .map(|(i, _)| i)
             })
             .unwrap_or(0);
-        slice[idx] = Entry { vpn, asid: asid.0, global, valid: true, stamp: clock };
+        slice[idx] = Entry {
+            vpn,
+            asid: asid.0,
+            global,
+            valid: true,
+            stamp: clock,
+        };
     }
 
     /// Invalidate everything; returns the number of valid entries dropped.
@@ -207,9 +212,18 @@ mod tests {
 
     fn hier() -> TlbHierarchy {
         TlbHierarchy::new(
-            TlbGeom { entries: 4, ways: 2 },
-            TlbGeom { entries: 4, ways: 2 },
-            TlbGeom { entries: 8, ways: 2 },
+            TlbGeom {
+                entries: 4,
+                ways: 2,
+            },
+            TlbGeom {
+                entries: 4,
+                ways: 2,
+            },
+            TlbGeom {
+                entries: 8,
+                ways: 2,
+            },
         )
     }
 
@@ -221,8 +235,14 @@ mod tests {
     fn walk_then_l1_hit() {
         let mut t = hier();
         let mut r = rng();
-        assert_eq!(t.translate(Asid(1), 100, false, false, &mut r), TlbLevel::Walk);
-        assert_eq!(t.translate(Asid(1), 100, false, false, &mut r), TlbLevel::L1);
+        assert_eq!(
+            t.translate(Asid(1), 100, false, false, &mut r),
+            TlbLevel::Walk
+        );
+        assert_eq!(
+            t.translate(Asid(1), 100, false, false, &mut r),
+            TlbLevel::L1
+        );
     }
 
     #[test]
@@ -231,7 +251,10 @@ mod tests {
         let mut r = rng();
         t.translate(Asid(1), 100, false, false, &mut r);
         // A different ASID must not hit a non-global entry.
-        assert_eq!(t.translate(Asid(2), 100, false, false, &mut r), TlbLevel::Walk);
+        assert_eq!(
+            t.translate(Asid(2), 100, false, false, &mut r),
+            TlbLevel::Walk
+        );
     }
 
     #[test]
@@ -239,7 +262,10 @@ mod tests {
         let mut t = hier();
         let mut r = rng();
         t.translate(Asid(1), 100, false, true, &mut r);
-        assert_eq!(t.translate(Asid(2), 100, false, false, &mut r), TlbLevel::L1);
+        assert_eq!(
+            t.translate(Asid(2), 100, false, false, &mut r),
+            TlbLevel::L1
+        );
     }
 
     #[test]
@@ -263,9 +289,18 @@ mod tests {
         t.translate(Asid(1), 3, false, true, &mut r);
         t.dtlb.flush_asid(Asid(1));
         t.stlb.flush_asid(Asid(1));
-        assert_eq!(t.translate(Asid(1), 1, false, false, &mut r), TlbLevel::Walk);
-        assert_ne!(t.translate(Asid(2), 2, false, false, &mut r), TlbLevel::Walk);
-        assert_ne!(t.translate(Asid(1), 3, false, false, &mut r), TlbLevel::Walk);
+        assert_eq!(
+            t.translate(Asid(1), 1, false, false, &mut r),
+            TlbLevel::Walk
+        );
+        assert_ne!(
+            t.translate(Asid(2), 2, false, false, &mut r),
+            TlbLevel::Walk
+        );
+        assert_ne!(
+            t.translate(Asid(1), 3, false, false, &mut r),
+            TlbLevel::Walk
+        );
     }
 
     #[test]

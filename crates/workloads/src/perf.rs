@@ -51,7 +51,10 @@ impl WorkloadRun {
     /// A run time-shared with an idle domain (Table 8).
     #[must_use]
     pub fn shared(platform: Platform, prot: ProtectionConfig, colors: (u64, u64)) -> Self {
-        WorkloadRun { time_shared: true, ..WorkloadRun::solo(platform, prot, colors) }
+        WorkloadRun {
+            time_shared: true,
+            ..WorkloadRun::solo(platform, prot, colors)
+        }
     }
 
     /// Override the access count.
@@ -131,7 +134,10 @@ pub fn run_workload(bench: &Benchmark, run: &WorkloadRun) -> PerfResult {
     let _ = b.run();
     let (t0, t1) = *span.lock();
     assert!(t1 > t0, "benchmark did not complete");
-    PerfResult { cycles: t1 - t0, ops }
+    PerfResult {
+        cycles: t1 - t0,
+        ops,
+    }
 }
 
 #[cfg(test)]
@@ -151,7 +157,11 @@ mod tests {
             &WorkloadRun::solo(Platform::Sabre, ProtectionConfig::raw(), (1, 2)).with_ops(40_000),
         );
         let slow = half.slowdown_vs(base);
-        assert!(slow > 0.005, "raytrace @50% colours only {:.2}% slower", slow * 100.0);
+        assert!(
+            slow > 0.005,
+            "raytrace @50% colours only {:.2}% slower",
+            slow * 100.0
+        );
         assert!(slow < 0.5, "implausible slowdown {:.2}%", slow * 100.0);
     }
 
@@ -208,7 +218,13 @@ mod tests {
                 .with_ops(60_000),
         );
         let slow = prot_shared.slowdown_vs(raw_shared);
-        assert!(slow > -0.02, "protection cannot speed things up much: {slow}");
-        assert!(slow < 0.25, "shared protection overhead implausible: {slow}");
+        assert!(
+            slow > -0.02,
+            "protection cannot speed things up much: {slow}"
+        );
+        assert!(
+            slow < 0.25,
+            "shared protection overhead implausible: {slow}"
+        );
     }
 }

@@ -36,17 +36,105 @@ pub struct Benchmark {
 #[must_use]
 pub fn all_benchmarks() -> Vec<Benchmark> {
     vec![
-        Benchmark { name: "barnes", ws_pages: 200, hot_pages: 16, locality: 0.55, reuse: 0.42, compute: 14, write_frac: 0.25 },
-        Benchmark { name: "cholesky", ws_pages: 240, hot_pages: 24, locality: 0.60, reuse: 0.37, compute: 11, write_frac: 0.30 },
-        Benchmark { name: "fft", ws_pages: 256, hot_pages: 28, locality: 0.75, reuse: 0.22, compute: 9, write_frac: 0.35 },
-        Benchmark { name: "fmm", ws_pages: 200, hot_pages: 18, locality: 0.60, reuse: 0.37, compute: 14, write_frac: 0.25 },
-        Benchmark { name: "lu", ws_pages: 160, hot_pages: 24, locality: 0.70, reuse: 0.28, compute: 11, write_frac: 0.30 },
-        Benchmark { name: "ocean", ws_pages: 400, hot_pages: 34, locality: 0.65, reuse: 0.33, compute: 6, write_frac: 0.40 },
-        Benchmark { name: "radiosity", ws_pages: 240, hot_pages: 20, locality: 0.50, reuse: 0.47, compute: 11, write_frac: 0.20 },
-        Benchmark { name: "radix", ws_pages: 512, hot_pages: 8, locality: 0.92, reuse: 0.05, compute: 6, write_frac: 0.45 },
-        Benchmark { name: "raytrace", ws_pages: 600, hot_pages: 130, locality: 0.45, reuse: 0.50, compute: 8, write_frac: 0.10 },
-        Benchmark { name: "waternsquared", ws_pages: 96, hot_pages: 14, locality: 0.60, reuse: 0.38, compute: 16, write_frac: 0.25 },
-        Benchmark { name: "waterspatial", ws_pages: 120, hot_pages: 18, locality: 0.65, reuse: 0.33, compute: 16, write_frac: 0.25 },
+        Benchmark {
+            name: "barnes",
+            ws_pages: 200,
+            hot_pages: 16,
+            locality: 0.55,
+            reuse: 0.42,
+            compute: 14,
+            write_frac: 0.25,
+        },
+        Benchmark {
+            name: "cholesky",
+            ws_pages: 240,
+            hot_pages: 24,
+            locality: 0.60,
+            reuse: 0.37,
+            compute: 11,
+            write_frac: 0.30,
+        },
+        Benchmark {
+            name: "fft",
+            ws_pages: 256,
+            hot_pages: 28,
+            locality: 0.75,
+            reuse: 0.22,
+            compute: 9,
+            write_frac: 0.35,
+        },
+        Benchmark {
+            name: "fmm",
+            ws_pages: 200,
+            hot_pages: 18,
+            locality: 0.60,
+            reuse: 0.37,
+            compute: 14,
+            write_frac: 0.25,
+        },
+        Benchmark {
+            name: "lu",
+            ws_pages: 160,
+            hot_pages: 24,
+            locality: 0.70,
+            reuse: 0.28,
+            compute: 11,
+            write_frac: 0.30,
+        },
+        Benchmark {
+            name: "ocean",
+            ws_pages: 400,
+            hot_pages: 34,
+            locality: 0.65,
+            reuse: 0.33,
+            compute: 6,
+            write_frac: 0.40,
+        },
+        Benchmark {
+            name: "radiosity",
+            ws_pages: 240,
+            hot_pages: 20,
+            locality: 0.50,
+            reuse: 0.47,
+            compute: 11,
+            write_frac: 0.20,
+        },
+        Benchmark {
+            name: "radix",
+            ws_pages: 512,
+            hot_pages: 8,
+            locality: 0.92,
+            reuse: 0.05,
+            compute: 6,
+            write_frac: 0.45,
+        },
+        Benchmark {
+            name: "raytrace",
+            ws_pages: 600,
+            hot_pages: 130,
+            locality: 0.45,
+            reuse: 0.50,
+            compute: 8,
+            write_frac: 0.10,
+        },
+        Benchmark {
+            name: "waternsquared",
+            ws_pages: 96,
+            hot_pages: 14,
+            locality: 0.60,
+            reuse: 0.38,
+            compute: 16,
+            write_frac: 0.25,
+        },
+        Benchmark {
+            name: "waterspatial",
+            ws_pages: 120,
+            hot_pages: 18,
+            locality: 0.65,
+            reuse: 0.33,
+            compute: 16,
+            write_frac: 0.25,
+        },
     ]
 }
 
@@ -101,7 +189,10 @@ mod tests {
         assert!(all.iter().all(|b| b.hot_pages <= b.ws_pages));
         assert!(all.iter().all(|b| b.locality + b.reuse < 1.0));
         assert!(by_name("raytrace").is_some());
-        assert!(by_name("volrend").is_none(), "volrend is omitted per §5.4.4");
+        assert!(
+            by_name("volrend").is_none(),
+            "volrend is omitted per §5.4.4"
+        );
     }
 
     #[test]

@@ -15,8 +15,14 @@ use tp_analysis::ChannelMatrix;
 
 fn main() {
     for (what, prot) in [
-        ("coloured userland, shared kernel", coloured_userland_config()),
-        ("full time protection (cloned kernels)", ProtectionConfig::protected()),
+        (
+            "coloured userland, shared kernel",
+            coloured_userland_config(),
+        ),
+        (
+            "full time protection (cloned kernels)",
+            ProtectionConfig::protected(),
+        ),
     ] {
         let spec = IntraCoreSpec {
             platform: Platform::Haswell,

@@ -42,7 +42,10 @@ fn main() {
         for f in &frames {
             assert!(env.my_colors().contains(color_of_frame(*f, n_colors)));
         }
-        println!("[bob]   my colours: {:?}", env.my_colors().iter().collect::<Vec<_>>());
+        println!(
+            "[bob]   my colours: {:?}",
+            env.my_colors().iter().collect::<Vec<_>>()
+        );
     });
 
     let report = b.run();

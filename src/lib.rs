@@ -61,5 +61,5 @@ pub use tp_workloads as workloads;
 pub mod prelude {
     pub use tp_analysis::{leakage_test, Dataset};
     pub use tp_core::{FlushMode, ProtectionConfig, Syscall, SystemBuilder, UserEnv};
-    pub use tp_sim::{ColorSet, Platform, VAddr};
+    pub use tp_sim::{ColorSet, Platform, PlatformConfig, VAddr};
 }

@@ -21,15 +21,23 @@ fn kernel_clone_closes_the_kernel_image_channel() {
     let shared = kernel_image::kernel_image_channel(&mk(kernel_image::coloured_userland_config()));
     let cloned = kernel_image::kernel_image_channel(&mk(ProtectionConfig::protected()));
     assert!(shared.verdict.leaks, "shared kernel: {}", shared.summary());
-    assert!(!cloned.verdict.leaks, "cloned kernels: {}", cloned.summary());
+    assert!(
+        !cloned.verdict.leaks,
+        "cloned kernels: {}",
+        cloned.summary()
+    );
 }
 
 /// Requirement 1: flushing on-core state closes the L1-D channel.
 #[test]
 fn on_core_flush_closes_l1d() {
     let raw = cache::l1d_channel(&IntraCoreSpec::new(Platform::Sabre, Scenario::Raw, 8, 100));
-    let prot =
-        cache::l1d_channel(&IntraCoreSpec::new(Platform::Sabre, Scenario::Protected, 8, 100));
+    let prot = cache::l1d_channel(&IntraCoreSpec::new(
+        Platform::Sabre,
+        Scenario::Protected,
+        8,
+        100,
+    ));
     assert!(raw.verdict.leaks);
     assert!(!prot.verdict.leaks, "{}", prot.summary());
 }
@@ -72,8 +80,8 @@ fn colour_partitioning_is_airtight() {
     let n_colors = Platform::Haswell.config().partition_colors();
     type SeenLog = Arc<Mutex<Vec<(u64, Vec<u64>)>>>;
     let seen: SeenLog = Arc::new(Mutex::new(Vec::new()));
-    let mut b = SystemBuilder::new(Platform::Haswell, ProtectionConfig::protected())
-        .max_cycles(50_000_000);
+    let mut b =
+        SystemBuilder::new(Platform::Haswell, ProtectionConfig::protected()).max_cycles(50_000_000);
     let d0 = b.domain(None);
     let d1 = b.domain(None);
     for d in [d0, d1] {
@@ -105,8 +113,8 @@ fn cross_domain_ipc_delivers_messages() {
     use std::sync::Arc;
     let got: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
     let got2 = Arc::clone(&got);
-    let mut b = SystemBuilder::new(Platform::Sabre, ProtectionConfig::protected())
-        .max_cycles(400_000_000);
+    let mut b =
+        SystemBuilder::new(Platform::Sabre, ProtectionConfig::protected()).max_cycles(400_000_000);
     let d0 = b.domain(None);
     let d1 = b.domain(None);
     b.setup(Box::new(|k, _m, tcbs, domains| {
@@ -121,14 +129,21 @@ fn cross_domain_ipc_delivers_messages() {
     let mut b = b.open_scheduling();
     b.spawn(d0, 0, 100, move |env: &mut UserEnv| {
         for i in 0..5 {
-            let r = env.syscall(Syscall::Call { cap: 0, msg: 10 + i }).unwrap();
+            let r = env
+                .syscall(Syscall::Call {
+                    cap: 0,
+                    msg: 10 + i,
+                })
+                .unwrap();
             got2.lock().push(r);
         }
     });
     b.spawn_daemon(d1, 0, 100, |env: &mut UserEnv| {
         let mut v = env.syscall(Syscall::Recv { cap: 0 }).unwrap();
         loop {
-            v = env.syscall(Syscall::ReplyRecv { cap: 0, msg: v * 2 }).unwrap();
+            v = env
+                .syscall(Syscall::ReplyRecv { cap: 0, msg: v * 2 })
+                .unwrap();
         }
     });
     let _ = b.run();
@@ -181,5 +196,9 @@ fn protection_overhead_is_modest() {
         .with_ops(30_000),
     );
     let slow = prot.slowdown_vs(raw);
-    assert!(slow < 0.15, "protected+padded overhead {:.1}%", slow * 100.0);
+    assert!(
+        slow < 0.15,
+        "protected+padded overhead {:.1}%",
+        slow * 100.0
+    );
 }

@@ -4,9 +4,7 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use time_protection::analysis::{
-    mutual_information, mutual_information_naive, Dataset, MiContext,
-};
+use time_protection::analysis::{mutual_information, mutual_information_naive, Dataset, MiContext};
 use time_protection::attacks::elgamal::{key_bits, modexp_with_hook, BigUint, ExpOp};
 use tp_sim::cache::{phys_set, phys_tag, Cache, Replacement};
 use tp_sim::{CacheGeom, ColorSet};
@@ -201,4 +199,76 @@ fn shuffle_test_controls_false_positives() {
     }
     // 95% bound => ~5% false positives expected; allow generous slack.
     assert!(leaks <= 3, "{leaks}/{trials} false positives");
+}
+
+proptest! {
+    /// Any power-of-two cache geometry has a power-of-two set count, at
+    /// least one page colour, and consistent line accounting — the same
+    /// invariants `PlatformConfig::validate` enforces on the registry.
+    #[test]
+    fn cache_geometry_invariants(
+        size_kib_log2 in 3u32..15, // 8 KiB .. 16 MiB
+        ways_log2 in 0u32..5,
+        line_log2 in 5u32..8,      // 32 .. 128 B
+    ) {
+        let geom = tp_sim::CacheGeom {
+            size: (1u64 << size_kib_log2) * 1024,
+            ways: 1 << ways_log2,
+            line: 1 << line_log2,
+        };
+        if geom.size < geom.line * u64::from(geom.ways) {
+            return; // degenerate: fewer than one set
+        }
+        prop_assert!(geom.sets().is_power_of_two());
+        prop_assert!(geom.colors(4096) >= 1);
+        prop_assert_eq!(geom.sets() * u64::from(geom.ways), geom.lines());
+        prop_assert_eq!(geom.lines() * geom.line, geom.size);
+    }
+}
+
+/// Every platform in the registry satisfies the structural invariants:
+/// power-of-two cache sets, at least one colour, L1 ≤ L2 ≤ LLC ≤ DRAM
+/// latency ordering, and one line size across all levels.
+#[test]
+fn registered_platforms_satisfy_invariants() {
+    use tp_sim::Platform;
+    for p in Platform::ALL {
+        let cfg = p.config();
+        let errs = cfg.validate();
+        assert!(errs.is_empty(), "{} invalid: {errs:?}", p.key());
+        // Spot-check the load-bearing invariants directly, independent of
+        // validate()'s own implementation.
+        for geom in [cfg.l1d, cfg.l1i, cfg.l2].into_iter().chain(cfg.llc) {
+            assert!(
+                geom.sets().is_power_of_two(),
+                "{}: {} sets",
+                p.key(),
+                geom.sets()
+            );
+            assert!(geom.colors(cfg.page) >= 1, "{}: zero colours", p.key());
+            assert_eq!(geom.line, cfg.line, "{}: mixed line sizes", p.key());
+        }
+        assert!(cfg.lat.l1_hit <= cfg.lat.l2_hit, "{}", p.key());
+        assert!(cfg.lat.l2_hit <= cfg.lat.llc_hit, "{}", p.key());
+        assert!(cfg.lat.llc_hit <= cfg.lat.dram, "{}", p.key());
+        assert!(cfg.partition_colors() >= 1, "{}", p.key());
+    }
+}
+
+/// validate() actually rejects broken configurations (it is the gate the
+/// campaign binary runs before burning time on a platform).
+#[test]
+fn validate_rejects_broken_configs() {
+    use tp_sim::Platform;
+    let mut cfg = Platform::Haswell.config();
+    cfg.lat.dram = 1; // DRAM faster than LLC: nonsense
+    assert!(!cfg.validate().is_empty());
+
+    let mut cfg = Platform::Haswell.config();
+    cfg.l1d.size = 3 * 1024; // 6 sets: not a power of two
+    assert!(!cfg.validate().is_empty());
+
+    let mut cfg = Platform::Sabre.config();
+    cfg.l2.line = 64; // mixed line sizes (platform line is 32)
+    assert!(!cfg.validate().is_empty());
 }

@@ -37,7 +37,10 @@ impl Criterion {
 
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _criterion: self, name: name.to_string() }
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
     }
 }
 
@@ -148,7 +151,9 @@ mod tests {
     use super::*;
 
     fn trivial(c: &mut Criterion) {
-        c.bench_function("trivial_add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        c.bench_function("trivial_add", |b| {
+            b.iter(|| black_box(1u64) + black_box(2u64))
+        });
         let mut g = c.benchmark_group("group");
         g.sample_size(10);
         g.bench_function("noop", |b| b.iter(|| ()));

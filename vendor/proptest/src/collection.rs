@@ -14,13 +14,19 @@ pub struct SizeRange {
 impl From<core::ops::Range<usize>> for SizeRange {
     fn from(r: core::ops::Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range");
-        SizeRange { min: r.start, max: r.end }
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
     }
 }
 
 impl From<core::ops::RangeInclusive<usize>> for SizeRange {
     fn from(r: core::ops::RangeInclusive<usize>) -> Self {
-        SizeRange { min: *r.start(), max: r.end().saturating_add(1) }
+        SizeRange {
+            min: *r.start(),
+            max: r.end().saturating_add(1),
+        }
     }
 }
 
@@ -50,5 +56,8 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
 /// A strategy producing `Vec`s of `element` with a length drawn from
 /// `size`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }

@@ -24,7 +24,9 @@ impl TestRng {
     /// The generator for test-case number `case` (deterministic).
     #[must_use]
     pub fn for_case(case: u64) -> Self {
-        TestRng { state: 0x5EED_0F7E_57AB_1E00 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+        TestRng {
+            state: 0x5EED_0F7E_57AB_1E00 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
     }
 
     /// The next 64 uniformly random bits.
@@ -51,7 +53,10 @@ impl TestRng {
 /// Number of cases each property runs (`PROPTEST_CASES`, default 64).
 #[must_use]
 pub fn cases() -> u64 {
-    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
 }
 
 /// Drop guard used by [`proptest!`]: if the property body panics, prints
@@ -137,7 +142,9 @@ impl<T: Arbitrary> Strategy for Any<T> {
 /// A strategy producing unconstrained values of `T`.
 #[must_use]
 pub fn any<T: Arbitrary>() -> Any<T> {
-    Any { _marker: core::marker::PhantomData }
+    Any {
+        _marker: core::marker::PhantomData,
+    }
 }
 
 macro_rules! impl_strategy_int_ranges {

@@ -48,7 +48,10 @@ pub fn current_num_threads() -> usize {
         return explicit;
     }
     for var in ["TP_THREADS", "RAYON_NUM_THREADS"] {
-        if let Some(n) = std::env::var(var).ok().and_then(|v| v.parse::<usize>().ok()) {
+        if let Some(n) = std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
             if n > 0 {
                 return n;
             }
