@@ -20,7 +20,12 @@
 use crate::stats;
 
 /// Number of histogram bins used to compress samples before evaluation.
-pub const BINS: usize = 1024;
+///
+/// Sized at twice the integration grid: the channel datasets are a few
+/// dozen to a few hundred samples, so finer binning adds no estimator
+/// resolution — only per-shuffle work (the bin scan, the kernel profile
+/// and the scatter band all scale with it).
+pub const BINS: usize = 256;
 
 /// Kernel support cutoff in units of the bandwidth: contributions with
 /// `|x - c| >= CUTOFF * h` are treated as zero (identically in the naive
@@ -69,6 +74,88 @@ pub(crate) fn silverman_bandwidth(samples: &[f64], range: f64, min_bandwidth: f6
         h = range * 1e-3;
     }
     h.max(range * 1e-4).max(min_bandwidth)
+}
+
+/// Exact-`exp` anchor spacing of [`gaussian_profile`]: between anchors the
+/// profile advances by the two-multiply constant-ratio recurrence, whose
+/// relative drift over 64 steps stays around 1e-14 — far inside the 1e-12
+/// agreement the property tests demand against the naive oracle.
+const PROFILE_ANCHOR: usize = 64;
+
+/// Evaluate `exp(-0.5 * (s * (k + shift))^2)` for every `k` in
+/// `[k_lo, k_hi]` with O(len / PROFILE_ANCHOR) calls to `exp`.
+///
+/// A Gaussian sampled at uniformly spaced points satisfies
+/// `f(k+1) = f(k) · r(k)` with `r(k+1) = r(k) · q²` for the constant
+/// `q = exp(-0.5 s²)` — two multiplies per point. The shuffle test
+/// evaluates hundreds of these profiles (one per class per re-pairing,
+/// each up to ~2·BINS entries), so the transcendental count is what
+/// bounds the whole leakage pipeline at small sample sizes.
+/// Independent recurrence chains per anchor block. A single chain is a
+/// serial multiply dependency (two 4-cycle multiplies per point); four
+/// interleaved stride-4 chains expose enough ILP to keep the FP units
+/// busy.
+const PROFILE_LANES: usize = 4;
+
+fn gaussian_profile(k_lo: i64, k_hi: i64, shift: f64, s: f64) -> Vec<f64> {
+    let len = (k_hi - k_lo + 1) as usize;
+    let mut out = vec![0.0f64; len];
+    let a = 0.5 * s * s;
+    let gauss = |x: f64| (-a * x * x).exp();
+    // Stride-4 recurrence: f(k+4) = f(k) · r4(k), r4(k+4) = r4(k) · q32,
+    // with q32 = exp(-32a) constant.
+    let q32 = (-32.0 * a).exp();
+    let mut i = 0usize;
+    while i < len {
+        let stop = (i + PROFILE_ANCHOR).min(len);
+        let mut f = [0.0f64; PROFILE_LANES];
+        let mut r = [0.0f64; PROFILE_LANES];
+        for (lane, (fl, rl)) in f.iter_mut().zip(&mut r).enumerate() {
+            let x = (k_lo + (i + lane) as i64) as f64 + shift;
+            *fl = gauss(x);
+            // r4(k) = exp(-a(8(k+shift) + 16)).
+            *rl = (-a * (8.0 * x + 16.0)).exp();
+        }
+        while i + PROFILE_LANES <= stop {
+            #[allow(clippy::manual_memcpy)] // fused copy + recurrence step
+            for lane in 0..PROFILE_LANES {
+                out[i + lane] = f[lane];
+                f[lane] *= r[lane];
+                r[lane] *= q32;
+            }
+            i += PROFILE_LANES;
+        }
+        // Tail of the final block (len not a multiple of the lane count):
+        // blocks and quads are 4-aligned, so lane `i % 4` holds position
+        // `i`'s value.
+        debug_assert!(i.is_multiple_of(PROFILE_LANES) || i >= stop);
+        while i < stop {
+            out[i] = f[i % PROFILE_LANES];
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Dot product with four independent accumulators: the compiler cannot
+/// reassociate a sequential f64 sum on its own, and the gather path runs
+/// one of these per grid point.
+#[inline]
+fn dot4(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f64; 4];
+    let (a4, a_rest) = a.split_at(a.len() & !3);
+    let (b4, b_rest) = b.split_at(a4.len());
+    for (ca, cb) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+        for lane in 0..4 {
+            acc[lane] += ca[lane] * cb[lane];
+        }
+    }
+    let mut total = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (x, y) in a_rest.iter().zip(b_rest) {
+        total += x * y;
+    }
+    total
 }
 
 /// A binned Gaussian KDE over one sample class.
@@ -206,23 +293,62 @@ impl Kde {
         if k_hi < k_lo {
             return out;
         }
-        let profile: Vec<f64> = (k_lo..=k_hi)
-            .map(|k| {
-                let z = bw * (k as f64 + shift) / h;
-                (-0.5 * z * z).exp()
-            })
-            .collect();
-        for (b, &w) in self.bin_weights.iter().enumerate() {
-            if w == 0.0 {
-                continue;
+        let profile = gaussian_profile(k_lo, k_hi, shift, bw / h);
+        // Two evaluation orders with identical index sets:
+        //
+        // * **scatter** — per non-empty bin, one strided pass over the
+        //   grid. O(non-empty bins × band); wins for sparse histograms
+        //   (small classes).
+        // * **gather** — per grid point, a contiguous dot product of the
+        //   bin row with the reversed profile. O(BINS × grid) regardless of
+        //   occupancy, but branch-free and vectorisable; wins once a
+        //   sizeable fraction of bins is populated.
+        //
+        // Both orders sum the same terms (to ~1 ulp reassociation), far
+        // inside the 1e-12 agreement pinned against the naive oracle.
+        let nonzero = self.bin_weights.iter().filter(|w| **w != 0.0).count();
+        if nonzero * 8 > BINS {
+            let prof_rev: Vec<f64> = profile.iter().rev().copied().collect();
+            for (g, o) in out.iter_mut().enumerate() {
+                let rg = r * g as i64;
+                let b_lo = (rg - k_hi).max(0);
+                let b_hi = (rg - k_lo).min(BINS as i64 - 1);
+                if b_hi < b_lo {
+                    continue;
+                }
+                let len = (b_hi - b_lo + 1) as usize;
+                let j0 = (b_lo - (rg - k_hi)) as usize;
+                *o = dot4(
+                    &self.bin_weights[b_lo as usize..][..len],
+                    &prof_rev[j0..j0 + len],
+                );
             }
-            let b = b as i64;
-            // Grid points with r*g - b inside [k_lo, k_hi].
-            let g_lo = (k_lo + b).div_euclid(r) + i64::from((k_lo + b).rem_euclid(r) != 0);
-            let g_lo = g_lo.max(0);
-            let g_hi = ((k_hi + b).div_euclid(r)).min(n_grid as i64 - 1);
-            for g in g_lo..=g_hi {
-                out[g as usize] += w * profile[(r * g - b - k_lo) as usize];
+        } else {
+            // De-stride the profile once into `r` interleaved streams so
+            // each bin's pass is a contiguous (vectorisable) zip instead of
+            // a `step_by(r)` gather.
+            let ru = r as usize;
+            let streams: Vec<Vec<f64>> = (0..ru)
+                .map(|m| profile[m..].iter().step_by(ru).copied().collect())
+                .collect();
+            for (b, &w) in self.bin_weights.iter().enumerate() {
+                if w == 0.0 {
+                    continue;
+                }
+                let b = b as i64;
+                // Grid points with r*g - b inside [k_lo, k_hi].
+                let g_lo = (k_lo + b).div_euclid(r) + i64::from((k_lo + b).rem_euclid(r) != 0);
+                let g_lo = g_lo.max(0);
+                let g_hi = ((k_hi + b).div_euclid(r)).min(n_grid as i64 - 1);
+                if g_hi < g_lo {
+                    continue;
+                }
+                let p0 = (r * g_lo - b - k_lo) as usize;
+                let dst = &mut out[g_lo as usize..=g_hi as usize];
+                let stream = &streams[p0 % ru][p0 / ru..];
+                for (o, p) in dst.iter_mut().zip(stream) {
+                    *o += w * p;
+                }
             }
         }
         for v in &mut out {
@@ -286,7 +412,7 @@ mod tests {
         let mut samples: Vec<f64> = (0..400).map(|i| ((i * 37) % 101) as f64 * 0.13).collect();
         samples.extend((0..50).map(|i| 11.0 + i as f64 * 0.01));
         let (lo, hi) = (-1.0, 14.0);
-        for n_grid in [512usize, 256, 1024] {
+        for n_grid in [128usize, 64, 256] {
             let width = (hi - lo) / n_grid as f64;
             let kde = Kde::fit(&samples, lo, hi, width);
             let grid: Vec<f64> = (0..n_grid).map(|i| lo + (i as f64 + 0.5) * width).collect();
@@ -307,9 +433,9 @@ mod tests {
     #[test]
     fn narrow_band_conserves_mass() {
         let samples = vec![5.0; 64];
-        let width = 10.0 / 512.0;
+        let width = 10.0 / 256.0;
         let kde = Kde::fit(&samples, 0.0, 10.0, width);
-        let fast = kde.density_grid_aligned(512);
+        let fast = kde.density_grid_aligned(256);
         let mass: f64 = fast.iter().map(|d| d * width).sum();
         assert!((mass - 1.0).abs() < 0.01, "mass {mass}");
     }

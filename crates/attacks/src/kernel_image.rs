@@ -4,13 +4,22 @@
 //! user-supplied memory), but kernel text, stack and global data remain
 //! shared. The sender encodes symbols by invoking different system calls —
 //! `Signal` (0), `TCB_SetPriority` (1), `Poll` (2) or idling (3) — whose
-//! handlers occupy distinct kernel text lines; the receiver prime&probes
-//! the physically-indexed cache sets the kernel serves those calls from and
-//! counts misses. Cloned kernels place each domain's kernel text in the
-//! domain's own colours and the channel disappears.
+//! handlers occupy distinct kernel text lines.
+//!
+//! The receiver measures *through the kernel itself*, as the paper's
+//! receiver does: it times a fixed sequence of the same three system
+//! calls, then evicts the handlers' lines from its core's L1-I (an
+//! instruction-sized probe) and from the unified L2 (a data probe over the
+//! handler sets). A handler the sender invoked during its slice was
+//! re-fetched into the L2; one the sender left alone answers from the LLC.
+//! The timed sequence therefore speeds up by (LLC − L2) per line of
+//! whichever handler the sender used — a pure capacity/inclusion effect of
+//! the shared kernel image. Cloned kernels place each domain's kernel in
+//! its own colours (and the receiver only ever times its own clone), so
+//! the channel disappears.
 
 use crate::harness::{pair_logs, ChannelOutcome, IntraCoreSpec};
-use crate::probe::{miss_threshold, phys_probe, ProbeBuf};
+use crate::probe::{phys_probe, ProbeBuf};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -76,26 +85,28 @@ pub fn kernel_image_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
     let d_recv = b.domain(None);
     let d_send = b.domain(None);
 
-    // Grant the sender a notification and a TCB capability for its
-    // syscalls. TCBs are ordered [sender, receiver].
+    // Grant both sides a notification and a TCB capability for their
+    // syscalls (the receiver times the same handlers the sender exercises).
+    // TCBs are ordered [sender, receiver].
     b.setup(Box::new(|k, _m, tcbs, domains| {
-        let sender = tcbs[0];
-        let ntfn = k.create_notification(domains[1]).expect("ntfn");
-        let c0 = k.grant_cap(
-            sender,
-            Capability {
-                obj: CapObject::Notification(ntfn),
-                rights: Rights::all(),
-            },
-        );
-        let c1 = k.grant_cap(
-            sender,
-            Capability {
-                obj: CapObject::Tcb(sender),
-                rights: Rights::all(),
-            },
-        );
-        assert_eq!((c0, c1), (0, 1));
+        for (i, &tcb) in tcbs.iter().enumerate().take(2) {
+            let ntfn = k.create_notification(domains[1 - i]).expect("ntfn");
+            let c0 = k.grant_cap(
+                tcb,
+                Capability {
+                    obj: CapObject::Notification(ntfn),
+                    rights: Rights::all(),
+                },
+            );
+            let c1 = k.grant_cap(
+                tcb,
+                Capability {
+                    obj: CapObject::Tcb(tcb),
+                    rights: Rights::all(),
+                },
+            );
+            assert_eq!((c0, c1), (0, 1));
+        }
     }));
 
     let n_symbols = spec.n_symbols;
@@ -129,33 +140,39 @@ pub fn kernel_image_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
     let rlog = Arc::clone(&receiver_log);
     b.spawn(d_recv, 0, 100, move |env: &mut UserEnv| {
         let cfg = *env.platform();
-        // Probe the cache level the kernel's text footprint lands in: the
-        // unified L2 (the LLC on Arm).
-        let geom = cfg.l2;
-        let threshold = if cfg.llc.is_some() {
-            miss_threshold(cfg.lat.l2_hit, cfg.lat.llc_hit)
-        } else {
-            miss_threshold(cfg.lat.l2_hit, cfg.lat.dram)
-        };
-        // Probe exactly the sets the candidate syscall handlers are served
-        // from (the real attack finds these with a profiling phase that
-        // marks "attack sets" whose miss count reacts to the syscall,
-        // §5.3.1). Keeping the probe footprint small also keeps it inside
-        // the L2, avoiding self-eviction noise.
+        // The eviction machinery: a data probe over exactly the unified-L2
+        // sets the candidate handlers are served from (the real attack
+        // finds these with the §5.3.1 profiling phase), and an
+        // instruction-sized exec probe that clears the L1-I. Running both
+        // after each timed measurement leaves every handler line cold in
+        // the receiver's private hierarchy, so the next measurement reads
+        // purely what the *sender* re-fetched.
         let targets = kernel_attack_sets(&cfg);
-        // Probe ways-1 lines per set: the kernel's steady-state line per
-        // set coexists with the probe, and only *additional* kernel lines
-        // (the syscall-specific footprint) cause evictions. Probing all
-        // ways would keep every set over-subscribed and saturate the miss
-        // count.
-        let ways = (geom.ways as usize).saturating_sub(1).max(1);
-        let buf: ProbeBuf = phys_probe(env, geom, &targets, ways, 6 * targets.len());
-        let _ = buf.probe(env);
+        let dbuf: ProbeBuf = phys_probe(
+            env,
+            cfg.l2,
+            &targets,
+            cfg.l2.ways as usize,
+            6 * targets.len(),
+        );
+        let ibuf: ProbeBuf = crate::probe::l1_probe(env, cfg.l1i);
+        let _ = dbuf.probe(env);
+        let _ = ibuf.probe_exec(env);
         let _ = env.wait_preempt();
         for _ in 0..samples + 1 {
+            // Time the three handler syscalls back to back; the sum drops
+            // by (LLC − L2 latency) × footprint for the handler the sender
+            // kept warm.
             let t0 = env.now();
-            let misses = buf.probe_misses(env, threshold);
-            rlog.lock().push((t0, misses as f64));
+            let _ = env.syscall(Syscall::Signal { cap: 0 });
+            let _ = env.syscall(Syscall::TcbSetPriority { cap: 1, prio: 100 });
+            let _ = env.syscall(Syscall::Poll { cap: 0 });
+            let t1 = env.now();
+            rlog.lock().push((t0, (t1 - t0) as f64));
+            // Evict the handlers from the L2 (data probe over their sets)
+            // and from the L1-I, re-arming the measurement.
+            let _ = dbuf.probe(env);
+            let _ = ibuf.probe_exec(env);
             let _ = env.wait_preempt();
         }
     });

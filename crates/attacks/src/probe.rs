@@ -7,63 +7,150 @@
 //! found during an untimed profiling phase (the [`tp_core::UserEnv::translate`]
 //! oracle stands in for timing-based eviction-set construction).
 
-use tp_core::UserEnv;
+use std::cell::RefCell;
+use tp_core::{EnvPlan, UserEnv};
 use tp_sim::cache::phys_set;
 use tp_sim::machine::slice_index;
 use tp_sim::{CacheGeom, VAddr, FRAME_SIZE};
 
+/// Cached per-buffer sweep plans, one per access side (the I- and D-side
+/// L1 geometries can differ).
+#[derive(Debug, Clone, Default)]
+struct Plans {
+    data: Option<EnvPlan>,
+    insn: Option<EnvPlan>,
+}
+
 /// An ordered set of probe addresses.
+///
+/// All probe entry points run through the environment's batched sweep API:
+/// the buffer lazily builds (and caches) a translated [`EnvPlan`] per
+/// access side, so a probe takes the simulation lock and the scheduler
+/// turn once per sweep instead of once per line. The `*_scalar` siblings
+/// keep the original line-at-a-time path as a reference oracle — the
+/// workspace property tests pin batch and scalar to bit-identical cycle
+/// totals and hit sequences.
 #[derive(Debug, Clone)]
 pub struct ProbeBuf {
     /// The probe addresses, grouped by target set.
     pub lines: Vec<VAddr>,
     /// Lines per target set.
     pub per_set: usize,
+    plans: RefCell<Plans>,
 }
 
 impl ProbeBuf {
+    /// Build a probe buffer from an ordered address list.
+    #[must_use]
+    pub fn new(lines: Vec<VAddr>, per_set: usize) -> Self {
+        ProbeBuf {
+            lines,
+            per_set,
+            plans: RefCell::new(Plans::default()),
+        }
+    }
+
+    /// Run `sweep` against the cached plan for the chosen side, building or
+    /// rebuilding the plan when absent or stale (address space changed).
+    fn with_plan<R>(
+        &self,
+        env: &mut UserEnv,
+        insn: bool,
+        mut sweep: impl FnMut(&EnvPlan, &mut UserEnv) -> Option<R>,
+    ) -> R {
+        loop {
+            {
+                let mut plans = self.plans.borrow_mut();
+                let slot = if insn {
+                    &mut plans.insn
+                } else {
+                    &mut plans.data
+                };
+                if slot.is_none() {
+                    *slot = Some(env.build_plan(&self.lines, insn));
+                }
+            }
+            let plans = self.plans.borrow();
+            let plan = if insn { &plans.insn } else { &plans.data };
+            if let Some(r) = sweep(plan.as_ref().expect("plan built above"), env) {
+                return r;
+            }
+            drop(plans);
+            let mut plans = self.plans.borrow_mut();
+            *(if insn {
+                &mut plans.insn
+            } else {
+                &mut plans.data
+            }) = None;
+        }
+    }
+
     /// Probe with loads; returns the total latency in cycles.
     #[must_use]
     pub fn probe(&self, env: &mut UserEnv) -> u64 {
-        self.lines.iter().map(|&va| env.load(va)).sum()
+        self.with_plan(env, false, |p, env| {
+            env.probe_batch(p, usize::MAX, false, None)
+        })
     }
 
     /// Probe with stores (dirties the lines).
     #[must_use]
     pub fn probe_write(&self, env: &mut UserEnv) -> u64 {
-        self.lines.iter().map(|&va| env.store(va)).sum()
+        self.with_plan(env, false, |p, env| {
+            env.probe_batch(p, usize::MAX, true, None)
+        })
     }
 
     /// Probe with instruction fetches.
     #[must_use]
     pub fn probe_exec(&self, env: &mut UserEnv) -> u64 {
-        self.lines.iter().map(|&va| env.exec(va)).sum()
+        self.with_plan(env, true, |p, env| {
+            env.probe_batch(p, usize::MAX, false, None)
+        })
     }
 
     /// Probe with loads, counting accesses slower than `threshold` (cache
     /// misses at the monitored level).
     #[must_use]
     pub fn probe_misses(&self, env: &mut UserEnv, threshold: u64) -> u64 {
-        self.lines
-            .iter()
-            .filter(|&&va| env.load(va) >= threshold)
-            .count() as u64
+        let mut costs = Vec::with_capacity(self.lines.len());
+        self.with_plan(env, false, |p, env| {
+            costs.clear();
+            env.probe_batch(p, usize::MAX, false, Some(&mut costs))
+        });
+        costs.iter().filter(|&&c| c >= threshold).count() as u64
     }
 
     /// Probe a sub-range `[0, n)` of the buffer's lines with loads.
     #[must_use]
     pub fn probe_prefix(&self, env: &mut UserEnv, n: usize) -> u64 {
-        self.lines[..n.min(self.lines.len())]
-            .iter()
-            .map(|&va| env.load(va))
-            .sum()
+        self.with_plan(env, false, |p, env| env.probe_batch(p, n, false, None))
     }
 
     /// Dirty the first `n` lines (the §5.3.4 sender).
     pub fn dirty_prefix(&self, env: &mut UserEnv, n: usize) {
-        for &va in &self.lines[..n.min(self.lines.len())] {
-            env.store(va);
-        }
+        self.with_plan(env, false, |p, env| env.probe_batch(p, n, true, None));
+    }
+
+    /// Line-at-a-time load probe: the reference oracle for
+    /// [`ProbeBuf::probe`].
+    #[must_use]
+    pub fn probe_scalar(&self, env: &mut UserEnv) -> u64 {
+        self.lines.iter().map(|&va| env.load(va)).sum()
+    }
+
+    /// Line-at-a-time store probe: the reference oracle for
+    /// [`ProbeBuf::probe_write`].
+    #[must_use]
+    pub fn probe_write_scalar(&self, env: &mut UserEnv) -> u64 {
+        self.lines.iter().map(|&va| env.store(va)).sum()
+    }
+
+    /// Line-at-a-time fetch probe: the reference oracle for
+    /// [`ProbeBuf::probe_exec`].
+    #[must_use]
+    pub fn probe_exec_scalar(&self, env: &mut UserEnv) -> u64 {
+        self.lines.iter().map(|&va| env.exec(va)).sum()
     }
 
     /// Number of probe lines.
@@ -99,10 +186,7 @@ pub fn l1_probe(env: &mut UserEnv, geom: CacheGeom) -> ProbeBuf {
             lines.push(VAddr(va.0 + page * FRAME_SIZE + off));
         }
     }
-    ProbeBuf {
-        lines,
-        per_set: ways as usize,
-    }
+    ProbeBuf::new(lines, ways as usize)
 }
 
 /// Build a probe buffer for a set of physically-indexed cache sets.
@@ -123,33 +207,38 @@ pub fn phys_probe(
     let line = geom.line;
     let lines_per_page = FRAME_SIZE / line;
     let (va, frames) = env.map_pages(pool_pages);
-    let mut per_set: std::collections::HashMap<usize, Vec<VAddr>> =
-        std::collections::HashMap::new();
+    // Direct set → target-slot table: the profiling scan visits every line
+    // of the pool, so membership tests must be O(1) (a linear
+    // `contains` over hundreds of target sets made this scan quadratic).
+    let mut slot_of: Vec<Option<u32>> = vec![None; geom.sets() as usize];
+    for (slot, &s) in target_sets.iter().enumerate() {
+        slot_of[s] = Some(slot as u32);
+    }
+    let mut per_set: Vec<Vec<VAddr>> = vec![Vec::new(); target_sets.len()];
+    let mut filled = 0usize;
     'outer: for (pi, pfn) in frames.iter().enumerate() {
         for l in 0..lines_per_page {
             let pa = pfn * FRAME_SIZE + l * line;
             let set = phys_set(geom, pa);
-            if target_sets.contains(&set) {
-                let v = per_set.entry(set).or_default();
+            if let Some(slot) = slot_of[set] {
+                let v = &mut per_set[slot as usize];
                 if v.len() < ways {
                     v.push(VAddr(va.0 + pi as u64 * FRAME_SIZE + l * line));
+                    if v.len() == ways {
+                        filled += 1;
+                        if filled == target_sets.len() {
+                            break 'outer;
+                        }
+                    }
                 }
             }
         }
-        if per_set.len() == target_sets.len() && per_set.values().all(|v| v.len() >= ways) {
-            break 'outer;
-        }
     }
     let mut lines = Vec::new();
-    for set in target_sets {
-        if let Some(v) = per_set.get(set) {
-            lines.extend_from_slice(v);
-        }
+    for v in per_set {
+        lines.extend_from_slice(&v);
     }
-    ProbeBuf {
-        lines,
-        per_set: ways,
-    }
+    ProbeBuf::new(lines, ways)
 }
 
 /// Build a probe buffer for one (slice, set) position of the sliced LLC —
@@ -181,10 +270,7 @@ pub fn llc_slice_probe(
             }
         }
     }
-    ProbeBuf {
-        lines,
-        per_set: ways,
-    }
+    ProbeBuf::new(lines, ways)
 }
 
 /// The latency threshold distinguishing a hit at `inner` from a miss that

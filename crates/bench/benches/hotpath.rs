@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks of the sweep-granularity hot path: the
+//! scalar timed access, a 4 KiB probe sweep through `access_batch`, and
+//! the flat page-table lookup. These are the loops that bound how fast a
+//! probe-heavy campaign cell can run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tp_sim::mem::Mapping;
+use tp_sim::{Asid, BatchOut, Machine, PAddr, PhysMap, Platform, VAddr, FRAME_SIZE};
+
+fn bench_timed_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath");
+    g.bench_function("timed_access_l1_hit", |b| {
+        let mut m = Machine::new(Platform::Haswell.config(), 1);
+        m.data_access(0, Asid(1), VAddr(0x1000), PAddr(0x1000), false, false);
+        b.iter(|| black_box(m.data_access(0, Asid(1), VAddr(0x1000), PAddr(0x1000), false, false)));
+    });
+    g.bench_function("timed_access_l2_sweep", |b| {
+        // A 64-line round-robin that always misses L1 but hits L2.
+        let mut m = Machine::new(Platform::Haswell.config(), 1);
+        let stride = m.cfg.l1d.sets() * m.cfg.line; // same L1 set, distinct L2 sets
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            let a = 0x10_0000 + i * stride;
+            black_box(m.data_access(0, Asid(1), VAddr(a), PAddr(a), false, false))
+        });
+    });
+    g.finish();
+}
+
+fn bench_probe_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath");
+    // A 4 KiB probe sweep (64 lines × 64 B): the Mastik-style unit of work.
+    g.bench_function("probe_sweep_4k_batch", |b| {
+        let mut m = Machine::new(Platform::Haswell.config(), 1);
+        let pas: Vec<PAddr> = (0..64).map(|i| PAddr(0x40_0000 + i * 64)).collect();
+        let plan = m.plan_sweep(false, &pas);
+        // Warm so the steady state is the L1-hit sweep a receiver sees.
+        m.access_batch(0, Asid(1), &plan, false, false, &mut BatchOut::default());
+        b.iter(|| {
+            black_box(m.access_batch(0, Asid(1), &plan, false, false, &mut BatchOut::default()))
+        });
+    });
+    g.bench_function("probe_sweep_4k_scalar", |b| {
+        let mut m = Machine::new(Platform::Haswell.config(), 1);
+        let pas: Vec<PAddr> = (0..64).map(|i| PAddr(0x40_0000 + i * 64)).collect();
+        for &pa in &pas {
+            m.data_access(0, Asid(1), VAddr(pa.0), pa, false, false);
+        }
+        b.iter(|| {
+            let mut total = 0u64;
+            for &pa in &pas {
+                total += m.data_access(0, Asid(1), VAddr(pa.0), pa, false, false);
+            }
+            black_box(total)
+        });
+    });
+    g.finish();
+}
+
+fn bench_translate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath");
+    g.bench_function("physmap_translate", |b| {
+        let mut pm = PhysMap::new(Asid(1));
+        for vpn in 0..1024u64 {
+            pm.map(
+                0x10000 + vpn,
+                Mapping {
+                    pfn: 4096 + vpn,
+                    global: false,
+                    writable: true,
+                },
+            );
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            black_box(pm.translate(VAddr((0x10000 + i) * FRAME_SIZE + 8)))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_timed_access,
+    bench_probe_sweep,
+    bench_translate
+);
+criterion_main!(benches);

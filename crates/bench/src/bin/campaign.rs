@@ -18,7 +18,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 use tp_bench::campaign::{
-    check_goldens, golden_json, registry, results_json, ExperimentDef, ExperimentResult,
+    bench_json, check_goldens, golden_json, registry, results_json, ExperimentDef, ExperimentResult,
 };
 use tp_bench::util::Table;
 use tp_sim::Platform;
@@ -199,6 +199,13 @@ fn main() -> ExitCode {
         tp_bench::util::threads(),
         tp_bench::util::effort()
     );
+
+    // Per-cell wall times, mirroring reproduce_all's BENCH.json (CI
+    // budgets the campaign total and keeps both files as artifacts).
+    match std::fs::write("BENCH-campaign.json", bench_json(&results, total_seconds)) {
+        Ok(()) => eprintln!("[wrote BENCH-campaign.json]"),
+        Err(e) => eprintln!("[failed to write BENCH-campaign.json: {e}]"),
+    }
 
     if let Some(path) = &args.json {
         let json = results_json(&results, total_seconds);

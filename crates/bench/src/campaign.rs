@@ -411,6 +411,35 @@ pub fn results_json(results: &[ExperimentResult], total_seconds: f64) -> String 
     s
 }
 
+/// Serialise the campaign's wall-time record (`BENCH-campaign.json`):
+/// the total plus one entry per experiment × platform cell, mirroring the
+/// `BENCH.json` the `reproduce_all` binary writes. CI budgets the total;
+/// the per-cell times localise a regression to one cell.
+///
+/// With `threads > 1` the cells run concurrently, so per-cell times
+/// overlap and can sum to more than `total_seconds`; `total_seconds` is
+/// always honest wall clock.
+#[must_use]
+pub fn bench_json(results: &[ExperimentResult], total_seconds: f64) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"tp_samples\": {},", crate::util::effort());
+    let _ = writeln!(s, "  \"threads\": {},", crate::util::threads());
+    let _ = writeln!(s, "  \"total_seconds\": {total_seconds:.3},");
+    s.push_str("  \"cells\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"experiment\": \"{}\", \"platform\": \"{}\", \"seconds\": {:.3}}}{comma}",
+            r.experiment,
+            r.platform.key(),
+            r.seconds
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 /// The canonical identity of one verdict: experiment, platform key,
 /// channel, mechanism.
 type VerdictKey = (String, String, String, String);

@@ -298,8 +298,11 @@ pub fn table6() -> String {
                     (k.boot_image, k.boot_image)
                 };
                 k.cores[0].cur_image = img0;
-                // Average over runs with the receiver state rebuilt.
-                let runs = 20;
+                // Average over runs with the receiver state rebuilt,
+                // scaled by TP_SAMPLES like every other sample count (the
+                // switch cost is nearly deterministic, so a handful of
+                // runs already averages the jitter away).
+                let runs = ((20.0 * crate::util::effort()).ceil() as u64).max(4);
                 let mut total = 0u64;
                 for r in 0..runs {
                     table6_workload(&mut m, &cfg, wl);

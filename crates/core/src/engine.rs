@@ -14,12 +14,13 @@
 //! is quantised to a fixed cycle window.
 
 use crate::kernel::{Kernel, KernelError, SysReturn, Syscall};
-use crate::objects::{DomainId, TcbId, ThreadState};
+use crate::objects::{DomainId, TcbId, ThreadState, VSpaceId};
 use parking_lot::{Condvar, Mutex};
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
-use tp_sim::{ColorSet, Machine, PAddr, PlatformConfig, VAddr};
+use tp_sim::{Asid, ColorSet, Machine, PAddr, PlatformConfig, SweepPlan, VAddr};
 
 /// Default cross-core interleaving window (cycles).
 pub const DEFAULT_WINDOW: u64 = 4_000;
@@ -175,35 +176,35 @@ impl SimInner {
 
     /// Move the token if the holder ran ahead of the laggard active core by
     /// more than the window, or stopped being active.
+    ///
+    /// Runs after every timed environment access, so it must not allocate:
+    /// the laggard scan is a single pass over the (few) cores.
     pub fn rotate_token(&mut self) {
-        let active: Vec<usize> = self
-            .kernel
-            .cores
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.cur.is_some())
-            .map(|(i, _)| i)
-            .collect();
-        if active.is_empty() {
-            return;
+        let mut laggard: Option<(u64, usize)> = None;
+        let mut token_active = false;
+        for (i, c) in self.kernel.cores.iter().enumerate() {
+            if c.cur.is_some() {
+                let cy = self.machine.cycles(i);
+                // Strict `<` keeps the first minimum, like the min_by_key
+                // scan this replaces.
+                if laggard.is_none_or(|(lcy, _)| cy < lcy) {
+                    laggard = Some((cy, i));
+                }
+                if i == self.token {
+                    token_active = true;
+                }
+            }
         }
-        let laggard = *active
-            .iter()
-            .min_by_key(|&&c| self.machine.cycles(c))
-            .expect("nonempty");
-        if !active.contains(&self.token) {
-            if self.token != laggard {
-                self.token = laggard;
+        let Some((lcy, lidx)) = laggard else { return };
+        if !token_active {
+            if self.token != lidx {
+                self.token = lidx;
                 self.epoch += 1;
-            } else {
-                self.token = laggard;
             }
             return;
         }
-        if self.machine.cycles(self.token) > self.machine.cycles(laggard) + self.window
-            && laggard != self.token
-        {
-            self.token = laggard;
+        if self.machine.cycles(self.token) > lcy + self.window && lidx != self.token {
+            self.token = lidx;
             self.epoch += 1;
         }
     }
@@ -240,6 +241,66 @@ impl<F: FnMut(&mut UserEnv) + Send + 'static> UserProgram for F {
     }
 }
 
+/// Slots in the per-env direct-mapped translation cache.
+const TCACHE_SLOTS: usize = 64;
+
+/// One cached positive translation, validated against the owning
+/// [`tp_sim::PhysMap`]'s generation counter.
+#[derive(Clone, Copy)]
+struct TransEntry {
+    vpn: u64,
+    pa_base: u64,
+    gen: u64,
+    valid: bool,
+}
+
+/// Per-environment lookup state: the thread's (immutable) VSpace/ASID ids
+/// and a small direct-mapped translation cache, so the probe hot path
+/// skips the kernel page-table walk on repeated addresses.
+struct EnvCache {
+    ids: Option<(VSpaceId, Asid)>,
+    entries: [TransEntry; TCACHE_SLOTS],
+}
+
+impl EnvCache {
+    fn new() -> Self {
+        EnvCache {
+            ids: None,
+            entries: [TransEntry {
+                vpn: 0,
+                pa_base: 0,
+                gen: 0,
+                valid: false,
+            }; TCACHE_SLOTS],
+        }
+    }
+}
+
+/// A precomputed, translated probe sweep bound to one environment: the
+/// simulator-side [`SweepPlan`] plus the page-table generation it was
+/// translated at. [`UserEnv::probe_batch`] refuses a stale plan (the
+/// mappings changed since it was built), in which case the caller rebuilds
+/// with [`UserEnv::build_plan`].
+#[derive(Debug, Clone)]
+pub struct EnvPlan {
+    plan: SweepPlan,
+    gen: u64,
+}
+
+impl EnvPlan {
+    /// Number of planned probe lines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// Whether the plan has no lines.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.plan.is_empty()
+    }
+}
+
 /// The mediated hardware/kernel interface handed to user programs.
 pub struct UserEnv {
     ctl: Arc<SimCtl>,
@@ -251,6 +312,7 @@ pub struct UserEnv {
     pub domain: DomainId,
     cfg: PlatformConfig,
     colors: ColorSet,
+    cache: RefCell<EnvCache>,
 }
 
 impl UserEnv {
@@ -271,6 +333,7 @@ impl UserEnv {
             domain,
             cfg,
             colors,
+            cache: RefCell::new(EnvCache::new()),
         }
     }
 
@@ -327,32 +390,57 @@ impl UserEnv {
     /// cost and a little jitter).
     pub fn now(&self) -> u64 {
         self.op(false, |g| {
-            let j = {
-                use rand::Rng;
-                g.machine.rng().gen_range(0..3u64)
-            };
+            let j = g.machine.rng().below(3);
             g.machine.advance(self.core, 20 + j);
             g.machine.cycles(self.core)
         })
     }
 
-    fn translate_or_die(g: &SimInner, tcb: TcbId, va: VAddr) -> PAddr {
-        g.kernel
-            .translate(tcb, va)
-            .unwrap_or_else(|| panic!("page fault at {va:?}"))
+    /// The thread's VSpace and ASID, resolved once (both are fixed at
+    /// thread creation).
+    fn cached_ids(&self, g: &SimInner) -> (VSpaceId, Asid) {
+        let mut cache = self.cache.borrow_mut();
+        if let Some(ids) = cache.ids {
+            return ids;
+        }
+        let t = g.kernel.tcbs.get(self.tcb.0).expect("live thread");
+        let asid = g.kernel.vspaces.get(t.vspace.0).expect("live vspace").asid;
+        cache.ids = Some((t.vspace, asid));
+        (t.vspace, asid)
     }
 
-    fn user_asid(g: &SimInner, tcb: TcbId) -> tp_sim::Asid {
-        let t = g.kernel.tcbs.get(tcb.0).expect("live thread");
-        g.kernel.vspaces.get(t.vspace.0).expect("live vspace").asid
+    /// Translate through the per-env cache; falls back to the kernel page
+    /// table on a miss or when the mapping generation moved.
+    ///
+    /// # Panics
+    /// Panics on a page fault, like real attack code would.
+    fn translate_cached(&self, g: &SimInner, va: VAddr) -> (PAddr, Asid) {
+        let (vs, asid) = self.cached_ids(g);
+        let map = &g.kernel.vspaces.get(vs.0).expect("live vspace").map;
+        let gen = map.generation();
+        let vpn = va.vpn();
+        let mut cache = self.cache.borrow_mut();
+        let e = &mut cache.entries[(vpn as usize) % TCACHE_SLOTS];
+        if e.valid && e.vpn == vpn && e.gen == gen {
+            return (PAddr(e.pa_base + va.page_offset()), asid);
+        }
+        let pa = map
+            .translate(va)
+            .unwrap_or_else(|| panic!("page fault at {va:?}"));
+        *e = TransEntry {
+            vpn,
+            pa_base: pa.0 - va.page_offset(),
+            gen,
+            valid: true,
+        };
+        (pa, asid)
     }
 
     /// Load from a user virtual address; returns the access latency in
     /// cycles (what a real attacker measures with two counter reads).
     pub fn load(&self, va: VAddr) -> u64 {
         self.op(false, |g| {
-            let pa = Self::translate_or_die(g, self.tcb, va);
-            let asid = Self::user_asid(g, self.tcb);
+            let (pa, asid) = self.translate_cached(g, va);
             g.machine.data_access(self.core, asid, va, pa, false, false)
         })
     }
@@ -360,8 +448,7 @@ impl UserEnv {
     /// Store to a user virtual address; returns the latency.
     pub fn store(&self, va: VAddr) -> u64 {
         self.op(false, |g| {
-            let pa = Self::translate_or_die(g, self.tcb, va);
-            let asid = Self::user_asid(g, self.tcb);
+            let (pa, asid) = self.translate_cached(g, va);
             g.machine.data_access(self.core, asid, va, pa, true, false)
         })
     }
@@ -369,10 +456,178 @@ impl UserEnv {
     /// Fetch/execute an instruction at a user virtual address.
     pub fn exec(&self, va: VAddr) -> u64 {
         self.op(false, |g| {
-            let pa = Self::translate_or_die(g, self.tcb, va);
-            let asid = Self::user_asid(g, self.tcb);
+            let (pa, asid) = self.translate_cached(g, va);
             g.machine.insn_fetch(self.core, asid, va, pa, false)
         })
+    }
+
+    /// The per-access epilogue of a batched sweep, mirroring the tail of
+    /// [`UserEnv::op`]: deliver due events, skip idle time, rotate the
+    /// cross-core token and wake waiters on any scheduling change.
+    fn sweep_tail(&self, g: &mut parking_lot::MutexGuard<'_, SimInner>, last_epoch: &mut u64) {
+        g.process_due(self.core);
+        if !g.any_current() {
+            g.idle_advance();
+        }
+        g.rotate_token();
+        if g.epoch != *last_epoch || g.stop {
+            self.ctl.cv.notify_all();
+            *last_epoch = g.epoch;
+        }
+    }
+
+    /// Re-check admission before the next access of a sweep (the batched
+    /// equivalent of the `wait_turn` at the top of every scalar op).
+    fn resume_turn(&self, g: &mut parking_lot::MutexGuard<'_, SimInner>, last_epoch: &mut u64) {
+        if g.stop || g.kernel.cores[self.core].cur != Some(self.tcb) || g.token != self.core {
+            self.wait_turn(g);
+            *last_epoch = g.epoch;
+        }
+    }
+
+    /// Sweep fast-path state: whether this thread is the only runnable one
+    /// (so token rotation and idle skipping are provably no-ops) and the
+    /// cycle at which the epilogue next has real work (the earliest due
+    /// event or the cycle budget). Until that trigger, the full per-line
+    /// epilogue would do exactly nothing — events are only created *by*
+    /// event handlers and syscalls, neither of which can run between the
+    /// lines of a sweep — so skipping it is bit-equivalent to the scalar
+    /// path.
+    fn sweep_fast_state(&self, g: &SimInner) -> (bool, u64) {
+        let single = g.kernel.cores.iter().filter(|c| c.cur.is_some()).count() == 1;
+        let trigger = g
+            .next_event_cycle(self.core)
+            .unwrap_or(u64::MAX)
+            .min(g.max_cycles);
+        (single, trigger)
+    }
+
+    /// Precompute a probe sweep over `vas`: translate every address and
+    /// build the simulator-side [`SweepPlan`] (with the instruction-side L1
+    /// geometry when `insn`). One untimed environment operation, however
+    /// long the list.
+    #[must_use]
+    pub fn build_plan(&self, vas: &[VAddr], insn: bool) -> EnvPlan {
+        self.op(false, |g| {
+            let mut pas = Vec::with_capacity(vas.len());
+            for &va in vas {
+                pas.push(self.translate_cached(g, va).0);
+            }
+            let (vs, _) = self.cached_ids(g);
+            let gen = g
+                .kernel
+                .vspaces
+                .get(vs.0)
+                .expect("live vspace")
+                .map
+                .generation();
+            EnvPlan {
+                plan: g.machine.plan_sweep(insn, &pas),
+                gen,
+            }
+        })
+    }
+
+    /// Run the first `n` lines of a precomputed probe sweep, taking the
+    /// simulation lock and the scheduler turn **once** for the whole sweep
+    /// instead of once per line. Returns the total latency, or `None` when
+    /// the plan is stale (the address space changed since [`UserEnv::build_plan`];
+    /// rebuild and retry). Per-line latencies are appended to `costs` when
+    /// provided.
+    ///
+    /// Semantics are identical to issuing the lines as scalar
+    /// [`UserEnv::load`]/[`UserEnv::store`]/[`UserEnv::exec`] calls — due
+    /// events are still delivered between lines and the cross-core window
+    /// token still rotates — only the lock/turn bookkeeping is hoisted out
+    /// of the loop. The workspace property tests pin this equivalence
+    /// bit-for-bit.
+    pub fn probe_batch(
+        &self,
+        plan: &EnvPlan,
+        n: usize,
+        write: bool,
+        mut costs: Option<&mut Vec<u64>>,
+    ) -> Option<u64> {
+        let lines = &plan.plan.lines()[..n.min(plan.plan.len())];
+        if lines.is_empty() {
+            return Some(0);
+        }
+        let insn = plan.plan.is_insn();
+        let mut g = self.ctl.inner.lock();
+        self.wait_turn(&mut g);
+        let (vs, asid) = self.cached_ids(&g);
+        let gen = g
+            .kernel
+            .vspaces
+            .get(vs.0)
+            .expect("live vspace")
+            .map
+            .generation();
+        if gen != plan.gen {
+            return None;
+        }
+        let mut last_epoch = g.epoch;
+        let mut total = 0u64;
+        let (mut fast, mut trigger) = self.sweep_fast_state(&g);
+        for (i, ln) in lines.iter().enumerate() {
+            if i > 0 && (!fast || g.machine.cycles(self.core) >= trigger) {
+                self.sweep_tail(&mut g, &mut last_epoch);
+                self.resume_turn(&mut g, &mut last_epoch);
+                (fast, trigger) = self.sweep_fast_state(&g);
+            }
+            let (c, _) = g
+                .machine
+                .access_planned(self.core, asid, ln, write, false, insn);
+            total += c;
+            if let Some(costs) = costs.as_deref_mut() {
+                costs.push(c);
+            }
+        }
+        self.sweep_tail(&mut g, &mut last_epoch);
+        Some(total)
+    }
+
+    /// Load every address in `vas` under a single lock/turn acquisition;
+    /// returns the total latency. The unplanned sibling of
+    /// [`UserEnv::probe_batch`] for ad-hoc sweeps whose addresses are not
+    /// reused across samples.
+    pub fn load_sweep(&self, vas: &[VAddr]) -> u64 {
+        self.access_sweep_inner(vas.iter().map(|&va| (va, false)), 0)
+    }
+
+    /// Run a mixed load/store sweep (`true` = store) with `compute` pure
+    /// cycles after each access, under a single lock/turn acquisition.
+    /// Returns the total access latency (compute cycles excluded, as with
+    /// scalar [`UserEnv::compute`]).
+    pub fn access_sweep(&self, ops: &[(VAddr, bool)], compute: u64) -> u64 {
+        self.access_sweep_inner(ops.iter().copied(), compute)
+    }
+
+    fn access_sweep_inner(&self, ops: impl Iterator<Item = (VAddr, bool)>, compute: u64) -> u64 {
+        let mut g = self.ctl.inner.lock();
+        self.wait_turn(&mut g);
+        let mut last_epoch = g.epoch;
+        let mut total = 0u64;
+        let (mut fast, mut trigger) = self.sweep_fast_state(&g);
+        for (i, (va, write)) in ops.enumerate() {
+            if i > 0 && (!fast || g.machine.cycles(self.core) >= trigger) {
+                self.sweep_tail(&mut g, &mut last_epoch);
+                self.resume_turn(&mut g, &mut last_epoch);
+                (fast, trigger) = self.sweep_fast_state(&g);
+            }
+            let (pa, asid) = self.translate_cached(&g, va);
+            total += g.machine.data_access(self.core, asid, va, pa, write, false);
+            if compute > 0 {
+                if !fast || g.machine.cycles(self.core) >= trigger {
+                    self.sweep_tail(&mut g, &mut last_epoch);
+                    self.resume_turn(&mut g, &mut last_epoch);
+                    (fast, trigger) = self.sweep_fast_state(&g);
+                }
+                g.machine.advance(self.core, compute);
+            }
+        }
+        self.sweep_tail(&mut g, &mut last_epoch);
+        total
     }
 
     /// Execute a branch instruction; returns its latency.
@@ -407,7 +662,7 @@ impl UserEnv {
     /// stands in for that untimed profiling phase.
     #[must_use]
     pub fn translate(&self, va: VAddr) -> PAddr {
-        self.op(false, |g| Self::translate_or_die(g, self.tcb, va))
+        self.op(false, |g| self.translate_cached(g, va).0)
     }
 
     /// Issue a system call. Blocking calls return when the thread is next

@@ -475,18 +475,10 @@ impl Kernel {
             .untypeds
             .get_mut(boot_pool.0)
             .ok_or(KernelError::ObjectGone)?;
-        // Drain matching frames from the boot pool.
-        let mut taken = Vec::new();
-        let mut rest = Vec::new();
-        let avail = pool.alloc(pool.available()).unwrap_or_default();
-        for f in avail {
-            if taken.len() < max_frames && colors.contains(color_of_frame(f, n_colors)) {
-                taken.push(f);
-            } else {
-                rest.push(f);
-            }
-        }
-        pool.free(rest);
+        // Extract matching frames from the boot pool in place (allocation
+        // order preserved for both sides).
+        let taken =
+            pool.take_matching(max_frames, |f| colors.contains(color_of_frame(f, n_colors)));
         if taken.is_empty() {
             return Err(KernelError::OutOfMemory);
         }

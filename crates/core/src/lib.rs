@@ -64,7 +64,7 @@ pub mod switch;
 pub mod system;
 
 pub use config::{FlushMode, ProtectionConfig};
-pub use engine::{SimCtl, SimInner, UserEnv, UserProgram};
+pub use engine::{EnvPlan, SimCtl, SimInner, UserEnv, UserProgram};
 pub use kernel::{EngineMode, FootKind, Kernel, KernelError, SysReturn, Syscall};
 pub use objects::{CapObject, Capability, DomainId, ImageId, Rights, TcbId, ThreadState};
 pub use system::{DomainHandle, SystemBuilder, SystemReport};

@@ -243,6 +243,23 @@ impl Untyped {
         self.free.extend(frames);
     }
 
+    /// Extract up to `max` frames matching `pred`, preserving the pool's
+    /// allocation order for the rest. One in-place pass — domain carving
+    /// used to drain and re-sort the whole boot pool per domain, which
+    /// dominated the setup cost of short workload runs.
+    pub fn take_matching(&mut self, max: usize, mut pred: impl FnMut(u64) -> bool) -> Vec<u64> {
+        let mut taken = Vec::new();
+        self.free.retain(|&f| {
+            if taken.len() < max && pred(f) {
+                taken.push(f);
+                false
+            } else {
+                true
+            }
+        });
+        taken
+    }
+
     /// Remaining frames.
     #[must_use]
     pub fn available(&self) -> usize {

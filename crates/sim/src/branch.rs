@@ -8,7 +8,6 @@
 //! IBC (indirect branch control) feature, as used in §4.3.
 
 use crate::params::TlbGeom;
-use rand::rngs::StdRng;
 
 #[derive(Debug, Clone, Copy, Default)]
 struct BtbEntry {
@@ -24,6 +23,8 @@ struct BtbEntry {
 pub struct Btb {
     sets: usize,
     ways: usize,
+    /// `sets - 1` for power-of-two set counts (mask instead of division).
+    set_mask: Option<u64>,
     entries: Vec<BtbEntry>,
     clock: u64,
 }
@@ -37,21 +38,26 @@ impl Btb {
         Btb {
             sets,
             ways,
+            set_mask: sets.is_power_of_two().then(|| sets as u64 - 1),
             entries: vec![BtbEntry::default(); sets * ways],
             clock: 0,
         }
     }
 
+    #[inline]
     fn index(&self, pc: u64) -> (usize, u64) {
         let word = pc >> 2;
-        ((word % self.sets as u64) as usize, word / self.sets as u64)
+        match self.set_mask {
+            Some(m) => ((word & m) as usize, word >> (64 - m.leading_zeros())),
+            None => ((word % self.sets as u64) as usize, word / self.sets as u64),
+        }
     }
 
     /// Look up a branch at `pc`; if present, returns the predicted target.
     /// On a miss the entry is installed with `target`.
     ///
     /// Returns `true` on a BTB hit.
-    pub fn access(&mut self, pc: u64, target: u64, _rng: &mut StdRng) -> bool {
+    pub fn access(&mut self, pc: u64, target: u64) -> bool {
         self.clock += 1;
         let clock = self.clock;
         let (set, tag) = self.index(pc);
@@ -166,7 +172,6 @@ impl HistoryPredictor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn btb_hit_after_install() {
@@ -174,9 +179,8 @@ mod tests {
             entries: 16,
             ways: 2,
         });
-        let mut r = StdRng::seed_from_u64(3);
-        assert!(!b.access(0x400, 0x500, &mut r));
-        assert!(b.access(0x400, 0x500, &mut r));
+        assert!(!b.access(0x400, 0x500));
+        assert!(b.access(0x400, 0x500));
         assert_eq!(b.valid_entries(), 1);
     }
 
@@ -187,12 +191,11 @@ mod tests {
             entries: 16,
             ways: 2,
         });
-        let mut r = StdRng::seed_from_u64(3);
         for k in 0..3u64 {
-            b.access(4 * 8 * k, 0, &mut r);
+            b.access(4 * 8 * k, 0);
         }
         // First entry evicted by the third.
-        assert!(!b.access(0, 0, &mut r));
+        assert!(!b.access(0, 0));
     }
 
     #[test]
@@ -201,9 +204,8 @@ mod tests {
             entries: 16,
             ways: 2,
         });
-        let mut r = StdRng::seed_from_u64(3);
         for k in 0..10u64 {
-            b.access(4 * k, 0, &mut r);
+            b.access(4 * k, 0);
         }
         assert!(b.flush() > 0);
         assert_eq!(b.valid_entries(), 0);

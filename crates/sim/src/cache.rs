@@ -5,9 +5,8 @@
 //! and recency; the attacks in `tp-attacks` observe it purely through
 //! latency, exactly as on real hardware.
 
+use crate::noise::NoiseRng;
 use crate::params::CacheGeom;
-use rand::rngs::StdRng;
-use rand::Rng;
 
 /// Replacement policy for victim selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,14 +26,19 @@ pub enum Replacement {
     Random,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    /// Recency stamp; larger is more recent.
-    stamp: u64,
-}
+/// Validity-epoch width inside a packed line key: the key is
+/// `tag << EPOCH_BITS | epoch`, and a line is valid iff its epoch field
+/// equals the cache's current epoch. A whole-cache flush is then an epoch
+/// bump plus the counters instead of touching every line (`wbinvd` on a
+/// multi-megabyte LLC used to dominate the full-flush experiment cells),
+/// and — because tag and validity live in one word — the hit scan is a
+/// single integer compare per way over a contiguous `u64` row, the
+/// simulator's innermost loop.
+const EPOCH_BITS: u32 = 16;
+/// Mask of the epoch field.
+const EPOCH_MASK: u64 = (1 << EPOCH_BITS) - 1;
+/// Largest usable epoch; reaching it triggers a physical clear.
+const EPOCH_MAX: u64 = EPOCH_MASK;
 
 /// Outcome of a cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,9 +90,21 @@ pub struct Cache {
     geom: CacheGeom,
     sets: usize,
     ways: usize,
-    lines: Vec<Line>,
+    /// Per-line `tag << EPOCH_BITS | epoch` keys (the scan array).
+    keys: Vec<u64>,
+    /// Per-line `recency << 1 | dirty` words. The recency clock is
+    /// truncated to 31 bits and renormalised before it wraps, so LRU order
+    /// is never ambiguous; the dirty flag rides in the LSB (clock values
+    /// are unique per access, so ordering is unaffected).
+    stamps: Vec<u32>,
     policy: Replacement,
-    clock: u64,
+    clock: u32,
+    /// Current validity epoch (starts at 1; a zeroed key is invalid).
+    epoch: u64,
+    /// Valid lines, maintained incrementally (O(1) flush accounting).
+    valid_count: u64,
+    /// Valid dirty lines, maintained incrementally.
+    dirty_count: u64,
     stats: CacheStats,
 }
 
@@ -103,9 +119,13 @@ impl Cache {
             geom,
             sets,
             ways,
-            lines: vec![Line::default(); sets * ways],
+            keys: vec![0; sets * ways],
+            stamps: vec![0; sets * ways],
             policy,
             clock: 0,
+            epoch: 1,
+            valid_count: 0,
+            dirty_count: 0,
             stats: CacheStats::default(),
         }
     }
@@ -134,10 +154,14 @@ impl Cache {
         self.ways
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics. (Hits are derived — the hit fast path
+    /// maintains only the access counter.)
     #[must_use]
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        CacheStats {
+            hits: self.stats.accesses - self.stats.misses,
+            ..self.stats
+        }
     }
 
     /// Reset statistics (state is untouched).
@@ -158,84 +182,100 @@ impl Cache {
         tag: u64,
         line_addr: u64,
         write: bool,
-        rng: &mut StdRng,
+        noise: &mut NoiseRng,
     ) -> AccessOutcome {
-        assert!(set < self.sets, "{}: set {set} out of range", self.name);
+        debug_assert!(set < self.sets, "{}: set {set} out of range", self.name);
+        if self.clock == u32::MAX >> 1 {
+            // Renormalise recency before the 31-bit clock wraps (every ~2G
+            // accesses per cache): clear the recency bits (keeping dirty
+            // flags), restart the clock. Deterministic, and only the
+            // relative order within a set matters for LRU.
+            for s in &mut self.stamps {
+                *s &= 1;
+            }
+            self.clock = 0;
+        }
         self.clock += 1;
         let clock = self.clock;
         self.stats.accesses += 1;
         let ways = self.ways;
         let policy = self.policy;
-        // One fused pass: probe for a hit (early-out) while tracking the
-        // first invalid way and the LRU way, so a miss needs no second
-        // scan of the set.
-        let slice = {
-            let base = set * ways;
-            &mut self.lines[base..base + ways]
-        };
+        let epoch = self.epoch;
+        let base = set * ways;
+        let want = (tag << EPOCH_BITS) | epoch;
+        // Hit scan: one integer compare per way over the contiguous key
+        // row (stamps and dirty flags are only touched on the hit way).
+        for (i, k) in self.keys[base..base + ways].iter().enumerate() {
+            if *k == want {
+                let old = self.stamps[base + i];
+                if write && old & 1 == 0 {
+                    self.dirty_count += 1;
+                }
+                self.stamps[base + i] = (clock << 1) | (old & 1) | u32::from(write);
+                return AccessOutcome {
+                    hit: true,
+                    writeback: false,
+                    evicted: None,
+                };
+            }
+        }
+        self.stats.misses += 1;
+        // Miss: find the first invalid way, else the LRU way. An invalid
+        // way consumes nothing from the noise stream; only the noisy
+        // policies draw (so LRU caches never touch the stream at all).
         let mut invalid_idx = None;
         let mut lru_idx = 0usize;
-        let mut lru_stamp = u64::MAX;
-        for (i, line) in slice.iter_mut().enumerate() {
-            if line.valid {
-                if line.tag == tag {
-                    line.stamp = clock;
-                    line.dirty |= write;
-                    self.stats.hits += 1;
-                    return AccessOutcome {
-                        hit: true,
-                        writeback: false,
-                        evicted: None,
-                    };
-                }
-                if line.stamp < lru_stamp {
-                    lru_stamp = line.stamp;
+        let mut lru_stamp = u32::MAX;
+        for i in 0..ways {
+            if self.keys[base + i] & EPOCH_MASK == epoch {
+                let s = self.stamps[base + i] >> 1;
+                if s < lru_stamp {
+                    lru_stamp = s;
                     lru_idx = i;
                 }
             } else if invalid_idx.is_none() {
                 invalid_idx = Some(i);
             }
         }
-        self.stats.misses += 1;
-        // Miss: choose a victim. An invalid way is always preferred and
-        // consumes no randomness; the policies below match the same RNG
-        // stream as ever (determinism, Invariant 1).
         let victim_idx = match invalid_idx {
             Some(i) => i,
             None => match policy {
                 Replacement::Lru => lru_idx,
-                Replacement::PseudoLru { noise } => {
-                    if rng.gen::<u8>() < noise {
-                        rng.gen_range(0..ways)
+                Replacement::PseudoLru { noise: p } => {
+                    if noise.next_u8() < p {
+                        noise.below(ways as u64) as usize
                     } else {
                         lru_idx
                     }
                 }
-                Replacement::Random => rng.gen_range(0..ways),
+                Replacement::Random => noise.below(ways as u64) as usize,
             },
         };
-        let victim = slice[victim_idx];
+        let vkey = self.keys[base + victim_idx];
+        let vdirty = self.stamps[base + victim_idx] & 1 != 0;
         let mut outcome = AccessOutcome {
             hit: false,
             writeback: false,
             evicted: None,
         };
-        if victim.valid {
+        if vkey & EPOCH_MASK == epoch {
             outcome.evicted = Some(EvictedLine {
-                line_addr: victim.tag * self.sets as u64 + set as u64,
-                dirty: victim.dirty,
+                line_addr: (vkey >> EPOCH_BITS) * self.sets as u64 + set as u64,
+                dirty: vdirty,
             });
-            if victim.dirty {
+            if vdirty {
                 outcome.writeback = true;
                 self.stats.writebacks += 1;
+                self.dirty_count -= 1;
             }
+        } else {
+            self.valid_count += 1;
         }
-        slice[victim_idx] = Line {
-            tag,
-            valid: true,
-            dirty: write,
-            stamp: clock,
-        };
+        if write {
+            self.dirty_count += 1;
+        }
+        self.keys[base + victim_idx] = want;
+        self.stamps[base + victim_idx] = (clock << 1) | u32::from(write);
         debug_assert_eq!(line_addr % self.sets as u64, set as u64 % self.sets as u64);
         outcome
     }
@@ -245,22 +285,24 @@ impl Cache {
     #[must_use]
     pub fn peek(&self, set: usize, tag: u64) -> bool {
         let base = set * self.ways;
-        self.lines[base..base + self.ways]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        let want = (tag << EPOCH_BITS) | self.epoch;
+        self.keys[base..base + self.ways].contains(&want)
     }
 
     /// Invalidate the line `(set, tag)` if present; returns whether it was
     /// present and whether it was dirty.
     pub fn invalidate_line(&mut self, set: usize, tag: u64) -> (bool, bool) {
         let base = set * self.ways;
-        for line in &mut self.lines[base..base + self.ways] {
-            if line.valid && line.tag == tag {
-                let dirty = line.dirty;
-                line.valid = false;
-                line.dirty = false;
+        let want = (tag << EPOCH_BITS) | self.epoch;
+        for i in 0..self.ways {
+            if self.keys[base + i] == want {
+                let dirty = self.stamps[base + i] & 1 != 0;
+                self.keys[base + i] = 0;
+                self.stamps[base + i] &= !1;
+                self.valid_count -= 1;
                 self.stats.flushed_lines += 1;
                 if dirty {
+                    self.dirty_count -= 1;
                     self.stats.writebacks += 1;
                 }
                 return (true, dirty);
@@ -274,20 +316,22 @@ impl Cache {
     ///
     /// Returns `(valid_lines, dirty_lines)` — the dirty count drives the
     /// write-back latency that the paper's cache-flush channel (§5.3.4)
-    /// modulates.
+    /// modulates. O(1): validity is epoch-tagged and the counts are
+    /// maintained incrementally, so no line is touched.
     pub fn flush_all(&mut self) -> (u64, u64) {
-        let mut valid = 0;
-        let mut dirty = 0;
-        for line in &mut self.lines {
-            if line.valid {
-                valid += 1;
-                if line.dirty {
-                    dirty += 1;
-                }
-                line.valid = false;
-                line.dirty = false;
+        let valid = self.valid_count;
+        let dirty = self.dirty_count;
+        if self.epoch == EPOCH_MAX {
+            // Epoch exhaustion (every ~65k flushes): physically clear once
+            // and restart. Deterministic and invisible to callers.
+            for k in &mut self.keys {
+                *k = 0;
             }
+            self.epoch = 0;
         }
+        self.epoch += 1;
+        self.valid_count = 0;
+        self.dirty_count = 0;
         self.stats.flushed_lines += valid;
         self.stats.writebacks += dirty;
         (valid, dirty)
@@ -304,22 +348,37 @@ impl Cache {
     /// Count of currently valid lines.
     #[must_use]
     pub fn valid_lines(&self) -> u64 {
-        self.lines.iter().filter(|l| l.valid).count() as u64
+        debug_assert_eq!(
+            self.valid_count,
+            self.keys
+                .iter()
+                .filter(|k| *k & EPOCH_MASK == self.epoch)
+                .count() as u64
+        );
+        self.valid_count
     }
 
     /// Count of currently dirty lines.
     #[must_use]
     pub fn dirty_lines(&self) -> u64 {
-        self.lines.iter().filter(|l| l.valid && l.dirty).count() as u64
+        debug_assert_eq!(
+            self.dirty_count,
+            self.keys
+                .iter()
+                .zip(&self.stamps)
+                .filter(|(k, s)| **k & EPOCH_MASK == self.epoch && **s & 1 != 0)
+                .count() as u64
+        );
+        self.dirty_count
     }
 
     /// Count of valid lines in one set.
     #[must_use]
     pub fn valid_in_set(&self, set: usize) -> u64 {
         let base = set * self.ways;
-        self.lines[base..base + self.ways]
+        self.keys[base..base + self.ways]
             .iter()
-            .filter(|l| l.valid)
+            .filter(|k| *k & EPOCH_MASK == self.epoch)
             .count() as u64
     }
 }
@@ -353,7 +412,6 @@ pub fn vipt_tag(geom: CacheGeom, paddr: u64) -> u64 {
 mod tests {
     use super::*;
     use crate::params::CacheGeom;
-    use rand::SeedableRng;
 
     fn small() -> Cache {
         // 4 sets x 2 ways x 64B lines.
@@ -365,8 +423,8 @@ mod tests {
         Cache::new("t", geom, Replacement::Lru)
     }
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(7)
+    fn rng() -> NoiseRng {
+        NoiseRng::seeded(7)
     }
 
     #[test]

@@ -93,13 +93,20 @@ pub fn flush_branch_predictor(m: &mut Machine, core: usize) -> FlushWork {
 pub fn manual_flush_l1d(m: &mut Machine, core: usize, buf_pa: PAddr) -> FlushWork {
     let before = m.cores[core].l1d.valid_lines();
     let geom = m.cfg.l1d;
-    let line = m.cfg.line;
     let start = m.cycles(core);
-    for i in 0..geom.lines() {
-        let pa = PAddr(buf_pa.0 + i * line);
-        // Kernel data accesses: global mapping, kernel ASID.
-        m.data_access(core, Asid::KERNEL, crate::VAddr(pa.0), pa, false, true);
-    }
+    // Kernel data accesses: global mapping, kernel ASID. The walk runs on
+    // every domain switch over a fixed buffer — use the memoised plan.
+    let idx = m.flush_plan(buf_pa, false, geom.lines());
+    let plan = m.take_flush_plan(idx);
+    m.access_batch(
+        core,
+        Asid::KERNEL,
+        &plan,
+        false,
+        true,
+        &mut crate::machine::BatchOut::default(),
+    );
+    m.restore_flush_plan(idx, plan);
     let cycles = m.cycles(core) - start;
     // Count how many pre-existing lines survived (non-buffer tags).
     let survivors = count_foreign_lines(m, core, buf_pa, false);
@@ -120,19 +127,21 @@ pub fn manual_flush_l1i(m: &mut Machine, core: usize, buf_pa: PAddr) -> FlushWor
     let line = m.cfg.line;
     let jump_cost = m.cfg.lat.manual_jump;
     let start = m.cycles(core);
-    for i in 0..geom.lines() {
-        let pa = PAddr(buf_pa.0 + i * line);
-        m.insn_fetch(core, Asid::KERNEL, crate::VAddr(pa.0), pa, true);
+    let idx = m.flush_plan(buf_pa, true, geom.lines());
+    let plan = m.take_flush_plan(idx);
+    for ln in plan.lines() {
+        m.access_planned(core, Asid::KERNEL, ln, false, true, true);
         // The chained jump: mispredicted, BTB entry installed.
         m.branch(
             core,
-            crate::VAddr(pa.0),
-            crate::VAddr(pa.0 + line),
+            crate::VAddr(ln.pa),
+            crate::VAddr(ln.pa + line),
             true,
             false,
         );
         m.advance(core, jump_cost);
     }
+    m.restore_flush_plan(idx, plan);
     let cycles = m.cycles(core) - start;
     let survivors = count_foreign_lines(m, core, buf_pa, true);
     FlushWork {
@@ -147,15 +156,12 @@ fn count_foreign_lines(m: &Machine, core: usize, buf_pa: PAddr, insn: bool) -> u
     let cache = if insn { &c.l1i } else { &c.l1d };
     let geom = cache.geom();
     let line = geom.line;
-    let buf_lines: std::collections::HashSet<u64> = (0..geom.lines())
-        .map(|i| (buf_pa.0 + i * line) / line)
-        .collect();
-    // Foreign lines = valid lines that are not buffer lines.
+    // Foreign lines = valid lines that are not buffer lines. The buffer is
+    // cache-sized and line-aligned, so its line addresses are distinct.
     let mut buffer_resident = 0;
-    for la in &buf_lines {
-        let set = phys_set(geom, la * line);
-        let tag = phys_tag(geom, la * line);
-        if cache.peek(set, tag) {
+    for i in 0..geom.lines() {
+        let pa = buf_pa.0 + i * line;
+        if cache.peek(phys_set(geom, pa), phys_tag(geom, pa)) {
             buffer_resident += 1;
         }
     }
@@ -222,21 +228,7 @@ pub fn arm_full_flush(m: &mut Machine, core: usize) -> FlushWork {
 }
 
 fn shared_flush(m: &mut Machine, slice: usize) -> (u64, u64) {
-    // Direct access to the shared slice: route through a helper on Machine.
     m.flush_shared_slice(slice)
-}
-
-impl Machine {
-    /// Clean and invalidate one shared-cache slice; returns
-    /// `(valid, dirty)` counts. Exposed for the flush implementations.
-    pub fn flush_shared_slice(&mut self, slice: usize) -> (u64, u64) {
-        self.shared_slice_mut(slice).flush_all()
-    }
-
-    fn shared_slice_mut(&mut self, idx: usize) -> &mut crate::cache::Cache {
-        // Safe accessor kept private to the crate's flush path.
-        &mut self.shared_mut()[idx]
-    }
 }
 
 #[cfg(test)]

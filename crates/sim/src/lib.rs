@@ -36,13 +36,15 @@ pub mod corestate;
 pub mod flush;
 pub mod machine;
 pub mod mem;
+pub mod noise;
 pub mod params;
 pub mod prefetch;
 pub mod tlb;
 
 pub use corestate::{AccessKind, CoreState};
-pub use machine::Machine;
+pub use machine::{BatchOut, HitLevel, Machine, PlannedLine, SweepPlan};
 pub use mem::{color_of_frame, ColorSet, PhysMap, FRAME_SIZE};
+pub use noise::NoiseRng;
 pub use params::{CacheGeom, Latency, Platform, PlatformConfig, TlbGeom};
 
 /// A virtual address in a simulated address space.

@@ -5,15 +5,26 @@
 //! cost on the issuing core, walking TLB → L1 → L2 → LLC → DRAM with the
 //! platform's latency table, dirty write-backs, prefetcher interaction and
 //! cross-core bus contention.
+//!
+//! # The sweep fast path
+//!
+//! Mastik-style prime&probe walks thousands of fixed addresses per sample.
+//! Re-deriving every cache set index, tag and slice from the physical
+//! address on each of those accesses is pure waste: the addresses never
+//! change. A [`SweepPlan`] precomputes the per-line geometry once
+//! ([`Machine::plan_sweep`]) and [`Machine::access_batch`] walks the
+//! hierarchy over the plan in one tight loop. The scalar path
+//! ([`Machine::data_access`] / [`Machine::insn_fetch`]) builds a one-line
+//! plan on the fly and funnels into the *same* per-access function
+//! ([`Machine::access_planned`]), so batch and scalar are bit-identical by
+//! construction — a contract the workspace property tests pin down.
 
-use crate::cache::{phys_set, phys_tag, Cache, Replacement};
-use crate::corestate::{AccessKind, CoreState};
-use crate::params::PlatformConfig;
+use crate::cache::{phys_set, Cache, Replacement};
+use crate::corestate::CoreState;
+use crate::noise::NoiseRng;
+use crate::params::{CacheGeom, PlatformConfig};
 use crate::tlb::TlbLevel;
 use crate::{Asid, PAddr, VAddr};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
 
 /// Extra latency charged to a demand miss per resumed stale prefetch
 /// stream (the §5.3.2 residual-channel mechanism).
@@ -24,6 +35,17 @@ const BUS_WINDOW: u64 = 400;
 
 /// Maximum number of contending accesses counted per DRAM access.
 const BUS_MAX_CONTENDERS: u64 = 6;
+
+/// Per-core ring depth of recent DRAM-access stamps. A core advances by at
+/// least the DRAM latency (≫ `BUS_WINDOW` / `BUS_RING` cycles) per DRAM
+/// access, so at most a handful of its stamps can ever fall inside one
+/// contention window; 8 is comfortably above that bound for every
+/// registered platform (checked by `PlatformConfig::validate`-adjacent
+/// latency invariants: `lat.dram ≥ 60` everywhere).
+const BUS_RING: usize = 8;
+
+/// Sentinel for an empty bus-ring slot.
+const BUS_EMPTY: u64 = u64::MAX;
 
 /// Where in the hierarchy an access was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +73,110 @@ pub fn slice_index(line_addr: u64, slices: u64) -> usize {
     (h % slices) as usize
 }
 
+/// Shift/mask indexing for one power-of-two cache geometry, precomputed so
+/// the hot paths (prefetch fills, back-invalidation, scalar planning) never
+/// divide. `PlatformConfig::validate` pins the power-of-two invariants this
+/// relies on.
+#[derive(Debug, Clone, Copy)]
+struct GeomIdx {
+    line_shift: u32,
+    set_mask: u64,
+    tag_shift: u32,
+}
+
+impl GeomIdx {
+    fn new(g: CacheGeom) -> Self {
+        let sets = g.sets();
+        debug_assert!(g.line.is_power_of_two() && sets.is_power_of_two());
+        let line_shift = g.line.trailing_zeros();
+        GeomIdx {
+            line_shift,
+            set_mask: sets - 1,
+            tag_shift: line_shift + sets.trailing_zeros(),
+        }
+    }
+
+    #[inline]
+    fn set(&self, pa: u64) -> usize {
+        ((pa >> self.line_shift) & self.set_mask) as usize
+    }
+
+    #[inline]
+    fn tag(&self, pa: u64) -> u64 {
+        pa >> self.tag_shift
+    }
+}
+
+/// Precomputed geometry of one access: everything a hierarchy walk derives
+/// from the physical address, computed once per probe line instead of once
+/// per access.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannedLine {
+    /// The physical address (the frame number and canonical line address
+    /// are single shifts away and derived at access time, keeping the
+    /// plan row compact — the plan itself is streamed on every sweep).
+    pub pa: u64,
+    /// L1 tag.
+    l1_tag: u64,
+    /// Private-L2 tag.
+    l2_tag: u64,
+    /// Shared-slice tag.
+    sh_tag: u64,
+    /// L1 set index (for the I- or D-side geometry the plan was built for).
+    l1_set: u32,
+    /// Private-L2 set index (unused on platforms without a private L2).
+    l2_set: u32,
+    /// Shared-cache slice.
+    slice: u16,
+    /// Set index within the shared slice.
+    sh_set: u32,
+}
+
+/// A precomputed probe sweep: per-line geometry tuples for a fixed list of
+/// physical addresses, valid for one machine configuration and one access
+/// side (instruction vs data — their L1 geometries may differ).
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    insn: bool,
+    lines: Vec<PlannedLine>,
+}
+
+impl SweepPlan {
+    /// Whether the plan was built for instruction fetches.
+    #[must_use]
+    pub fn is_insn(&self) -> bool {
+        self.insn
+    }
+
+    /// The planned lines.
+    #[must_use]
+    pub fn lines(&self) -> &[PlannedLine] {
+        &self.lines
+    }
+
+    /// Number of planned lines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the plan is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+/// Scratch outputs of a batch sweep; both fields optional so callers pay
+/// only for what they read.
+#[derive(Debug, Default)]
+pub struct BatchOut<'a> {
+    /// Per-line cycle costs, appended in plan order.
+    pub costs: Option<&'a mut Vec<u64>>,
+    /// Per-line hit levels, appended in plan order.
+    pub levels: Option<&'a mut Vec<HitLevel>>,
+}
+
 /// The simulated machine.
 #[derive(Debug)]
 pub struct Machine {
@@ -60,14 +186,31 @@ pub struct Machine {
     pub cores: Vec<CoreState>,
     /// Shared last-level cache slices (the LLC on x86, the L2 on Arm).
     shared: Vec<Cache>,
-    rng: StdRng,
-    /// Recent DRAM accesses: (issuing core's cycle stamp, core id).
-    bus: VecDeque<(u64, usize)>,
+    rng: NoiseRng,
+    /// Shift/mask indexers for the fixed geometries (no divisions on the
+    /// fill/invalidate hot paths).
+    idx_l1d: GeomIdx,
+    idx_l1i: GeomIdx,
+    idx_l2: GeomIdx,
+    idx_sh: GeomIdx,
+    /// `slices - 1` when the slice count is a power of two (mask dispatch,
+    /// matching [`slice_index`] bit-for-bit); `None` falls back to it.
+    slice_mask: Option<u64>,
+    /// Memoised sweep plans for the kernel's fixed flush buffers, keyed by
+    /// `(buffer base, insn side)` (a handful per machine: one or two per
+    /// kernel image). The manual x86 L1 flushes walk these buffers on
+    /// every domain switch.
+    flush_plans: Vec<(u64, bool, SweepPlan)>,
+    /// Per-core rings of recent DRAM-access cycle stamps (bus contention).
+    bus: Vec<[u64; BUS_RING]>,
+    /// Next write position per bus ring.
+    bus_pos: Vec<u8>,
     dram_accesses: u64,
 }
 
 impl Machine {
-    /// Build a machine with pristine state and a deterministic RNG seed.
+    /// Build a machine with pristine state and a deterministic noise-stream
+    /// seed.
     #[must_use]
     pub fn new(cfg: PlatformConfig, seed: u64) -> Self {
         let slices = if cfg.llc.is_some() { cfg.llc_slices } else { 1 };
@@ -79,16 +222,25 @@ impl Machine {
             },
             None => cfg.l2,
         };
-        let shared = (0..slices)
+        let shared: Vec<Cache> = (0..slices)
             .map(|_| Cache::new("llc", slice_geom, Replacement::Lru))
             .collect();
-        let cores = (0..cfg.cores).map(|i| CoreState::new(i, &cfg)).collect();
+        let cores: Vec<CoreState> = (0..cfg.cores).map(|i| CoreState::new(i, &cfg)).collect();
+        let n = cores.len();
+        let n_slices = shared.len() as u64;
         Machine {
             cfg,
             cores,
+            rng: NoiseRng::seeded(seed),
+            idx_l1d: GeomIdx::new(cfg.l1d),
+            idx_l1i: GeomIdx::new(cfg.l1i),
+            idx_l2: GeomIdx::new(cfg.l2),
+            idx_sh: GeomIdx::new(slice_geom),
+            slice_mask: n_slices.is_power_of_two().then(|| n_slices - 1),
+            flush_plans: Vec::new(),
             shared,
-            rng: StdRng::seed_from_u64(seed),
-            bus: VecDeque::new(),
+            bus: vec![[BUS_EMPTY; BUS_RING]; n],
+            bus_pos: vec![0; n],
             dram_accesses: 0,
         }
     }
@@ -103,7 +255,16 @@ impl Machine {
     /// x86, single slice on Arm).
     #[must_use]
     pub fn slice_of(&self, pa: PAddr) -> usize {
-        slice_index(pa.0 / self.cfg.line, self.shared.len() as u64)
+        let la = pa.0 >> self.idx_l1d.line_shift;
+        match self.slice_mask {
+            Some(0) => 0,
+            Some(m) => {
+                // Bit-identical to `slice_index` for power-of-two counts.
+                let h = la ^ (la >> 7) ^ (la >> 13) ^ (la >> 19);
+                (h & m) as usize
+            }
+            None => slice_index(la, self.shared.len() as u64),
+        }
     }
 
     /// The set index within its slice that `pa` maps to in the shared cache.
@@ -124,8 +285,10 @@ impl Machine {
         self.shared.len()
     }
 
-    pub(crate) fn shared_mut(&mut self) -> &mut Vec<Cache> {
-        &mut self.shared
+    /// Clean and invalidate one shared-cache slice; returns
+    /// `(valid, dirty)` counts. Used by the architected flush operations.
+    pub fn flush_shared_slice(&mut self, slice: usize) -> (u64, u64) {
+        self.shared[slice].flush_all()
     }
 
     /// Current cycle counter of `core`.
@@ -145,50 +308,47 @@ impl Machine {
         self.dram_accesses
     }
 
-    /// Deterministic RNG for components that need randomness outside the
-    /// machine (e.g. attack input generation should *not* use this — it
-    /// draws from the machine's noise stream).
-    pub fn rng(&mut self) -> &mut StdRng {
+    /// The machine's deterministic noise stream, for timing jitter that is
+    /// conceptually part of the hardware (e.g. cycle-counter read jitter).
+    /// Attack input generation must *not* draw from this — it would couple
+    /// the inputs to the simulated noise.
+    pub fn rng(&mut self) -> &mut NoiseRng {
         &mut self.rng
     }
 
+    /// Count other-core DRAM accesses inside the contention window and
+    /// record this one. O(cores × ring) — constant — instead of the old
+    /// linear scan over a shared `VecDeque` of every recent access.
     fn bus_contention(&mut self, core: usize) -> u64 {
         let now = self.cores[core].cycles;
-        while let Some(&(t, _)) = self.bus.front() {
-            if t + 4 * BUS_WINDOW < now {
-                self.bus.pop_front();
-            } else {
-                break;
+        let floor = now.saturating_sub(BUS_WINDOW);
+        let mut contenders = 0u64;
+        for (c, ring) in self.bus.iter().enumerate() {
+            if c == core {
+                continue;
+            }
+            for &t in ring {
+                if t != BUS_EMPTY && t >= floor {
+                    contenders += 1;
+                }
             }
         }
-        let contenders = self
-            .bus
-            .iter()
-            .filter(|&&(t, c)| c != core && t + BUS_WINDOW >= now)
-            .count() as u64;
-        self.bus.push_back((now, core));
-        if self.bus.len() > 512 {
-            self.bus.pop_front();
-        }
+        let pos = usize::from(self.bus_pos[core]);
+        self.bus[core][pos] = now;
+        self.bus_pos[core] = ((pos + 1) % BUS_RING) as u8;
         contenders.min(BUS_MAX_CONTENDERS) * self.cfg.lat.bus_contend
     }
 
     /// Back-invalidate a line evicted from the inclusive shared cache from
     /// every core's private caches.
     fn back_invalidate(&mut self, line_addr: u64) {
-        let line = self.cfg.line;
-        let pa = line_addr * line;
+        let pa = line_addr << self.idx_l1d.line_shift;
+        let (d, i, l2i) = (self.idx_l1d, self.idx_l1i, self.idx_l2);
         for core in &mut self.cores {
-            let set = phys_set(core.l1d.geom(), pa);
-            let tag = phys_tag(core.l1d.geom(), pa);
-            core.l1d.invalidate_line(set, tag);
-            let set = phys_set(core.l1i.geom(), pa);
-            let tag = phys_tag(core.l1i.geom(), pa);
-            core.l1i.invalidate_line(set, tag);
+            core.l1d.invalidate_line(d.set(pa), d.tag(pa));
+            core.l1i.invalidate_line(i.set(pa), i.tag(pa));
             if let Some(l2) = &mut core.l2 {
-                let set = phys_set(l2.geom(), pa);
-                let tag = phys_tag(l2.geom(), pa);
-                l2.invalidate_line(set, tag);
+                l2.invalidate_line(l2i.set(pa), l2i.tag(pa));
             }
         }
     }
@@ -197,10 +357,9 @@ impl Machine {
     /// path). Evictions still back-invalidate.
     fn shared_fill(&mut self, pa: PAddr, write: bool) {
         let slice = self.slice_of(pa);
-        let geom = self.shared[slice].geom();
-        let set = phys_set(geom, pa.0);
-        let tag = phys_tag(geom, pa.0);
-        let line_addr = pa.0 / geom.line;
+        let set = self.idx_sh.set(pa.0);
+        let tag = self.idx_sh.tag(pa.0);
+        let line_addr = pa.0 >> self.idx_sh.line_shift;
         let out = self.shared[slice].access(set, tag, line_addr, write, &mut self.rng);
         if let Some(ev) = out.evicted {
             // The evicted line address is within-slice; reconstruct only for
@@ -208,6 +367,33 @@ impl Machine {
             // is derived from a canonical address. Slice-local reconstruction
             // is exact because set+tag encode the full line address.
             self.back_invalidate(ev.line_addr);
+        }
+    }
+
+    /// Precompute the hierarchy geometry of one access.
+    #[inline]
+    #[must_use]
+    pub fn plan_line(&self, insn: bool, pa: PAddr) -> PlannedLine {
+        let l1 = if insn { self.idx_l1i } else { self.idx_l1d };
+        PlannedLine {
+            pa: pa.0,
+            l1_tag: l1.tag(pa.0),
+            l2_tag: self.idx_l2.tag(pa.0),
+            sh_tag: self.idx_sh.tag(pa.0),
+            l1_set: l1.set(pa.0) as u32,
+            l2_set: self.idx_l2.set(pa.0) as u32,
+            slice: self.slice_of(pa) as u16,
+            sh_set: self.idx_sh.set(pa.0) as u32,
+        }
+    }
+
+    /// Precompute a sweep plan for a fixed probe-address list. `insn`
+    /// selects the instruction-side L1 geometry.
+    #[must_use]
+    pub fn plan_sweep(&self, insn: bool, pas: &[PAddr]) -> SweepPlan {
+        SweepPlan {
+            insn,
+            lines: pas.iter().map(|&pa| self.plan_line(insn, pa)).collect(),
         }
     }
 
@@ -223,7 +409,8 @@ impl Machine {
         global: bool,
     ) -> u64 {
         let _ = va; // Physically-indexed model; see corestate docs.
-        self.timed_access(core, asid, pa, write, global, AccessKind::if_write(write))
+        let ln = self.plan_line(false, pa);
+        self.access_planned(core, asid, &ln, write, global, false).0
     }
 
     /// An instruction fetch at `pa`.
@@ -236,29 +423,74 @@ impl Machine {
         global: bool,
     ) -> u64 {
         let _ = va;
-        self.timed_access(core, asid, pa, false, global, AccessKind::Fetch)
+        let ln = self.plan_line(true, pa);
+        self.access_planned(core, asid, &ln, false, global, true).0
     }
 
-    fn timed_access(
+    /// A scalar access that also reports where it was satisfied — the
+    /// reference oracle the batch-equivalence property tests compare
+    /// against.
+    pub fn access_with_level(
         &mut self,
         core: usize,
         asid: Asid,
         pa: PAddr,
         write: bool,
         global: bool,
-        kind: AccessKind,
+        insn: bool,
+    ) -> (u64, HitLevel) {
+        let ln = self.plan_line(insn, pa);
+        self.access_planned(core, asid, &ln, write, global, insn)
+    }
+
+    /// Run a whole sweep plan as one tight loop; returns the total cycle
+    /// cost and optionally records per-line costs/levels into `out`.
+    ///
+    /// Bit-identical to issuing the same accesses through the scalar path:
+    /// both funnel into [`Machine::access_planned`] and consume the noise
+    /// stream in the same order.
+    pub fn access_batch(
+        &mut self,
+        core: usize,
+        asid: Asid,
+        plan: &SweepPlan,
+        write: bool,
+        global: bool,
+        out: &mut BatchOut<'_>,
     ) -> u64 {
+        let mut total = 0u64;
+        for ln in &plan.lines {
+            let (c, lvl) = self.access_planned(core, asid, ln, write, global, plan.insn);
+            total += c;
+            if let Some(costs) = out.costs.as_deref_mut() {
+                costs.push(c);
+            }
+            if let Some(levels) = out.levels.as_deref_mut() {
+                levels.push(lvl);
+            }
+        }
+        total
+    }
+
+    /// The hierarchy walk for one planned access: translation timing, L1,
+    /// prefetcher hooks, private L2, shared cache, DRAM + bus. Scalar and
+    /// batch paths both land here.
+    pub fn access_planned(
+        &mut self,
+        core: usize,
+        asid: Asid,
+        ln: &PlannedLine,
+        write: bool,
+        global: bool,
+        insn: bool,
+    ) -> (u64, HitLevel) {
         let lat = self.cfg.lat;
         let line = self.cfg.line;
         let mut cost = 0u64;
 
         // 1. Translation timing.
-        let insn = kind == AccessKind::Fetch;
-        let level = {
-            let c = &mut self.cores[core];
-            c.tlb
-                .translate(asid, pa.0 / crate::FRAME_SIZE, insn, global, &mut self.rng)
-        };
+        let vpn = ln.pa / crate::FRAME_SIZE;
+        let level = self.cores[core].tlb.translate(asid, vpn, insn, global);
         cost += match level {
             TlbLevel::L1 => 0,
             TlbLevel::L2 => lat.tlb_l2,
@@ -266,14 +498,9 @@ impl Machine {
         };
 
         // 2. L1.
-        let l1_geom = if insn {
-            self.cores[core].l1i.geom()
-        } else {
-            self.cores[core].l1d.geom()
-        };
-        let set = phys_set(l1_geom, pa.0);
-        let tag = phys_tag(l1_geom, pa.0);
-        let line_addr = pa.0 / line;
+        let set = ln.l1_set as usize;
+        let tag = ln.l1_tag;
+        let line_addr = ln.pa >> self.idx_l1d.line_shift;
         let l1_out = {
             let c = &mut self.cores[core];
             let l1 = if insn { &mut c.l1i } else { &mut c.l1d };
@@ -282,15 +509,15 @@ impl Machine {
         cost += lat.l1_hit;
         if l1_out.hit {
             self.cores[core].advance(cost);
-            return cost;
+            return (cost, HitLevel::L1);
         }
         if l1_out.writeback {
             cost += lat.writeback;
         }
 
-        // Prefetcher hooks fire on L1 misses. The targets live in a small
-        // inline buffer — this path runs on every miss and must not
-        // allocate.
+        // The instruction prefetcher sits at the L1-I (next-line fetch).
+        // The targets live in a small inline buffer — this path runs on
+        // every miss and must not allocate.
         let mut prefetch_fills = crate::prefetch::PrefetchLines::default();
         if insn {
             let (pf, resumed) = self.cores[core].ipf.on_fetch_miss(line_addr);
@@ -298,23 +525,20 @@ impl Machine {
             if let Some(l) = pf {
                 prefetch_fills.push(l);
             }
-        } else {
-            let (pf, resumed) = self.cores[core].dpf.on_demand_miss(pa.0, line);
-            cost += resumed * PREFETCH_RESUME_COST;
-            prefetch_fills = pf;
         }
 
         // 3. Private L2 (x86).
         let mut l2_hit = false;
         if self.cores[core].l2.is_some() {
-            let geom = self.cores[core].l2.as_ref().unwrap().geom();
-            let set = phys_set(geom, pa.0);
-            let tag = phys_tag(geom, pa.0);
             let out = {
                 let c = &mut self.cores[core];
-                c.l2.as_mut()
-                    .unwrap()
-                    .access(set, tag, line_addr, write, &mut self.rng)
+                c.l2.as_mut().unwrap().access(
+                    ln.l2_set as usize,
+                    ln.l2_tag,
+                    line_addr,
+                    write,
+                    &mut self.rng,
+                )
             };
             cost += lat.l2_hit;
             if out.writeback {
@@ -323,14 +547,26 @@ impl Machine {
             l2_hit = out.hit;
         }
 
+        // The stream data prefetcher sits at the L2, like Intel's
+        // streamer: it observes (and resumes stale streams against) demand
+        // misses that leave the private L2, not every L1 miss — an
+        // L2-resident sweep neither trains nor re-fills.
+        if !insn && !l2_hit {
+            let (pf, resumed) = self.cores[core].dpf.on_demand_miss(ln.pa, line);
+            cost += resumed * PREFETCH_RESUME_COST;
+            prefetch_fills = pf;
+        }
+
         // 4. Shared cache.
-        let mut dram = false;
+        let mut hit_level = HitLevel::L2;
         if !l2_hit {
-            let slice = self.slice_of(pa);
-            let geom = self.shared[slice].geom();
-            let set = phys_set(geom, pa.0);
-            let tag = phys_tag(geom, pa.0);
-            let out = self.shared[slice].access(set, tag, line_addr, write, &mut self.rng);
+            let out = self.shared[ln.slice as usize].access(
+                ln.sh_set as usize,
+                ln.sh_tag,
+                line_addr,
+                write,
+                &mut self.rng,
+            );
             cost += if self.cores[core].l2.is_some() {
                 lat.llc_hit
             } else {
@@ -342,33 +578,70 @@ impl Machine {
             if let Some(ev) = out.evicted {
                 self.back_invalidate(ev.line_addr);
             }
-            if !out.hit {
-                dram = true;
-            }
+            hit_level = if out.hit {
+                HitLevel::Llc
+            } else {
+                HitLevel::Dram
+            };
         }
 
         // 5. DRAM with bus contention and a little jitter.
-        if dram {
+        if hit_level == HitLevel::Dram {
             self.dram_accesses += 1;
             cost += lat.dram;
             cost += self.bus_contention(core);
-            cost += self.rng.gen_range(0..6u64);
+            cost += self.rng.below(6);
         }
 
         // Prefetch fills go into L2 + shared, free of charge to this access.
         for &la in &prefetch_fills {
             let fpa = PAddr(la * line);
             if let Some(l2) = &mut self.cores[core].l2 {
-                let geom = l2.geom();
-                let s = phys_set(geom, fpa.0);
-                let t = phys_tag(geom, fpa.0);
+                let s = self.idx_l2.set(fpa.0);
+                let t = self.idx_l2.tag(fpa.0);
                 l2.access(s, t, la, false, &mut self.rng);
             }
             self.shared_fill(fpa, false);
         }
 
         self.cores[core].advance(cost);
-        cost
+        (cost, hit_level)
+    }
+
+    /// The memoised sweep plan covering the `lines`-line buffer at
+    /// `buf_pa` (built on first use). Flush buffers are fixed per kernel
+    /// image, so the cache stays tiny.
+    pub(crate) fn flush_plan(&mut self, buf_pa: PAddr, insn: bool, lines: u64) -> usize {
+        if let Some(i) = self
+            .flush_plans
+            .iter()
+            .position(|(b, ins, _)| *b == buf_pa.0 && *ins == insn)
+        {
+            return i;
+        }
+        let line = self.cfg.line;
+        let pas: Vec<PAddr> = (0..lines).map(|i| PAddr(buf_pa.0 + i * line)).collect();
+        let plan = self.plan_sweep(insn, &pas);
+        self.flush_plans.push((buf_pa.0, insn, plan));
+        self.flush_plans.len() - 1
+    }
+
+    /// Temporarily take a memoised flush plan out of the machine (so the
+    /// caller can run it against `&mut self`); restore with
+    /// [`Machine::restore_flush_plan`].
+    pub(crate) fn take_flush_plan(&mut self, idx: usize) -> SweepPlan {
+        std::mem::replace(
+            &mut self.flush_plans[idx].2,
+            SweepPlan {
+                insn: false,
+                lines: Vec::new(),
+            },
+        )
+    }
+
+    /// Put a plan taken with [`Machine::take_flush_plan`] back.
+    pub(crate) fn restore_flush_plan(&mut self, idx: usize, plan: SweepPlan) {
+        self.flush_plans[idx].2 = plan;
     }
 
     /// Execute a branch instruction at `pc`; returns the cycle cost.
@@ -383,7 +656,7 @@ impl Machine {
         let lat = self.cfg.lat;
         let mut cost = 1;
         let c = &mut self.cores[core];
-        let btb_hit = c.btb.access(pc.0, target.0, &mut self.rng);
+        let btb_hit = c.btb.access(pc.0, target.0);
         if taken && !btb_hit {
             cost += lat.btb_miss;
         }
@@ -403,16 +676,6 @@ impl Machine {
         let c = &mut self.cores[core];
         c.dpf.note_domain_switch();
         c.ipf.note_domain_switch();
-    }
-}
-
-impl AccessKind {
-    fn if_write(write: bool) -> AccessKind {
-        if write {
-            AccessKind::Store
-        } else {
-            AccessKind::Load
-        }
     }
 }
 
@@ -522,6 +785,22 @@ mod tests {
     }
 
     #[test]
+    fn bus_contention_window_expires() {
+        let mut m = Machine::new(Platform::Haswell.config(), 1);
+        for k in 0..4u64 {
+            let a = 0x200_0000 + k * 4096 * 64;
+            m.data_access(1, Asid(1), va(a), pa(a), false, false);
+        }
+        // Far beyond the window: the stale stamps must not contend.
+        m.advance(0, m.cycles(1) + 100 * BUS_WINDOW);
+        let quiet = m.data_access(0, Asid(1), va(0x300_0000), pa(0x300_0000), false, false);
+        assert!(
+            quiet < m.cfg.lat.dram + m.cfg.lat.tlb_walk + m.cfg.lat.l1_hit + 200,
+            "stale bus stamps still charged: {quiet}"
+        );
+    }
+
+    #[test]
     fn branch_costs() {
         let mut m = Machine::new(Platform::Haswell.config(), 1);
         // Unconditional taken branch, cold BTB: pays the BTB miss.
@@ -553,5 +832,43 @@ mod tests {
             m.data_access(0, Asid(1), va(a), pa(a), false, false);
         }
         assert!(m.cores[0].dpf.issued() > 0, "prefetcher should have fired");
+    }
+
+    #[test]
+    fn batch_equals_scalar_on_a_probe_sweep() {
+        // Two identical machines, one swept scalar, one batched: totals,
+        // per-line costs and hit levels must agree bit-for-bit.
+        for p in Platform::ALL {
+            let cfg = p.config();
+            let mut ms = Machine::new(cfg, 99);
+            let mut mb = Machine::new(cfg, 99);
+            let pas: Vec<PAddr> = (0..64).map(|i| PAddr(0x40_0000 + i * cfg.line)).collect();
+            let plan = mb.plan_sweep(false, &pas);
+            for round in 0..3 {
+                let write = round == 1;
+                let mut costs = Vec::new();
+                let mut levels = Vec::new();
+                let total_b = mb.access_batch(
+                    0,
+                    Asid(1),
+                    &plan,
+                    write,
+                    false,
+                    &mut BatchOut {
+                        costs: Some(&mut costs),
+                        levels: Some(&mut levels),
+                    },
+                );
+                let mut total_s = 0;
+                for (i, &pa) in pas.iter().enumerate() {
+                    let (c, lvl) = ms.access_with_level(0, Asid(1), pa, write, false, false);
+                    total_s += c;
+                    assert_eq!(c, costs[i], "{}: line {i} cost", p.key());
+                    assert_eq!(lvl, levels[i], "{}: line {i} level", p.key());
+                }
+                assert_eq!(total_s, total_b, "{}: round {round}", p.key());
+                assert_eq!(ms.cycles(0), mb.cycles(0), "{}", p.key());
+            }
+        }
     }
 }

@@ -6,7 +6,6 @@
 //! cache by handing out disjoint colours to security domains.
 
 use crate::{Asid, PAddr, VAddr};
-use std::collections::BTreeMap;
 
 /// Page/frame size in bytes (both platforms use 4 KiB pages).
 pub const FRAME_SIZE: u64 = 4096;
@@ -107,10 +106,23 @@ pub struct Mapping {
 ///
 /// The simulator's TLBs model translation *timing*; this map models
 /// translation *function*. The kernel (`tp-core`) owns one per VSpace.
+///
+/// Storage is a flat frame-indexed table (a `Vec` of slots offset by the
+/// lowest mapped VPN) rather than a search tree: user mappings are handed
+/// out as dense VPN ranges, so lookups — the innermost operation of every
+/// simulated load — are a bounds check and an index. A generation counter
+/// bumps whenever an existing translation changes (replace or unmap),
+/// letting callers (the per-env translation cache in `tp-core`) validate
+/// cached positive translations in O(1); *fresh* mappings of previously
+/// unmapped pages leave the generation untouched, since no positive cache
+/// entry can exist for them.
 #[derive(Debug, Clone, Default)]
 pub struct PhysMap {
     asid: u16,
-    map: BTreeMap<u64, Mapping>,
+    base_vpn: u64,
+    slots: Vec<Option<Mapping>>,
+    mapped: usize,
+    generation: u64,
 }
 
 impl PhysMap {
@@ -119,7 +131,10 @@ impl PhysMap {
     pub fn new(asid: Asid) -> Self {
         PhysMap {
             asid: asid.0,
-            map: BTreeMap::new(),
+            base_vpn: 0,
+            slots: Vec::new(),
+            mapped: 0,
+            generation: 0,
         }
     }
 
@@ -129,39 +144,77 @@ impl PhysMap {
         Asid(self.asid)
     }
 
+    /// The translation generation: bumped whenever an existing mapping is
+    /// replaced or removed. A cached positive translation taken at
+    /// generation `g` is still valid while `generation() == g`.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Install a mapping. Replaces any existing mapping of the page.
     pub fn map(&mut self, vpn: u64, mapping: Mapping) {
-        self.map.insert(vpn, mapping);
+        if self.slots.is_empty() {
+            self.base_vpn = vpn;
+        } else if vpn < self.base_vpn {
+            // Rare (mappings grow upwards from a fixed user base): shift the
+            // table down to the new lowest VPN.
+            let shift = (self.base_vpn - vpn) as usize;
+            let mut slots = vec![None; shift + self.slots.len()];
+            slots[shift..].copy_from_slice(&self.slots);
+            self.slots = slots;
+            self.base_vpn = vpn;
+        }
+        let idx = (vpn - self.base_vpn) as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        if self.slots[idx].replace(mapping).is_none() {
+            self.mapped += 1;
+        } else {
+            self.generation += 1;
+        }
     }
 
     /// Remove a mapping; returns the old mapping if present.
     pub fn unmap(&mut self, vpn: u64) -> Option<Mapping> {
-        self.map.remove(&vpn)
+        let idx = vpn.checked_sub(self.base_vpn)? as usize;
+        let old = self.slots.get_mut(idx)?.take();
+        if old.is_some() {
+            self.mapped -= 1;
+            self.generation += 1;
+        }
+        old
     }
 
     /// Translate a virtual address; `None` on a page fault.
+    #[inline]
     #[must_use]
     pub fn translate(&self, va: VAddr) -> Option<PAddr> {
-        self.map
-            .get(&va.vpn())
+        self.lookup(va.vpn())
             .map(|m| PAddr(m.pfn * FRAME_SIZE + va.page_offset()))
     }
 
     /// Look up the mapping of a page.
+    #[inline]
     #[must_use]
     pub fn lookup(&self, vpn: u64) -> Option<Mapping> {
-        self.map.get(&vpn).copied()
+        let idx = vpn.checked_sub(self.base_vpn)? as usize;
+        *self.slots.get(idx)?
     }
 
     /// Number of mapped pages.
     #[must_use]
     pub fn mapped_pages(&self) -> usize {
-        self.map.len()
+        self.mapped
     }
 
     /// Iterate over all mappings.
     pub fn iter(&self) -> impl Iterator<Item = (u64, Mapping)> + '_ {
-        self.map.iter().map(|(k, v)| (*k, *v))
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.map(|m| (self.base_vpn + i as u64, m)))
     }
 }
 
@@ -212,5 +265,34 @@ mod tests {
     fn colorset_all_64() {
         let s = ColorSet::all(64);
         assert_eq!(s.count(), 64);
+    }
+
+    #[test]
+    fn physmap_grows_downwards_and_tracks_generation() {
+        let mut pm = PhysMap::new(Asid(1));
+        let map = |pfn| Mapping {
+            pfn,
+            global: false,
+            writable: true,
+        };
+        pm.map(100, map(1));
+        pm.map(200, map(2));
+        let g0 = pm.generation();
+        // Fresh mappings (even below the base) leave the generation alone.
+        pm.map(50, map(3));
+        assert_eq!(pm.generation(), g0);
+        assert_eq!(pm.lookup(50).unwrap().pfn, 3);
+        assert_eq!(pm.lookup(100).unwrap().pfn, 1);
+        assert_eq!(pm.lookup(200).unwrap().pfn, 2);
+        assert_eq!(pm.mapped_pages(), 3);
+        // Replacing and unmapping bump it.
+        pm.map(100, map(9));
+        assert_eq!(pm.generation(), g0 + 1);
+        assert!(pm.unmap(200).is_some());
+        assert_eq!(pm.generation(), g0 + 2);
+        assert!(pm.unmap(200).is_none());
+        assert_eq!(pm.generation(), g0 + 2);
+        assert_eq!(pm.mapped_pages(), 2);
+        assert_eq!(pm.iter().count(), 2);
     }
 }

@@ -83,12 +83,21 @@ struct Stream {
     stride: i64,
     confidence: u8,
     stamp: u64,
+    /// Furthest line (in stride direction) already prefetched, so a
+    /// confident stream does not re-issue fills for targets it covered on
+    /// the previous miss — real prefetchers track outstanding requests the
+    /// same way, and on a monotone sweep this halves the fill traffic.
+    last_pf: i64,
 }
 
 /// A stride-detecting stream data prefetcher.
+///
+/// The stream table is direct-mapped by page number (as hardware stream
+/// tables are hash-indexed): lookup and allocation are O(1) on the miss
+/// path, and a page whose slot is taken simply retrains the slot.
 #[derive(Debug, Clone)]
 pub struct StreamPrefetcher {
-    entries: Vec<Stream>,
+    entries: Vec<Option<Stream>>,
     capacity: usize,
     enabled: bool,
     clock: u64,
@@ -104,7 +113,7 @@ impl StreamPrefetcher {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         StreamPrefetcher {
-            entries: Vec::with_capacity(capacity),
+            entries: vec![None; capacity],
             capacity,
             enabled: capacity > 0,
             clock: 0,
@@ -118,7 +127,7 @@ impl StreamPrefetcher {
     pub fn set_enabled(&mut self, enabled: bool) {
         self.enabled = enabled && self.capacity > 0;
         if !self.enabled {
-            self.entries.clear();
+            self.entries.fill(None);
             self.resume_budget = 0;
         }
     }
@@ -131,7 +140,7 @@ impl StreamPrefetcher {
 
     /// Reset all stream state (part of a full hierarchy flush).
     pub fn reset(&mut self) {
-        self.entries.clear();
+        self.entries.fill(None);
         self.resume_budget = 0;
     }
 
@@ -140,6 +149,7 @@ impl StreamPrefetcher {
     pub fn trained_streams(&self) -> usize {
         self.entries
             .iter()
+            .flatten()
             .filter(|s| s.confidence >= CONFIDENCE_THRESHOLD)
             .count()
     }
@@ -178,38 +188,47 @@ impl StreamPrefetcher {
         self.resume_budget -= resumed;
 
         let mut prefetches = PrefetchLines::default();
-        if let Some(s) = self.entries.iter_mut().find(|s| s.page == page) {
-            let stride = line - s.last_line;
-            if stride != 0 && stride == s.stride {
-                s.confidence = (s.confidence + 1).min(4);
-            } else if stride != 0 {
-                s.stride = stride;
-                s.confidence = 1;
-            }
-            s.last_line = line;
-            s.stamp = clock;
-            if s.confidence >= CONFIDENCE_THRESHOLD {
-                for k in 1..=PREFETCH_DEGREE as i64 {
-                    let next = line + s.stride * k;
-                    if (0..lines_per_page).contains(&next) {
-                        prefetches.push(page * (FRAME_SIZE / line_size) + next as u64);
-                        self.issued += 1;
+        let slot = (page % self.capacity as u64) as usize;
+        match &mut self.entries[slot] {
+            Some(s) if s.page == page => {
+                let stride = line - s.last_line;
+                if stride != 0 && stride == s.stride {
+                    s.confidence = (s.confidence + 1).min(4);
+                } else if stride != 0 {
+                    // Direction/stride change: restart the covered-target
+                    // watermark from the current position.
+                    s.stride = stride;
+                    s.confidence = 1;
+                    s.last_pf = line;
+                }
+                s.last_line = line;
+                s.stamp = clock;
+                if s.confidence >= CONFIDENCE_THRESHOLD {
+                    for k in 1..=PREFETCH_DEGREE as i64 {
+                        let next = line + s.stride * k;
+                        let fresh = if s.stride > 0 {
+                            next > s.last_pf
+                        } else {
+                            next < s.last_pf
+                        };
+                        if fresh && (0..lines_per_page).contains(&next) {
+                            prefetches.push(page * (FRAME_SIZE / line_size) + next as u64);
+                            s.last_pf = next;
+                            self.issued += 1;
+                        }
                     }
                 }
             }
-        } else {
-            // Allocate, evicting the LRU stream.
-            let s = Stream {
-                page,
-                last_line: line,
-                stride: 0,
-                confidence: 0,
-                stamp: clock,
-            };
-            if self.entries.len() < self.capacity {
-                self.entries.push(s);
-            } else if let Some(victim) = self.entries.iter_mut().min_by_key(|s| s.stamp) {
-                *victim = s;
+            e => {
+                // Allocate (or retrain a colliding slot).
+                *e = Some(Stream {
+                    page,
+                    last_line: line,
+                    stride: 0,
+                    confidence: 0,
+                    stamp: clock,
+                    last_pf: line,
+                });
             }
         }
         (prefetches, resumed)

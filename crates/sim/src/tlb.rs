@@ -8,15 +8,36 @@
 
 use crate::params::TlbGeom;
 use crate::Asid;
-use rand::rngs::StdRng;
 
+/// One TLB entry, packed to 16 bytes (the lookup scan is on the simulator's
+/// per-access hot path). `meta` packs the ASID (bits 0..16), the global
+/// flag (bit 16) and the valid flag (bit 17); `stamp` is the recency clock
+/// truncated to 32 bits, renormalised before it can wrap.
 #[derive(Debug, Clone, Copy, Default)]
 struct Entry {
     vpn: u64,
-    asid: u16,
-    global: bool,
-    valid: bool,
-    stamp: u64,
+    stamp: u32,
+    meta: u32,
+}
+
+const META_GLOBAL: u32 = 1 << 16;
+const META_VALID: u32 = 1 << 17;
+
+impl Entry {
+    #[inline]
+    fn valid(self) -> bool {
+        self.meta & META_VALID != 0
+    }
+
+    #[inline]
+    fn global(self) -> bool {
+        self.meta & META_GLOBAL != 0
+    }
+
+    #[inline]
+    fn asid(self) -> u16 {
+        self.meta as u16
+    }
 }
 
 /// Where a translation was found.
@@ -36,8 +57,11 @@ pub struct TlbArray {
     name: &'static str,
     sets: usize,
     ways: usize,
+    /// `sets - 1` when the set count is a power of two: the per-access
+    /// set-index computation is then a mask instead of a division.
+    set_mask: Option<u64>,
     entries: Vec<Entry>,
-    clock: u64,
+    clock: u32,
     hits: u64,
     misses: u64,
 }
@@ -52,6 +76,7 @@ impl TlbArray {
             name,
             sets,
             ways,
+            set_mask: sets.is_power_of_two().then(|| sets as u64 - 1),
             entries: vec![Entry::default(); sets * ways],
             clock: 0,
             hits: 0,
@@ -65,18 +90,34 @@ impl TlbArray {
         self.name
     }
 
+    #[inline]
     fn set_of(&self, vpn: u64) -> usize {
-        (vpn % self.sets as u64) as usize
+        match self.set_mask {
+            Some(m) => (vpn & m) as usize,
+            None => (vpn % self.sets as u64) as usize,
+        }
+    }
+
+    /// Renormalise recency stamps before the 32-bit clock wraps (every
+    /// ~4G lookups); deterministic, and only relative order matters.
+    fn tick(&mut self) -> u32 {
+        if self.clock == u32::MAX {
+            for e in &mut self.entries {
+                e.stamp = 0;
+            }
+            self.clock = 0;
+        }
+        self.clock += 1;
+        self.clock
     }
 
     /// Look up `vpn` for `asid`; global entries match any ASID.
     pub fn lookup(&mut self, asid: Asid, vpn: u64) -> bool {
-        self.clock += 1;
-        let clock = self.clock;
+        let clock = self.tick();
         let set = self.set_of(vpn);
         let base = set * self.ways;
         for e in &mut self.entries[base..base + self.ways] {
-            if e.valid && e.vpn == vpn && (e.global || e.asid == asid.0) {
+            if e.valid() && e.vpn == vpn && (e.global() || e.asid() == asid.0) {
                 e.stamp = clock;
                 self.hits += 1;
                 return true;
@@ -86,30 +127,66 @@ impl TlbArray {
         false
     }
 
-    /// Insert a translation, evicting the LRU way of the set.
-    pub fn fill(&mut self, asid: Asid, vpn: u64, global: bool, _rng: &mut StdRng) {
-        self.clock += 1;
-        let clock = self.clock;
+    /// Fused lookup-or-fill: one pass that returns `true` on a hit and
+    /// otherwise installs the translation into the first invalid (else
+    /// LRU) way. The hierarchy walk fills every level it misses, so the
+    /// separate lookup + fill pair would scan each set twice.
+    pub fn access(&mut self, asid: Asid, vpn: u64, global: bool) -> bool {
+        let clock = self.tick();
         let set = self.set_of(vpn);
         let base = set * self.ways;
         let slice = &mut self.entries[base..base + self.ways];
-        let idx = slice
-            .iter()
-            .position(|e| !e.valid)
-            .or_else(|| {
-                slice
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| e.stamp)
-                    .map(|(i, _)| i)
-            })
-            .unwrap_or(0);
+        let mut victim = 0usize;
+        let mut best = u32::MAX;
+        let mut found_invalid = false;
+        for (i, e) in slice.iter_mut().enumerate() {
+            if e.valid() {
+                if e.vpn == vpn && (e.global() || e.asid() == asid.0) {
+                    e.stamp = clock;
+                    self.hits += 1;
+                    return true;
+                }
+                if !found_invalid && e.stamp < best {
+                    best = e.stamp;
+                    victim = i;
+                }
+            } else if !found_invalid {
+                found_invalid = true;
+                victim = i;
+            }
+        }
+        self.misses += 1;
+        slice[victim] = Entry {
+            vpn,
+            stamp: clock,
+            meta: u32::from(asid.0) | if global { META_GLOBAL } else { 0 } | META_VALID,
+        };
+        false
+    }
+
+    /// Insert a translation, evicting the LRU way of the set.
+    pub fn fill(&mut self, asid: Asid, vpn: u64, global: bool) {
+        let clock = self.tick();
+        let set = self.set_of(vpn);
+        let base = set * self.ways;
+        let slice = &mut self.entries[base..base + self.ways];
+        // One fused pass: first invalid way, else LRU (first minimum).
+        let mut idx = 0usize;
+        let mut best = u32::MAX;
+        for (i, e) in slice.iter().enumerate() {
+            if !e.valid() {
+                idx = i;
+                break;
+            }
+            if e.stamp < best {
+                best = e.stamp;
+                idx = i;
+            }
+        }
         slice[idx] = Entry {
             vpn,
-            asid: asid.0,
-            global,
-            valid: true,
             stamp: clock,
+            meta: u32::from(asid.0) | if global { META_GLOBAL } else { 0 } | META_VALID,
         };
     }
 
@@ -117,9 +194,9 @@ impl TlbArray {
     pub fn flush_all(&mut self) -> u64 {
         let mut n = 0;
         for e in &mut self.entries {
-            if e.valid {
+            if e.valid() {
                 n += 1;
-                e.valid = false;
+                e.meta &= !META_VALID;
             }
         }
         n
@@ -129,9 +206,9 @@ impl TlbArray {
     pub fn flush_asid(&mut self, asid: Asid) -> u64 {
         let mut n = 0;
         for e in &mut self.entries {
-            if e.valid && !e.global && e.asid == asid.0 {
+            if e.valid() && !e.global() && e.asid() == asid.0 {
                 n += 1;
-                e.valid = false;
+                e.meta &= !META_VALID;
             }
         }
         n
@@ -140,7 +217,7 @@ impl TlbArray {
     /// Number of valid entries.
     #[must_use]
     pub fn valid_entries(&self) -> u64 {
-        self.entries.iter().filter(|e| e.valid).count() as u64
+        self.entries.iter().filter(|e| e.valid()).count() as u64
     }
 
     /// Hit/miss counters `(hits, misses)`.
@@ -174,28 +251,18 @@ impl TlbHierarchy {
 
     /// Translate `vpn` for an instruction (`insn = true`) or data access,
     /// filling the missed levels. Returns where the translation was found.
-    pub fn translate(
-        &mut self,
-        asid: Asid,
-        vpn: u64,
-        insn: bool,
-        global: bool,
-        rng: &mut StdRng,
-    ) -> TlbLevel {
+    pub fn translate(&mut self, asid: Asid, vpn: u64, insn: bool, global: bool) -> TlbLevel {
+        // Every missed level is filled, so each array uses the fused
+        // single-pass lookup-or-fill.
         let l1 = if insn { &mut self.itlb } else { &mut self.dtlb };
-        if l1.lookup(asid, vpn) {
+        if l1.access(asid, vpn, global) {
             return TlbLevel::L1;
         }
-        if self.stlb.lookup(asid, vpn) {
-            let l1 = if insn { &mut self.itlb } else { &mut self.dtlb };
-            l1.fill(asid, vpn, global, rng);
-            return TlbLevel::L2;
+        if self.stlb.access(asid, vpn, global) {
+            TlbLevel::L2
+        } else {
+            TlbLevel::Walk
         }
-        // Walk: fill both levels.
-        self.stlb.fill(asid, vpn, global, rng);
-        let l1 = if insn { &mut self.itlb } else { &mut self.dtlb };
-        l1.fill(asid, vpn, global, rng);
-        TlbLevel::Walk
     }
 
     /// Flush the complete hierarchy (Arm `TLBIALL`, x86 `invpcid` all).
@@ -208,7 +275,6 @@ impl TlbHierarchy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn hier() -> TlbHierarchy {
         TlbHierarchy::new(
@@ -227,88 +293,57 @@ mod tests {
         )
     }
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(1)
-    }
-
     #[test]
     fn walk_then_l1_hit() {
         let mut t = hier();
-        let mut r = rng();
-        assert_eq!(
-            t.translate(Asid(1), 100, false, false, &mut r),
-            TlbLevel::Walk
-        );
-        assert_eq!(
-            t.translate(Asid(1), 100, false, false, &mut r),
-            TlbLevel::L1
-        );
+        assert_eq!(t.translate(Asid(1), 100, false, false), TlbLevel::Walk);
+        assert_eq!(t.translate(Asid(1), 100, false, false), TlbLevel::L1);
     }
 
     #[test]
     fn asid_isolation() {
         let mut t = hier();
-        let mut r = rng();
-        t.translate(Asid(1), 100, false, false, &mut r);
+        t.translate(Asid(1), 100, false, false);
         // A different ASID must not hit a non-global entry.
-        assert_eq!(
-            t.translate(Asid(2), 100, false, false, &mut r),
-            TlbLevel::Walk
-        );
+        assert_eq!(t.translate(Asid(2), 100, false, false), TlbLevel::Walk);
     }
 
     #[test]
     fn global_entries_match_all_asids() {
         let mut t = hier();
-        let mut r = rng();
-        t.translate(Asid(1), 100, false, true, &mut r);
-        assert_eq!(
-            t.translate(Asid(2), 100, false, false, &mut r),
-            TlbLevel::L1
-        );
+        t.translate(Asid(1), 100, false, true);
+        assert_eq!(t.translate(Asid(2), 100, false, false), TlbLevel::L1);
     }
 
     #[test]
     fn l2_backs_l1_evictions() {
         let mut t = hier();
-        let mut r = rng();
         // D-TLB has 2 sets x 2 ways; vpns 0,2,4 collide in set 0.
         for vpn in [0u64, 2, 4] {
-            t.translate(Asid(1), vpn, false, false, &mut r);
+            t.translate(Asid(1), vpn, false, false);
         }
         // vpn 0 was evicted from the D-TLB but still lives in the L2 TLB.
-        assert_eq!(t.translate(Asid(1), 0, false, false, &mut r), TlbLevel::L2);
+        assert_eq!(t.translate(Asid(1), 0, false, false), TlbLevel::L2);
     }
 
     #[test]
     fn flush_asid_spares_globals_and_others() {
         let mut t = hier();
-        let mut r = rng();
-        t.translate(Asid(1), 1, false, false, &mut r);
-        t.translate(Asid(2), 2, false, false, &mut r);
-        t.translate(Asid(1), 3, false, true, &mut r);
+        t.translate(Asid(1), 1, false, false);
+        t.translate(Asid(2), 2, false, false);
+        t.translate(Asid(1), 3, false, true);
         t.dtlb.flush_asid(Asid(1));
         t.stlb.flush_asid(Asid(1));
-        assert_eq!(
-            t.translate(Asid(1), 1, false, false, &mut r),
-            TlbLevel::Walk
-        );
-        assert_ne!(
-            t.translate(Asid(2), 2, false, false, &mut r),
-            TlbLevel::Walk
-        );
-        assert_ne!(
-            t.translate(Asid(1), 3, false, false, &mut r),
-            TlbLevel::Walk
-        );
+        assert_eq!(t.translate(Asid(1), 1, false, false), TlbLevel::Walk);
+        assert_ne!(t.translate(Asid(2), 2, false, false), TlbLevel::Walk);
+        assert_ne!(t.translate(Asid(1), 3, false, false), TlbLevel::Walk);
     }
 
     #[test]
     fn flush_all_empties() {
         let mut t = hier();
-        let mut r = rng();
         for vpn in 0..4 {
-            t.translate(Asid(1), vpn, vpn % 2 == 0, false, &mut r);
+            t.translate(Asid(1), vpn, vpn % 2 == 0, false);
         }
         assert!(t.flush_all() > 0);
         assert_eq!(t.itlb.valid_entries(), 0);
