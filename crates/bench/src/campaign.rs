@@ -425,6 +425,24 @@ pub fn bench_json(results: &[ExperimentResult], total_seconds: f64) -> String {
     let _ = writeln!(s, "  \"tp_samples\": {},", crate::util::effort());
     let _ = writeln!(s, "  \"threads\": {},", crate::util::threads());
     let _ = writeln!(s, "  \"total_seconds\": {total_seconds:.3},");
+    // Boot accounting: CI asserts that warm starts (shared boot-prefix
+    // checkpoints) actually cut per-cell boot time vs. cold boots.
+    let boot = tp_core::system::boot_stats();
+    let mean_ms = |nanos: u64, n: u64| {
+        if n == 0 {
+            0.0
+        } else {
+            nanos as f64 / n as f64 / 1e6
+        }
+    };
+    let _ = writeln!(
+        s,
+        "  \"boot\": {{\"cold\": {}, \"warm\": {}, \"cold_mean_ms\": {:.6}, \"warm_mean_ms\": {:.6}}},",
+        boot.cold_boots,
+        boot.warm_boots,
+        mean_ms(boot.cold_nanos, boot.cold_boots),
+        mean_ms(boot.warm_nanos, boot.warm_boots),
+    );
     s.push_str("  \"cells\": [\n");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
@@ -442,7 +460,7 @@ pub fn bench_json(results: &[ExperimentResult], total_seconds: f64) -> String {
 
 /// The canonical identity of one verdict: experiment, platform key,
 /// channel, mechanism.
-type VerdictKey = (String, String, String, String);
+pub type VerdictKey = (String, String, String, String);
 
 fn verdict_map(results: &[ExperimentResult]) -> BTreeMap<VerdictKey, String> {
     let mut m = BTreeMap::new();
@@ -467,11 +485,19 @@ fn verdict_map(results: &[ExperimentResult]) -> BTreeMap<VerdictKey, String> {
 /// cleanly under git.
 #[must_use]
 pub fn golden_json(results: &[ExperimentResult]) -> String {
+    golden_json_from_map(&verdict_map(results), crate::util::effort())
+}
+
+/// The writer behind [`golden_json`]: serialise an explicit verdict map
+/// with an explicit `tp_samples` header. Exposed so tooling (and the
+/// round-trip test) can prove that `parse_golden` ∘ `golden_json_from_map`
+/// reproduces a pinned file byte-identically.
+#[must_use]
+pub fn golden_json_from_map(m: &BTreeMap<VerdictKey, String>, tp_samples: f64) -> String {
     let mut s = String::from("{\n");
     let _ = writeln!(s, "  \"schema\": 1,");
-    let _ = writeln!(s, "  \"tp_samples\": {},", crate::util::effort());
+    let _ = writeln!(s, "  \"tp_samples\": {tp_samples},");
     s.push_str("  \"verdicts\": [\n");
-    let m = verdict_map(results);
     for (i, ((exp, plat, chan, mech), verdict)) in m.iter().enumerate() {
         let comma = if i + 1 < m.len() { "," } else { "" };
         let _ = writeln!(
@@ -680,6 +706,92 @@ mod tests {
         );
         let err = check_goldens(&other, &results).unwrap_err();
         assert!(err.contains("TP_SAMPLES"), "{err}");
+    }
+
+    /// Reconstruct `ExperimentResult`s from a parsed golden map so
+    /// `check_goldens` can be exercised against the real pinned file.
+    fn results_from_golden(m: &BTreeMap<VerdictKey, String>) -> Vec<ExperimentResult> {
+        let mut out: Vec<ExperimentResult> = Vec::new();
+        for ((exp, plat, chan, mech), verdict) in m {
+            let platform = Platform::from_key(plat).expect("pinned platform key");
+            let leaks = verdict == "leak";
+            let channel = ChannelResult {
+                channel: Box::leak(chan.clone().into_boxed_str()),
+                mechanism: Box::leak(mech.clone().into_boxed_str()),
+                metric: "M_mb",
+                value: if leaks { 100.0 } else { 1.0 },
+                baseline: 10.0,
+                leaks,
+                samples: 1,
+            };
+            if let Some(r) = out
+                .iter_mut()
+                .find(|r| r.experiment == exp.as_str() && r.platform == platform)
+            {
+                r.channels.push(channel);
+            } else {
+                out.push(ExperimentResult {
+                    experiment: Box::leak(exp.clone().into_boxed_str()),
+                    platform,
+                    seconds: 0.0,
+                    channels: vec![channel],
+                });
+            }
+        }
+        out
+    }
+
+    fn pinned_goldens() -> String {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../goldens/verdicts.json");
+        std::fs::read_to_string(path).expect("pinned goldens readable")
+    }
+
+    #[test]
+    fn pinned_goldens_roundtrip_byte_identically() {
+        // `--update-goldens` writes `golden_json`; an unchanged run must
+        // re-pin the file without a single byte of churn.
+        let text = pinned_goldens();
+        let pinned_scale = golden_tp_samples(&text).expect("tp_samples header");
+        let m = parse_golden(&text);
+        assert!(
+            m.len() >= 116,
+            "expected 116+ pinned verdicts, got {}",
+            m.len()
+        );
+        let rewritten = golden_json_from_map(&m, pinned_scale);
+        assert_eq!(
+            rewritten, text,
+            "golden writer must round-trip the pinned file"
+        );
+    }
+
+    #[test]
+    fn check_fails_on_flipped_pinned_verdict() {
+        let text = pinned_goldens();
+        let pinned_scale = golden_tp_samples(&text).expect("tp_samples header");
+        // Rewrite the scale header so `check_goldens` compares verdicts
+        // under whatever TP_SAMPLES this test process runs at.
+        let text = text.replace(
+            &format!("\"tp_samples\": {pinned_scale}"),
+            &format!("\"tp_samples\": {}", crate::util::effort()),
+        );
+        let results = results_from_golden(&parse_golden(&text));
+        let n = check_goldens(&text, &results).expect("pinned goldens self-check");
+        assert!(n >= 116, "checked {n} verdicts");
+
+        // Synthetically flip the first pinned verdict: check must fail.
+        let flipped = if let Some(pos) = text.find("\"verdict\": \"closed\"") {
+            let mut t = text.clone();
+            t.replace_range(
+                pos..pos + "\"verdict\": \"closed\"".len(),
+                "\"verdict\": \"leak\"",
+            );
+            t
+        } else {
+            text.replacen("\"verdict\": \"leak\"", "\"verdict\": \"closed\"", 1)
+        };
+        let err = check_goldens(&flipped, &results).unwrap_err();
+        assert!(err.contains("VERDICT REGRESSION"), "{err}");
     }
 
     #[test]

@@ -200,12 +200,18 @@ impl SimInner {
             if self.token != lidx {
                 self.token = lidx;
                 self.epoch += 1;
+                self.kernel
+                    .log
+                    .note(|| crate::commit::Commit::TokenRotate { core: lidx });
             }
             return;
         }
         if self.machine.cycles(self.token) > lcy + self.window && lidx != self.token {
             self.token = lidx;
             self.epoch += 1;
+            self.kernel
+                .log
+                .note(|| crate::commit::Commit::TokenRotate { core: lidx });
         }
     }
 }

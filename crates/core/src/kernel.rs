@@ -8,6 +8,7 @@
 //! shared image this footprint is the §5.3.1 covert channel; with cloned
 //! images it is confined to the domain's own colours.
 
+use crate::commit::{Commit, CommitLog};
 use crate::config::ProtectionConfig;
 use crate::layout::{ImageFrames, ImageLayout, SharedKernelData, KERNEL_VBASE};
 use crate::objects::{
@@ -322,7 +323,11 @@ pub struct KernelStats {
 }
 
 /// The kernel.
-#[derive(Debug)]
+///
+/// `Clone` is part of the snapshot/restore contract: a cloned kernel
+/// resumed against a cloned [`Machine`] produces a bit-identical future
+/// (used by warm-boot checkpoints and [`crate::replay::Snapshot`]).
+#[derive(Debug, Clone)]
 pub struct Kernel {
     /// Platform configuration (copied from the machine).
     pub cfg: PlatformConfig,
@@ -360,7 +365,11 @@ pub struct Kernel {
     pub slice_cycles: u64,
     /// Statistics.
     pub stats: KernelStats,
-    next_asid: u16,
+    /// The per-run commit log: every state-mutating gateway records a
+    /// typed [`Commit`] here when recording is enabled (see
+    /// [`crate::commit`]).
+    pub log: CommitLog,
+    pub(crate) next_asid: u16,
 }
 
 impl Kernel {
@@ -433,6 +442,7 @@ impl Kernel {
             irqs: [IrqState::default(); NUM_IRQS],
             slice_cycles,
             stats: KernelStats::default(),
+            log: CommitLog::default(),
             next_asid: 1,
         }
     }
@@ -448,6 +458,13 @@ impl Kernel {
     /// # Errors
     /// [`KernelError::OutOfMemory`] if the pool is exhausted.
     pub fn alloc_frames(&mut self, domain: DomainId, n: usize) -> Result<Vec<u64>, KernelError> {
+        self.log.begin(|| Commit::AllocFrames { domain, n });
+        let r = self.alloc_frames_inner(domain, n);
+        self.log.end();
+        r
+    }
+
+    fn alloc_frames_inner(&mut self, domain: DomainId, n: usize) -> Result<Vec<u64>, KernelError> {
         let d = self.domains.get(domain.0).ok_or(KernelError::ObjectGone)?;
         let pool = d.pool;
         self.untypeds
@@ -465,6 +482,18 @@ impl Kernel {
     /// # Errors
     /// Propagates pool exhaustion.
     pub fn create_domain(
+        &mut self,
+        colors: ColorSet,
+        max_frames: usize,
+    ) -> Result<DomainId, KernelError> {
+        self.log
+            .begin(|| Commit::CreateDomain { colors, max_frames });
+        let r = self.create_domain_inner(colors, max_frames);
+        self.log.end();
+        r
+    }
+
+    fn create_domain_inner(
         &mut self,
         colors: ColorSet,
         max_frames: usize,
@@ -497,6 +526,19 @@ impl Kernel {
     /// # Errors
     /// Propagates pool exhaustion.
     pub fn create_thread(
+        &mut self,
+        domain: DomainId,
+        core: usize,
+        prio: u8,
+    ) -> Result<TcbId, KernelError> {
+        self.log
+            .begin(|| Commit::CreateThread { domain, core, prio });
+        let r = self.create_thread_inner(domain, core, prio);
+        self.log.end();
+        r
+    }
+
+    fn create_thread_inner(
         &mut self,
         domain: DomainId,
         core: usize,
@@ -542,6 +584,13 @@ impl Kernel {
     /// # Errors
     /// Propagates pool exhaustion.
     pub fn create_endpoint(&mut self, domain: DomainId) -> Result<EpId, KernelError> {
+        self.log.begin(|| Commit::CreateEndpoint { domain });
+        let r = self.create_endpoint_inner(domain);
+        self.log.end();
+        r
+    }
+
+    fn create_endpoint_inner(&mut self, domain: DomainId) -> Result<EpId, KernelError> {
         let frames = self.alloc_frames(domain, 1)?;
         Ok(EpId(self.eps.alloc(Endpoint {
             obj_frame: frames[0],
@@ -554,6 +603,13 @@ impl Kernel {
     /// # Errors
     /// Propagates pool exhaustion.
     pub fn create_notification(&mut self, domain: DomainId) -> Result<NtfnId, KernelError> {
+        self.log.begin(|| Commit::CreateNotification { domain });
+        let r = self.create_notification_inner(domain);
+        self.log.end();
+        r
+    }
+
+    fn create_notification_inner(&mut self, domain: DomainId) -> Result<NtfnId, KernelError> {
         let frames = self.alloc_frames(domain, 1)?;
         Ok(NtfnId(self.ntfns.alloc(Notification {
             obj_frame: frames[0],
@@ -563,6 +619,13 @@ impl Kernel {
 
     /// Install a capability into a thread's CSpace; returns the index.
     pub fn grant_cap(&mut self, t: TcbId, cap: Capability) -> CapIdx {
+        self.log.begin(|| Commit::GrantCap { t, cap });
+        let r = self.grant_cap_inner(t, cap);
+        self.log.end();
+        r
+    }
+
+    fn grant_cap_inner(&mut self, t: TcbId, cap: Capability) -> CapIdx {
         let tcb = self.tcbs.get_mut(t.0).expect("live thread");
         tcb.cspace.push(cap);
         tcb.cspace.len() - 1
@@ -574,6 +637,17 @@ impl Kernel {
     /// # Errors
     /// Propagates pool exhaustion.
     pub fn map_user_pages(&mut self, t: TcbId, n: usize) -> Result<(VAddr, Vec<u64>), KernelError> {
+        self.log.begin(|| Commit::MapUserPages { t, n });
+        let r = self.map_user_pages_inner(t, n);
+        self.log.end();
+        r
+    }
+
+    fn map_user_pages_inner(
+        &mut self,
+        t: TcbId,
+        n: usize,
+    ) -> Result<(VAddr, Vec<u64>), KernelError> {
         let (domain, vspace) = {
             let tcb = self.tcbs.get(t.0).ok_or(KernelError::ObjectGone)?;
             (tcb.domain, tcb.vspace)
@@ -609,6 +683,26 @@ impl Kernel {
     /// text, data accesses to shared data, the image's stack, and any
     /// object frames. All timed against the machine.
     pub fn kexec(
+        &mut self,
+        m: &mut Machine,
+        core: usize,
+        image: ImageId,
+        kind: FootKind,
+        asid: Asid,
+        objs: &[PAddr],
+    ) {
+        self.log.begin(|| Commit::Kexec {
+            core,
+            image,
+            kind,
+            asid,
+            objs: objs.to_vec(),
+        });
+        self.kexec_inner(m, core, image, kind, asid, objs);
+        self.log.end();
+    }
+
+    fn kexec_inner(
         &mut self,
         m: &mut Machine,
         core: usize,
@@ -670,6 +764,12 @@ impl Kernel {
 
     /// Make a thread ready and enqueue it.
     pub fn wake(&mut self, t: TcbId) {
+        self.log.begin(|| Commit::Wake { t });
+        self.wake_inner(t);
+        self.log.end();
+    }
+
+    fn wake_inner(&mut self, t: TcbId) {
         let (core, domain, prio) = {
             let tcb = self.tcbs.get(t.0).expect("live thread");
             (tcb.core, tcb.domain, tcb.priority)
@@ -684,6 +784,13 @@ impl Kernel {
     /// Pick the next thread for `core` after the current one blocked or
     /// exited (no slot rotation). Returns the new current thread.
     pub fn schedule_same_slot(&mut self, m: &mut Machine, core: usize) -> Option<TcbId> {
+        self.log.begin(|| Commit::ScheduleSameSlot { core });
+        let r = self.schedule_same_slot_inner(m, core);
+        self.log.end();
+        r
+    }
+
+    fn schedule_same_slot_inner(&mut self, m: &mut Machine, core: usize) -> Option<TcbId> {
         let mode = self.cores[core].mode;
         let next = match mode {
             EngineMode::Slotted => {
@@ -730,6 +837,16 @@ impl Kernel {
     /// domain-switch work of §4.3 is done by the tick path; `direct` IPC
     /// switches pay only the stack switch).
     pub fn make_current(&mut self, m: &mut Machine, core: usize, t: TcbId, _direct: bool) {
+        self.log.begin(|| Commit::MakeCurrent {
+            core,
+            t,
+            direct: _direct,
+        });
+        self.make_current_inner(m, core, t, _direct);
+        self.log.end();
+    }
+
+    fn make_current_inner(&mut self, m: &mut Machine, core: usize, t: TcbId, _direct: bool) {
         let new_image = self.tcbs.get(t.0).expect("live thread").image;
         let old_image = self.cores[core].cur_image;
         if new_image != old_image {
@@ -742,6 +859,19 @@ impl Kernel {
     /// image's mappings; the only explicit action is the stack switch
     /// (§4.3), copying the live part of the old stack.
     pub fn switch_image_fast(&mut self, m: &mut Machine, core: usize, from: ImageId, to: ImageId) {
+        self.log
+            .begin(|| Commit::SwitchImageFast { core, from, to });
+        self.switch_image_fast_inner(m, core, from, to);
+        self.log.end();
+    }
+
+    fn switch_image_fast_inner(
+        &mut self,
+        m: &mut Machine,
+        core: usize,
+        from: ImageId,
+        to: ImageId,
+    ) {
         let line = self.cfg.line;
         let global = self.prot.kernel_global_mappings;
         let (from_stack, to_stack) = {
@@ -770,6 +900,19 @@ impl Kernel {
 
     /// Dispatch a system call from thread `t` running on `core`.
     pub fn syscall(&mut self, m: &mut Machine, core: usize, t: TcbId, sys: Syscall) -> SysOutcome {
+        self.log.begin(|| Commit::Syscall { core, t, sys });
+        let r = self.syscall_inner(m, core, t, sys);
+        self.log.end();
+        r
+    }
+
+    fn syscall_inner(
+        &mut self,
+        m: &mut Machine,
+        core: usize,
+        t: TcbId,
+        sys: Syscall,
+    ) -> SysOutcome {
         self.stats.syscalls += 1;
         let asid = self.thread_asid(t);
         let image = self.tcbs.get(t.0).expect("live thread").image;
@@ -961,6 +1104,12 @@ impl Kernel {
 
     /// Deliver a signal to a notification, waking one waiter if present.
     pub fn do_signal(&mut self, n: NtfnId, badge: u64) {
+        self.log.begin(|| Commit::Signal { ntfn: n, badge });
+        self.do_signal_inner(n, badge);
+        self.log.end();
+    }
+
+    fn do_signal_inner(&mut self, n: NtfnId, badge: u64) {
         let waiter = {
             let ntfn = self.ntfns.get_mut(n.0).expect("live ntfn");
             if let Some(w) = ntfn.waiters.pop_front() {
@@ -1077,6 +1226,12 @@ impl Kernel {
 
     /// A thread's program has finished.
     pub fn thread_exited(&mut self, m: &mut Machine, t: TcbId) {
+        self.log.begin(|| Commit::ThreadExited { t });
+        self.thread_exited_inner(m, t);
+        self.log.end();
+    }
+
+    fn thread_exited_inner(&mut self, m: &mut Machine, t: TcbId) {
         let (core, domain, prio) = {
             let tcb = self.tcbs.get(t.0).expect("live thread");
             (tcb.core, tcb.domain, tcb.priority)
@@ -1095,6 +1250,13 @@ impl Kernel {
     /// delivered immediately (and its cost charged), `false` if deferred by
     /// partitioning (Requirement 5).
     pub fn irq_arrives(&mut self, m: &mut Machine, core: usize, irq: u32) -> bool {
+        self.log.begin(|| Commit::IrqArrives { core, irq });
+        let r = self.irq_arrives_inner(m, core, irq);
+        self.log.end();
+        r
+    }
+
+    fn irq_arrives_inner(&mut self, m: &mut Machine, core: usize, irq: u32) -> bool {
         let i = irq as usize;
         assert!(i < NUM_IRQS, "irq out of range");
         let owner = self.irqs[i].owner;
@@ -1113,6 +1275,12 @@ impl Kernel {
     /// Deliver an IRQ on `core`: run the kernel IRQ path and signal the
     /// bound notification.
     pub fn deliver_irq(&mut self, m: &mut Machine, core: usize, irq: u32) {
+        self.log.begin(|| Commit::DeliverIrq { core, irq });
+        self.deliver_irq_inner(m, core, irq);
+        self.log.end();
+    }
+
+    fn deliver_irq_inner(&mut self, m: &mut Machine, core: usize, irq: u32) {
         let i = irq as usize;
         let image = self.cores[core].cur_image;
         self.kexec(m, core, image, FootKind::Irq, Asid::KERNEL, &[]);
@@ -1134,6 +1302,18 @@ impl Kernel {
         irq: u32,
         ntfn: Option<NtfnId>,
     ) -> Result<(), KernelError> {
+        self.log.begin(|| Commit::KernelSetInt { image, irq, ntfn });
+        let r = self.kernel_set_int_inner(image, irq, ntfn);
+        self.log.end();
+        r
+    }
+
+    fn kernel_set_int_inner(
+        &mut self,
+        image: ImageId,
+        irq: u32,
+        ntfn: Option<NtfnId>,
+    ) -> Result<(), KernelError> {
         let i = irq as usize;
         if i == 0 || i >= NUM_IRQS {
             return Err(KernelError::InvalidIrq);
@@ -1149,6 +1329,12 @@ impl Kernel {
     /// Configure the padding latency of an image (a user-controlled
     /// kernel-image attribute, §4.3).
     pub fn set_pad_cycles(&mut self, image: ImageId, cycles: u64) {
+        self.log.begin(|| Commit::SetPadCycles { image, cycles });
+        self.set_pad_cycles_inner(image, cycles);
+        self.log.end();
+    }
+
+    fn set_pad_cycles_inner(&mut self, image: ImageId, cycles: u64) {
         if let Some(img) = self.images.get_mut(image.0) {
             img.pad_cycles = cycles;
         }

@@ -7,6 +7,7 @@
 //! it is running on with IPIs (analogous to TLB shoot-down), and recovers
 //! the memory.
 
+use crate::commit::Commit;
 use crate::kernel::{Kernel, KernelError};
 use crate::layout::{ImageFrames, ImageLayout, KERNEL_VBASE};
 use crate::objects::{
@@ -51,6 +52,19 @@ impl Kernel {
         core: usize,
         domain: DomainId,
     ) -> Result<ImageId, KernelError> {
+        self.log
+            .begin(|| Commit::CloneKernelForDomain { core, domain });
+        let r = self.clone_kernel_for_domain_inner(m, core, domain);
+        self.log.end();
+        r
+    }
+
+    fn clone_kernel_for_domain_inner(
+        &mut self,
+        m: &mut Machine,
+        core: usize,
+        domain: DomainId,
+    ) -> Result<ImageId, KernelError> {
         let frames = self.alloc_frames(domain, ImageLayout::total_pages() as usize)?;
         let kmem = KmemId(self.kmems.alloc(KernelMemory {
             frames,
@@ -84,6 +98,19 @@ impl Kernel {
     /// * [`KernelError::InvalidArg`] — `kmem` already maps an image or is
     ///   too small.
     pub fn kernel_clone(
+        &mut self,
+        m: &mut Machine,
+        core: usize,
+        src: ImageId,
+        kmem: KmemId,
+    ) -> Result<ImageId, KernelError> {
+        self.log.begin(|| Commit::KernelClone { core, src, kmem });
+        let r = self.kernel_clone_inner(m, core, src, kmem);
+        self.log.end();
+        r
+    }
+
+    fn kernel_clone_inner(
         &mut self,
         m: &mut Machine,
         core: usize,
@@ -161,6 +188,18 @@ impl Kernel {
     ///   (its `Kernel_Memory` is never handed to userland, preserving the
     ///   always-runnable-idle-thread invariant).
     pub fn kernel_destroy(
+        &mut self,
+        m: &mut Machine,
+        core: usize,
+        target: ImageId,
+    ) -> Result<DestroyActions, KernelError> {
+        self.log.begin(|| Commit::KernelDestroy { core, target });
+        let r = self.kernel_destroy_inner(m, core, target);
+        self.log.end();
+        r
+    }
+
+    fn kernel_destroy_inner(
         &mut self,
         m: &mut Machine,
         core: usize,
@@ -255,6 +294,17 @@ impl Kernel {
     /// Grant the master `Kernel_Image` capability (with clone right) for an
     /// image to a thread, as the kernel does for the initial process.
     pub fn grant_image_cap(&mut self, t: TcbId, image: ImageId, clone_right: bool) -> usize {
+        self.log.begin(|| Commit::GrantImageCap {
+            t,
+            image,
+            clone_right,
+        });
+        let r = self.grant_image_cap_inner(t, image, clone_right);
+        self.log.end();
+        r
+    }
+
+    fn grant_image_cap_inner(&mut self, t: TcbId, image: ImageId, clone_right: bool) -> usize {
         let rights = Rights {
             clone: clone_right,
             ..Rights::all()
@@ -281,6 +331,25 @@ impl Kernel {
     ///   capabilities.
     /// * Plus everything [`Kernel::kernel_clone`] can return.
     pub fn kernel_clone_invocation(
+        &mut self,
+        m: &mut Machine,
+        core: usize,
+        caller: TcbId,
+        image_cap: usize,
+        kmem_cap: usize,
+    ) -> Result<ImageId, KernelError> {
+        self.log.begin(|| Commit::KernelCloneInvocation {
+            core,
+            caller,
+            image_cap,
+            kmem_cap,
+        });
+        let r = self.kernel_clone_invocation_inner(m, core, caller, image_cap, kmem_cap);
+        self.log.end();
+        r
+    }
+
+    fn kernel_clone_invocation_inner(
         &mut self,
         m: &mut Machine,
         core: usize,
@@ -332,6 +401,18 @@ impl Kernel {
         core: usize,
         target: ImageId,
     ) -> Result<Vec<ImageId>, KernelError> {
+        self.log.begin(|| Commit::KernelRevoke { core, target });
+        let r = self.kernel_revoke_inner(m, core, target);
+        self.log.end();
+        r
+    }
+
+    fn kernel_revoke_inner(
+        &mut self,
+        m: &mut Machine,
+        core: usize,
+        target: ImageId,
+    ) -> Result<Vec<ImageId>, KernelError> {
         // Collect the clone subtree (children before parents).
         let mut order = Vec::new();
         let mut stack = vec![target];
@@ -362,6 +443,18 @@ impl Kernel {
     /// * [`KernelError::InvalidArg`] — `from` does not own the colour or
     ///   it is `from`'s last colour.
     pub fn move_color(
+        &mut self,
+        from: DomainId,
+        to: DomainId,
+        color: u64,
+    ) -> Result<usize, KernelError> {
+        self.log.begin(|| Commit::MoveColor { from, to, color });
+        let r = self.move_color_inner(from, to, color);
+        self.log.end();
+        r
+    }
+
+    fn move_color_inner(
         &mut self,
         from: DomainId,
         to: DomainId,
@@ -409,6 +502,18 @@ impl Kernel {
     /// * [`KernelError::InvalidArg`] — colours not a strict subset of the
     ///   parent's.
     pub fn create_nested_domain(
+        &mut self,
+        parent: DomainId,
+        colors: tp_sim::ColorSet,
+    ) -> Result<DomainId, KernelError> {
+        self.log
+            .begin(|| Commit::CreateNestedDomain { parent, colors });
+        let r = self.create_nested_domain_inner(parent, colors);
+        self.log.end();
+        r
+    }
+
+    fn create_nested_domain_inner(
         &mut self,
         parent: DomainId,
         colors: tp_sim::ColorSet,

@@ -53,18 +53,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod commit;
 pub mod config;
 pub mod engine;
 pub mod kernel;
 pub mod kimage;
 pub mod layout;
 pub mod objects;
+pub mod replay;
 pub mod sched;
 pub mod switch;
 pub mod system;
 
+pub use commit::{Commit, CommitLog, StateHasher};
 pub use config::{FlushMode, ProtectionConfig};
 pub use engine::{EnvPlan, SimCtl, SimInner, UserEnv, UserProgram};
 pub use kernel::{EngineMode, FootKind, Kernel, KernelError, SysReturn, Syscall};
 pub use objects::{CapObject, Capability, DomainId, ImageId, Rights, TcbId, ThreadState};
-pub use system::{DomainHandle, SystemBuilder, SystemReport};
+pub use replay::{replay, replay_diff, Booted, Divergence, Genesis, ScriptDriver, Snapshot};
+pub use system::{boot_stats, BootStats, DomainHandle, SystemBuilder, SystemReport};

@@ -271,6 +271,14 @@ impl Untyped {
     pub fn total(&self) -> usize {
         self.total
     }
+
+    /// The free list in allocation order (highest frame allocated last).
+    /// Read-only view for `Kernel::state_hash`: the exact order matters,
+    /// because allocation pops from the tail.
+    #[must_use]
+    pub fn free_frames(&self) -> &[u64] {
+        &self.free
+    }
 }
 
 /// Scheduling / blocking state of a thread.

@@ -98,6 +98,17 @@ impl ReadyQueues {
     pub fn len(&self) -> usize {
         self.queues.iter().map(VecDeque::len).sum()
     }
+
+    /// Iterate over the non-empty priority queues in ascending priority
+    /// order, yielding `(priority, queued threads front-to-back)`. This is
+    /// the canonical order used by `Kernel::state_hash`.
+    pub fn iter(&self) -> impl Iterator<Item = (u8, impl Iterator<Item = TcbId> + '_)> + '_ {
+        self.queues
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(p, q)| (p as u8, q.iter().copied()))
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@
 //! 11. reprogram the timer interrupt
 //! 12. restore the user stack pointer and return
 
+use crate::commit::Commit;
 use crate::config::FlushMode;
 use crate::kernel::{EngineMode, FootKind, Kernel};
 use crate::layout::KERNEL_VBASE;
@@ -54,6 +55,13 @@ impl Kernel {
     /// Process a preemption tick on `core`: rotate the schedule and perform
     /// the full §4.3 switch sequence where the kernel image changes.
     pub fn handle_tick(&mut self, m: &mut Machine, core: usize) -> TickOutcome {
+        self.log.begin(|| Commit::Tick { core });
+        let r = self.handle_tick_inner(m, core);
+        self.log.end();
+        r
+    }
+
+    fn handle_tick_inner(&mut self, m: &mut Machine, core: usize) -> TickOutcome {
         let tick_cycle = m.cycles(core);
         self.stats.ticks += 1;
         self.cores[core].ticks += 1;
@@ -241,6 +249,12 @@ impl Kernel {
     /// Deliver IRQs owned by `image` that were deferred while it was
     /// switched out.
     pub fn deliver_pending_for(&mut self, m: &mut Machine, core: usize, image: ImageId) {
+        self.log.begin(|| Commit::DeliverPendingFor { core, image });
+        self.deliver_pending_for_inner(m, core, image);
+        self.log.end();
+    }
+
+    fn deliver_pending_for_inner(&mut self, m: &mut Machine, core: usize, image: ImageId) {
         let owned: Vec<u32> = (0..crate::kernel::NUM_IRQS as u32)
             .filter(|&i| {
                 self.irqs[i as usize].owner == Some(image) && self.irqs[i as usize].pending
@@ -262,6 +276,12 @@ impl Kernel {
 
     /// Step 8: the flush itself, per configuration and platform.
     pub fn do_flush(&mut self, m: &mut Machine, core: usize, new_image: ImageId) {
+        self.log.begin(|| Commit::Flush { core, new_image });
+        self.do_flush_inner(m, core, new_image);
+        self.log.end();
+    }
+
+    fn do_flush_inner(&mut self, m: &mut Machine, core: usize, new_image: ImageId) {
         let x86 = self.cfg.llc.is_some();
         match self.prot.flush {
             FlushMode::None => {}
@@ -298,6 +318,12 @@ impl Kernel {
     /// Step 9: touch every line of the shared kernel data so the next
     /// kernel exit is deterministic (Requirement 3).
     pub fn prefetch_shared(&mut self, m: &mut Machine, core: usize) {
+        self.log.begin(|| Commit::PrefetchShared { core });
+        self.prefetch_shared_inner(m, core);
+        self.log.end();
+    }
+
+    fn prefetch_shared_inner(&mut self, m: &mut Machine, core: usize) {
         let line = self.cfg.line;
         for i in 0..self.shared.lines() {
             let pa = self.shared.line_pa(i);
@@ -316,6 +342,19 @@ impl Kernel {
     /// Measure the cost of switching away from the current state of `core`
     /// to `to_image` without padding — the Table 6 measurement.
     pub fn measure_switch_cost(&mut self, m: &mut Machine, core: usize, to_image: ImageId) -> u64 {
+        self.log
+            .begin(|| Commit::MeasureSwitchCost { core, to_image });
+        let r = self.measure_switch_cost_inner(m, core, to_image);
+        self.log.end();
+        r
+    }
+
+    fn measure_switch_cost_inner(
+        &mut self,
+        m: &mut Machine,
+        core: usize,
+        to_image: ImageId,
+    ) -> u64 {
         let start = m.cycles(core);
         let from = self.cores[core].cur_image;
         m.advance(core, LOCK_ACQUIRE);

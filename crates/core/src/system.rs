@@ -6,10 +6,13 @@
 //! associates the child with the corresponding kernel image." The
 //! [`SystemBuilder`] plays that initial process.
 
+use crate::commit::Commit;
 use crate::config::ProtectionConfig;
 use crate::engine::{run_programs, EvKind, SimCtl, SimInner, UserProgram, DEFAULT_WINDOW};
 use crate::kernel::{EngineMode, Kernel, KernelStats};
 use crate::objects::{DomainId, TcbId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex as StdMutex;
 
 use tp_sim::{ColorSet, Machine, PlatformConfig};
 
@@ -18,6 +21,58 @@ pub const DEFAULT_RAM_FRAMES: u64 = 32_768;
 
 /// Default per-domain memory pool in frames.
 pub const DEFAULT_DOMAIN_FRAMES: usize = 8_000;
+
+/// Maximum cached boot-prefix snapshots (LRU eviction). Sized so a full
+/// campaign's working set — platforms × protection configs × vote seeds
+/// for the intra-core channel family — stays resident between cells.
+const BOOT_CACHE_CAP: usize = 64;
+
+/// A boot-prefix checkpoint: the machine/kernel state right after thread
+/// creation, before the setup hook runs. Restoring is a pure clone, so a
+/// warm start is bit-identical to a cold boot with the same parameters.
+struct BootSnapshot {
+    machine: Machine,
+    kernel: Kernel,
+    domain_ids: Vec<DomainId>,
+    tcbs: Vec<TcbId>,
+}
+
+/// Shared boot-prefix cache, keyed by a digest of everything that shapes
+/// the boot (platform, protection, seed, slice, RAM, domain and thread
+/// specs). Campaign cells on the same platform×scenario share entries.
+static BOOT_CACHE: StdMutex<Vec<(u64, BootSnapshot)>> = StdMutex::new(Vec::new());
+
+static BOOT_COLD: AtomicU64 = AtomicU64::new(0);
+static BOOT_WARM: AtomicU64 = AtomicU64::new(0);
+static BOOT_COLD_NANOS: AtomicU64 = AtomicU64::new(0);
+static BOOT_WARM_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide boot accounting: how many boots were served cold (built
+/// from scratch) vs. warm (restored from a cached boot snapshot), and the
+/// wall-clock nanoseconds each path spent. CI budgets assert that warm
+/// starts actually cut per-cell boot time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BootStats {
+    /// Boots built from scratch.
+    pub cold_boots: u64,
+    /// Boots restored from a cached snapshot.
+    pub warm_boots: u64,
+    /// Total wall-clock nanoseconds spent cold-booting.
+    pub cold_nanos: u64,
+    /// Total wall-clock nanoseconds spent warm-restoring.
+    pub warm_nanos: u64,
+}
+
+/// Read the process-wide [`BootStats`] counters.
+#[must_use]
+pub fn boot_stats() -> BootStats {
+    BootStats {
+        cold_boots: BOOT_COLD.load(Ordering::Relaxed),
+        warm_boots: BOOT_WARM.load(Ordering::Relaxed),
+        cold_nanos: BOOT_COLD_NANOS.load(Ordering::Relaxed),
+        warm_nanos: BOOT_WARM_NANOS.load(Ordering::Relaxed),
+    }
+}
 
 struct DomainSpec {
     colors: Option<ColorSet>,
@@ -53,6 +108,8 @@ pub struct SystemBuilder {
     domains: Vec<DomainSpec>,
     threads: Vec<ThreadSpec>,
     setup: Option<SetupFn>,
+    warm_boot: bool,
+    record_commits: bool,
 }
 
 impl SystemBuilder {
@@ -73,7 +130,47 @@ impl SystemBuilder {
             domains: Vec::new(),
             threads: Vec::new(),
             setup: None,
+            warm_boot: false,
+            record_commits: false,
         }
+    }
+
+    /// Reuse (and populate) the shared boot-prefix snapshot cache: runs
+    /// with identical boot parameters restore a cloned checkpoint instead
+    /// of re-booting. Restoration is bit-identical, so results are
+    /// unaffected; only wall-clock boot time changes.
+    #[must_use]
+    pub fn warm_boot(mut self, on: bool) -> Self {
+        self.warm_boot = on;
+        self
+    }
+
+    /// Record a [`Commit`] log for the run (enabled after boot, so the
+    /// log covers exactly the post-boot history). The log is returned in
+    /// [`SystemReport::commits`].
+    #[must_use]
+    pub fn record_commits(mut self, on: bool) -> Self {
+        self.record_commits = on;
+        self
+    }
+
+    /// Digest of every input that shapes the boot prefix. Scheduling mode
+    /// and cycle caps are applied after the snapshot point and are
+    /// deliberately excluded.
+    fn boot_key(&self, slice_cycles: u64) -> u64 {
+        let mut h = crate::commit::StateHasher::new();
+        h.str(&format!("{:?}", self.cfg));
+        h.str(&format!("{:?}", self.prot));
+        h.u64(self.seed).u64(slice_cycles).u64(self.ram_frames);
+        h.usize(self.domains.len());
+        for d in &self.domains {
+            h.opt(d.colors.map(|c| c.0)).usize(d.max_frames);
+        }
+        h.usize(self.threads.len());
+        for t in &self.threads {
+            h.usize(t.domain).usize(t.core).byte(t.prio);
+        }
+        h.finish()
     }
 
     /// Set the RNG seed (experiments vary it across runs).
@@ -176,60 +273,135 @@ impl SystemBuilder {
     #[must_use]
     pub fn run(self) -> SystemReport {
         let cfg = self.cfg;
-        let mut machine = Machine::new(cfg, self.seed);
         let slice_cycles = cfg.us_to_cycles(self.slice_us);
-        let mut kernel = Kernel::new(cfg, self.prot.clone(), self.ram_frames, slice_cycles);
+        let boot_start = std::time::Instant::now();
+        let key = self.boot_key(slice_cycles);
 
-        if self.prot.disable_data_prefetcher {
-            for c in &mut machine.cores {
-                c.dpf.set_enabled(false);
-            }
-        }
+        let restored = if self.warm_boot {
+            let mut cache = BOOT_CACHE.lock().expect("boot cache");
+            cache.iter().position(|(k, _)| *k == key).map(|i| {
+                // LRU: a hit moves the entry to the back so campaign-wide
+                // reuse distances don't evict live boot shapes.
+                let entry = cache.remove(i);
+                let snap = &entry.1;
+                let state = (
+                    snap.machine.clone(),
+                    snap.kernel.clone(),
+                    snap.domain_ids.clone(),
+                    snap.tcbs.clone(),
+                );
+                cache.push(entry);
+                state
+            })
+        } else {
+            None
+        };
+        let warm = restored.is_some();
 
-        // Colour assignment.
-        let n_colors = cfg.partition_colors();
-        let n_domains = self.domains.len().max(1) as u64;
-        let per = (n_colors / n_domains).max(1);
-        let mut domain_ids = Vec::new();
-        for (i, spec) in self.domains.iter().enumerate() {
-            let colors = spec.colors.unwrap_or_else(|| {
-                if self.prot.color_userland {
-                    let lo = i as u64 * per;
-                    ColorSet::range(lo, (lo + per).min(n_colors))
-                } else {
-                    ColorSet::all(n_colors)
+        let (mut machine, mut kernel, domain_ids, tcbs) = match restored {
+            Some(state) => state,
+            None => {
+                let mut machine = Machine::new(cfg, self.seed);
+                let mut kernel = Kernel::new(cfg, self.prot.clone(), self.ram_frames, slice_cycles);
+
+                if self.prot.disable_data_prefetcher {
+                    for c in &mut machine.cores {
+                        c.dpf.set_enabled(false);
+                    }
                 }
-            });
-            let d = kernel
-                .create_domain(colors, spec.max_frames)
-                .expect("domain memory");
-            if self.prot.clone_kernel {
-                kernel
-                    .clone_kernel_for_domain(&mut machine, 0, d)
-                    .expect("kernel clone");
+
+                // Colour assignment.
+                let n_colors = cfg.partition_colors();
+                let n_domains = self.domains.len().max(1) as u64;
+                let per = (n_colors / n_domains).max(1);
+                let mut domain_ids = Vec::new();
+                for (i, spec) in self.domains.iter().enumerate() {
+                    let colors = spec.colors.unwrap_or_else(|| {
+                        if self.prot.color_userland {
+                            let lo = i as u64 * per;
+                            ColorSet::range(lo, (lo + per).min(n_colors))
+                        } else {
+                            ColorSet::all(n_colors)
+                        }
+                    });
+                    let d = kernel
+                        .create_domain(colors, spec.max_frames)
+                        .expect("domain memory");
+                    if self.prot.clone_kernel {
+                        kernel
+                            .clone_kernel_for_domain(&mut machine, 0, d)
+                            .expect("kernel clone");
+                    }
+                    domain_ids.push(d);
+                }
+
+                if let Some(pad_us) = self.prot.pad_us {
+                    let pad = cfg.us_to_cycles(pad_us);
+                    let ids: Vec<usize> = kernel.images.iter().map(|(i, _)| i).collect();
+                    for i in ids {
+                        kernel.set_pad_cycles(crate::objects::ImageId(i), pad);
+                    }
+                }
+
+                // Threads.
+                let mut tcbs = Vec::new();
+                for spec in &self.threads {
+                    let d = domain_ids[spec.domain];
+                    let t = kernel
+                        .create_thread(d, spec.core, spec.prio)
+                        .expect("thread");
+                    tcbs.push(t);
+                }
+
+                if self.warm_boot {
+                    let mut cache = BOOT_CACHE.lock().expect("boot cache");
+                    if !cache.iter().any(|(k, _)| *k == key) {
+                        if cache.len() >= BOOT_CACHE_CAP {
+                            cache.remove(0);
+                        }
+                        cache.push((
+                            key,
+                            BootSnapshot {
+                                machine: machine.clone(),
+                                kernel: kernel.clone(),
+                                domain_ids: domain_ids.clone(),
+                                tcbs: tcbs.clone(),
+                            },
+                        ));
+                    }
+                }
+                (machine, kernel, domain_ids, tcbs)
             }
-            domain_ids.push(d);
+        };
+
+        let boot_nanos = u64::try_from(boot_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if warm {
+            BOOT_WARM.fetch_add(1, Ordering::Relaxed);
+            BOOT_WARM_NANOS.fetch_add(boot_nanos, Ordering::Relaxed);
+        } else {
+            BOOT_COLD.fetch_add(1, Ordering::Relaxed);
+            BOOT_COLD_NANOS.fetch_add(boot_nanos, Ordering::Relaxed);
         }
 
-        if let Some(pad_us) = self.prot.pad_us {
-            let pad = cfg.us_to_cycles(pad_us);
-            let ids: Vec<usize> = kernel.images.iter().map(|(i, _)| i).collect();
-            for i in ids {
-                kernel.set_pad_cycles(crate::objects::ImageId(i), pad);
-            }
+        // Recording starts after the (possibly shared) boot prefix, so the
+        // cache stays logging-agnostic and the log covers the run proper.
+        if self.record_commits {
+            kernel.log.enable();
         }
 
-        // Threads.
-        let mut tcbs = Vec::new();
-        let mut specs = Vec::new();
-        for spec in self.threads {
-            let d = domain_ids[spec.domain];
-            let t = kernel
-                .create_thread(d, spec.core, spec.prio)
-                .expect("thread");
-            tcbs.push(t);
-            specs.push((t, spec.core, d, spec.prog, spec.primary));
-        }
+        let specs: Vec<_> = tcbs
+            .iter()
+            .zip(self.threads)
+            .map(|(&t, spec)| {
+                (
+                    t,
+                    spec.core,
+                    domain_ids[spec.domain],
+                    spec.prog,
+                    spec.primary,
+                )
+            })
+            .collect();
 
         if let Some(setup) = self.setup {
             setup(&mut kernel, &mut machine, &tcbs, &domain_ids);
@@ -282,7 +454,7 @@ impl SystemBuilder {
             .collect();
 
         let ctl = run_programs(ctl, programs);
-        let g = ctl.inner.lock();
+        let mut g = ctl.inner.lock();
         if let Some(e) = &g.error {
             panic!("simulated program failed: {e}");
         }
@@ -293,6 +465,7 @@ impl SystemBuilder {
                 .map(|c| g.machine.cycles(c))
                 .collect(),
             domains: domain_ids,
+            commits: g.kernel.log.take(),
         }
     }
 }
@@ -308,6 +481,12 @@ pub struct SystemReport {
     pub cycles: Vec<u64>,
     /// The domains, in declaration order.
     pub domains: Vec<DomainId>,
+    /// The commit log, when recording was requested with
+    /// [`SystemBuilder::record_commits`] (empty otherwise). Engine runs
+    /// issue unlogged user-program machine traffic, so this is an audit
+    /// trail of kernel mutations, not a replayable image (see
+    /// [`mod@crate::replay`]).
+    pub commits: Vec<Commit>,
 }
 
 #[cfg(test)]

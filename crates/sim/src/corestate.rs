@@ -30,7 +30,9 @@ pub enum AccessKind {
 }
 
 /// All time-multiplexed on-core state plus the core's cycle counter.
-#[derive(Debug)]
+/// `Clone` is part of the snapshot/restore contract: a cloned core resumes
+/// bit-identically (see [`crate::machine::Machine`]).
+#[derive(Debug, Clone)]
 pub struct CoreState {
     /// Core index.
     pub id: usize,

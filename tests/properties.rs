@@ -181,43 +181,43 @@ proptest! {
 proptest! {
     /// The batch sweep is bit-identical to the scalar access path: same
     /// per-line cycle costs, same hit levels, same machine state — for
-    /// random address mixes, read and write rounds, on every registered
-    /// platform. This is the correctness contract that lets the probe
-    /// machinery run through `Machine::access_batch`.
+    /// random address mixes, read and write rounds, with the platform
+    /// itself drawn as a strategy over the whole registry. This is the
+    /// correctness contract that lets the probe machinery run through
+    /// `Machine::access_batch`.
     #[test]
     fn batch_sweep_matches_scalar_accesses(
+        p in proptest::sample::select(tp_sim::Platform::ALL),
         line_idx in proptest::collection::vec(0u64..100_000, 8..80),
         writes in proptest::collection::vec(any::<bool>(), 3),
         seed in any::<u64>(),
     ) {
-        use tp_sim::{Asid, BatchOut, Machine, PAddr, Platform, SweepPlan};
-        for p in Platform::ALL {
-            let cfg = p.config();
-            let mut ms = Machine::new(cfg, seed);
-            let mut mb = Machine::new(cfg, seed);
-            let pas: Vec<PAddr> = line_idx.iter().map(|&i| PAddr(0x40_0000 + i * cfg.line)).collect();
-            let plan: SweepPlan = mb.plan_sweep(false, &pas);
-            for &write in &writes {
-                let mut costs = Vec::new();
-                let mut levels = Vec::new();
-                let total_b = mb.access_batch(
-                    0,
-                    Asid(1),
-                    &plan,
-                    write,
-                    false,
-                    &mut BatchOut { costs: Some(&mut costs), levels: Some(&mut levels) },
-                );
-                let mut total_s = 0u64;
-                for (i, &pa) in pas.iter().enumerate() {
-                    let (c, lvl) = ms.access_with_level(0, Asid(1), pa, write, false, false);
-                    total_s += c;
-                    prop_assert_eq!(c, costs[i], "{}: line {} cost", p.key(), i);
-                    prop_assert_eq!(lvl, levels[i], "{}: line {} level", p.key(), i);
-                }
-                prop_assert_eq!(total_s, total_b, "{}", p.key());
-                prop_assert_eq!(ms.cycles(0), mb.cycles(0), "{}", p.key());
+        use tp_sim::{Asid, BatchOut, Machine, PAddr, SweepPlan};
+        let cfg = p.config();
+        let mut ms = Machine::new(cfg, seed);
+        let mut mb = Machine::new(cfg, seed);
+        let pas: Vec<PAddr> = line_idx.iter().map(|&i| PAddr(0x40_0000 + i * cfg.line)).collect();
+        let plan: SweepPlan = mb.plan_sweep(false, &pas);
+        for &write in &writes {
+            let mut costs = Vec::new();
+            let mut levels = Vec::new();
+            let total_b = mb.access_batch(
+                0,
+                Asid(1),
+                &plan,
+                write,
+                false,
+                &mut BatchOut { costs: Some(&mut costs), levels: Some(&mut levels) },
+            );
+            let mut total_s = 0u64;
+            for (i, &pa) in pas.iter().enumerate() {
+                let (c, lvl) = ms.access_with_level(0, Asid(1), pa, write, false, false);
+                total_s += c;
+                prop_assert_eq!(c, costs[i], "{}: line {} cost", p.key(), i);
+                prop_assert_eq!(lvl, levels[i], "{}: line {} level", p.key(), i);
             }
+            prop_assert_eq!(total_s, total_b, "{}", p.key());
+            prop_assert_eq!(ms.cycles(0), mb.cycles(0), "{}", p.key());
         }
     }
 

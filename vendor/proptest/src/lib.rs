@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod collection;
+pub mod sample;
 
 /// Deterministic SplitMix64 stream driving strategy sampling.
 #[derive(Clone, Debug)]

@@ -1,0 +1,53 @@
+//! Strategies for sampling from explicit value sets, mirroring upstream
+//! `proptest::sample`.
+
+use crate::{Strategy, TestRng};
+
+/// Strategy that picks uniformly from a fixed list of values.
+///
+/// Mirrors `proptest::sample::select`: the options are cloned out on each
+/// draw, so `T: Clone` is required.
+#[derive(Clone, Debug)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+/// Pick uniformly from `options` (any `Vec`-convertible collection, e.g.
+/// an array like `Platform::ALL`). Panics at sample time if empty.
+pub fn select<T: Clone>(options: impl Into<Vec<T>>) -> Select<T> {
+    Select {
+        options: options.into(),
+    }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.options[rng.index(self.options.len())].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_draws_every_option() {
+        let s = select([1u8, 2, 3, 4]);
+        let mut rng = TestRng::for_case(7);
+        let mut seen = [false; 5];
+        for _ in 0..256 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn select_empty_panics() {
+        let s = select(Vec::<u8>::new());
+        let mut rng = TestRng::for_case(0);
+        let _ = s.sample(&mut rng);
+    }
+}
