@@ -19,7 +19,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use tp_analysis::leakage_test;
-use tp_core::{SystemBuilder, UserEnv};
+use tp_core::{SimError, SystemBuilder, UserEnv};
 use tp_sim::{VAddr, FRAME_SIZE};
 
 /// Accesses per receiver measurement.
@@ -33,10 +33,13 @@ const HAMMER_ACCESSES: u64 = 600;
 /// The `slice_us` of the spec is reinterpreted as the symbol period; the
 /// parties run concurrently on cores 0 and 1 with open scheduling.
 ///
+/// # Errors
+/// Returns the [`SimError`] if the simulation fails.
+///
 /// # Panics
-/// Panics if the simulation fails.
-#[must_use]
-pub fn bus_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
+/// Panics if `n_symbols != 2` — a misuse of the API, not a simulation
+/// outcome.
+pub fn bus_channel(spec: &IntraCoreSpec) -> Result<ChannelOutcome, SimError> {
     assert_eq!(
         spec.n_symbols, 2,
         "the bus channel sends one bit per period"
@@ -104,10 +107,10 @@ pub fn bus_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
         }
     });
 
-    let _ = b.run();
+    let _ = b.try_run()?;
     let dataset = pair_logs(n_symbols, &sender_log.lock(), &receiver_log.lock());
     let verdict = leakage_test(&dataset, spec.seed ^ 0x0F0F_F0F0);
-    ChannelOutcome { dataset, verdict }
+    Ok(ChannelOutcome { dataset, verdict })
 }
 
 #[cfg(test)]
@@ -122,7 +125,7 @@ mod tests {
 
     #[test]
     fn bus_channel_exists_raw() {
-        let raw = bus_channel(&spec(Scenario::Raw));
+        let raw = bus_channel(&spec(Scenario::Raw)).expect("simulation");
         assert!(raw.verdict.leaks, "bus channel raw: {}", raw.summary());
     }
 
@@ -130,7 +133,7 @@ mod tests {
     fn time_protection_cannot_close_the_bus_channel() {
         // §6.1: "we are powerless without appropriate hardware support" —
         // colouring and flushing do not touch bus bandwidth.
-        let prot = bus_channel(&spec(Scenario::Protected));
+        let prot = bus_channel(&spec(Scenario::Protected)).expect("simulation");
         assert!(
             prot.verdict.leaks,
             "the interconnect channel should survive time protection: {}",

@@ -15,7 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use tp_analysis::leakage_test;
-use tp_core::{ProtectionConfig, SystemBuilder, UserEnv};
+use tp_core::{ProtectionConfig, SimError, SystemBuilder, UserEnv};
 use tp_sim::Platform;
 
 /// Which side of the preemption jump the receiver reports.
@@ -46,10 +46,9 @@ pub fn flush_channel_config(pad_us: Option<f64>) -> ProtectionConfig {
 
 /// Run the cache-flush channel and report the chosen timing.
 ///
-/// # Panics
-/// Panics if the simulation fails.
-#[must_use]
-pub fn flush_channel(spec: &IntraCoreSpec, timing: Timing) -> ChannelOutcome {
+/// # Errors
+/// Returns the [`SimError`] if the simulation fails.
+pub fn flush_channel(spec: &IntraCoreSpec, timing: Timing) -> Result<ChannelOutcome, SimError> {
     let sender_log: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
     let receiver_log: Arc<Mutex<Vec<(u64, f64)>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -105,10 +104,10 @@ pub fn flush_channel(spec: &IntraCoreSpec, timing: Timing) -> ChannelOutcome {
         }
     });
 
-    let _ = b.run();
+    let _ = b.try_run()?;
     let dataset = pair_logs(n_symbols, &sender_log.lock(), &receiver_log.lock());
     let verdict = leakage_test(&dataset, spec.seed ^ 0x0F0F_F0F0);
-    ChannelOutcome { dataset, verdict }
+    Ok(ChannelOutcome { dataset, verdict })
 }
 
 #[cfg(test)]
@@ -128,7 +127,8 @@ mod tests {
 
     #[test]
     fn unpadded_offline_time_leaks_on_arm() {
-        let no_pad = flush_channel(&spec(Platform::Sabre, None, 150), Timing::Offline);
+        let no_pad =
+            flush_channel(&spec(Platform::Sabre, None, 150), Timing::Offline).expect("simulation");
         assert!(no_pad.verdict.leaks, "no-pad offline: {}", no_pad.summary());
         assert!(
             no_pad.verdict.m.bits > 0.2,
@@ -140,8 +140,10 @@ mod tests {
     #[test]
     fn padding_closes_the_offline_channel() {
         let pad = table4_pad_us(Platform::Sabre);
-        let no_pad = flush_channel(&spec(Platform::Sabre, None, 120), Timing::Offline);
-        let padded = flush_channel(&spec(Platform::Sabre, Some(pad), 120), Timing::Offline);
+        let no_pad =
+            flush_channel(&spec(Platform::Sabre, None, 120), Timing::Offline).expect("simulation");
+        let padded = flush_channel(&spec(Platform::Sabre, Some(pad), 120), Timing::Offline)
+            .expect("simulation");
         assert!(
             no_pad.verdict.leaks,
             "no-pad must leak: {}",

@@ -25,7 +25,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use tp_analysis::leakage_test;
-use tp_core::{CapObject, Capability, ProtectionConfig, Rights, Syscall, SystemBuilder, UserEnv};
+use tp_core::{
+    CapObject, Capability, ProtectionConfig, Rights, SimError, Syscall, SystemBuilder, UserEnv,
+};
 
 /// Symbol names for the channel matrix (Figure 3's x-axis).
 pub const SYMBOLS: [&str; 4] = ["Signal", "SetPriority", "Poll", "idle"];
@@ -70,10 +72,13 @@ pub fn kernel_attack_sets(cfg: &tp_sim::PlatformConfig) -> Vec<usize> {
 /// [`tp_analysis::ChannelMatrix`] on the dataset for the Figure 3 heat
 /// map).
 ///
+/// # Errors
+/// Returns the [`SimError`] if the simulation fails.
+///
 /// # Panics
-/// Panics if the simulation fails.
-#[must_use]
-pub fn kernel_image_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
+/// Panics if `n_symbols` does not match [`SYMBOLS`] — a misuse of the
+/// API, not a simulation outcome.
+pub fn kernel_image_channel(spec: &IntraCoreSpec) -> Result<ChannelOutcome, SimError> {
     assert_eq!(spec.n_symbols, SYMBOLS.len(), "the channel has 4 symbols");
     let sender_log: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
     let receiver_log: Arc<Mutex<Vec<(u64, f64)>>> = Arc::new(Mutex::new(Vec::new()));
@@ -177,10 +182,10 @@ pub fn kernel_image_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
         }
     });
 
-    let _ = b.run();
+    let _ = b.try_run()?;
     let dataset = pair_logs(n_symbols, &sender_log.lock(), &receiver_log.lock());
     let verdict = leakage_test(&dataset, spec.seed ^ 0x0F0F_F0F0);
-    ChannelOutcome { dataset, verdict }
+    Ok(ChannelOutcome { dataset, verdict })
 }
 
 #[cfg(test)]
@@ -201,11 +206,12 @@ mod tests {
 
     #[test]
     fn shared_kernel_leaks_cloned_kernel_does_not() {
-        let raw = kernel_image_channel(&spec(coloured_userland_config(), 150));
+        let raw = kernel_image_channel(&spec(coloured_userland_config(), 150)).expect("simulation");
         assert!(raw.verdict.leaks, "shared kernel: {}", raw.summary());
         assert!(raw.verdict.m.bits > 0.3, "weak channel: {}", raw.summary());
 
-        let prot = kernel_image_channel(&spec(ProtectionConfig::protected(), 150));
+        let prot =
+            kernel_image_channel(&spec(ProtectionConfig::protected(), 150)).expect("simulation");
         assert!(
             prot.verdict.m.bits < raw.verdict.m.bits / 5.0,
             "cloning ineffective: {} vs {}",

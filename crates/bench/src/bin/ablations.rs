@@ -1,4 +1,15 @@
 //! Per-mechanism ablations of the time-protection suite (see DESIGN.md).
-fn main() {
-    println!("{}", tp_bench::channels::ablations());
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match tp_bench::channels::ablations() {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ablations: simulation failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

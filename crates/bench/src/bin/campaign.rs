@@ -14,14 +14,30 @@
 //!
 //! `TP_SAMPLES` scales sample counts as everywhere else; the pinned
 //! golden file is generated at `TP_SAMPLES=0.25` (what CI runs).
+//!
+//! Every cell runs under the campaign supervisor
+//! ([`tp_bench::supervise`]): a panicking, hanging or corrupted cell is
+//! classified, retried where transient, quarantined into
+//! `goldens/quarantine.json`, and the campaign still completes with the
+//! remaining cells' results. `TP_FAULT` injects a deterministic fault for
+//! chaos-testing exactly that machinery (see `tp_core::fault`), and
+//! `TP_CELL_TIMEOUT` overrides the per-cell wall-clock deadline that is
+//! otherwise derived from the previous run's `BENCH-campaign.json`.
 
 use std::process::ExitCode;
 use std::time::Instant;
 use tp_bench::campaign::{
     bench_json, check_goldens, golden_json, registry, results_json, ExperimentDef, ExperimentResult,
 };
+use tp_bench::supervise::{
+    self, cell_deadline, parse_bench_history, quarantine_json, CellOutcome, QuarantineEntry,
+};
 use tp_bench::util::Table;
+use tp_core::FaultPlan;
 use tp_sim::Platform;
+
+/// Where the quarantine ledger is written (next to the golden verdicts).
+const QUARANTINE_PATH: &str = "goldens/quarantine.json";
 
 struct Args {
     list: bool,
@@ -129,6 +145,24 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    // The fault plan (chaos knob) must parse before any cell burns time.
+    let plan = match FaultPlan::from_env() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(p) = &plan {
+        eprintln!("[fault injection armed: {p}]");
+    }
+
+    // Per-cell deadlines derive from the previous run's wall times; a
+    // missing or stale history degrades to a generous default.
+    let history = std::fs::read_to_string("BENCH-campaign.json")
+        .map(|t| parse_bench_history(&t))
+        .unwrap_or_default();
+
     // Work items keyed by registry × platform report order, scheduled
     // heavy-first so expensive experiments overlap the cheap tail.
     let mut schedule: Vec<(usize, &ExperimentDef, Platform)> = Vec::new();
@@ -142,28 +176,72 @@ fn main() -> ExitCode {
     schedule.sort_by_key(|&(_, d, _)| std::cmp::Reverse(d.cost));
 
     let t_all = Instant::now();
-    let mut results: Vec<(usize, ExperimentResult)> = rayon::par_map(&schedule, |&(i, d, p)| {
+    type Cell = (usize, &'static str, Platform, f64, supervise::CellReport);
+    let mut cells: Vec<Cell> = rayon::par_map(&schedule, |&(i, d, p)| {
         let t0 = Instant::now();
-        let channels = (d.run)(p);
+        let deadline = cell_deadline(
+            history
+                .get(&(d.name.to_string(), p.key().to_string()))
+                .copied(),
+        );
+        let run = d.run;
+        let report = supervise::run_cell(d.name, p.key(), plan.as_ref(), deadline, move || run(p));
         eprintln!(
             "[{} on {}: {:.1}s]",
             d.name,
             p.key(),
             t0.elapsed().as_secs_f64()
         );
-        (
-            i,
-            ExperimentResult {
-                experiment: d.name,
-                platform: p,
-                seconds: t0.elapsed().as_secs_f64(),
-                channels,
-            },
-        )
+        (i, d.name, p, t0.elapsed().as_secs_f64(), report)
     });
-    results.sort_by_key(|&(i, _)| i);
-    let results: Vec<ExperimentResult> = results.into_iter().map(|(_, r)| r).collect();
+    cells.sort_by_key(|&(i, ..)| i);
     let total_seconds = t_all.elapsed().as_secs_f64();
+
+    // Partition: healthy cells feed the results; everything else goes to
+    // the quarantine ledger and the campaign continues without it.
+    let mut results: Vec<ExperimentResult> = Vec::new();
+    let mut quarantine: Vec<QuarantineEntry> = Vec::new();
+    for (_, name, p, seconds, report) in cells {
+        if report.outcome == CellOutcome::Ok {
+            results.push(ExperimentResult {
+                experiment: name,
+                platform: p,
+                seconds,
+                channels: report.channels.unwrap_or_default(),
+            });
+        } else {
+            eprintln!(
+                "[QUARANTINED {} on {}: {} after {} attempt(s): {}]",
+                name,
+                p.key(),
+                report.outcome.name(),
+                report.attempts,
+                report.error.as_deref().unwrap_or("no detail"),
+            );
+            supervise::note_quarantined();
+            quarantine.push(QuarantineEntry {
+                experiment: name.to_string(),
+                platform: p.key().to_string(),
+                outcome: report.outcome,
+                attempts: report.attempts,
+                error: report.error.unwrap_or_default(),
+            });
+        }
+    }
+
+    // The ledger is written on every run, so a clean campaign visibly
+    // overwrites the previous chaos run's entries with `[]`.
+    if let Some(dir) = std::path::Path::new(QUARANTINE_PATH).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(QUARANTINE_PATH, quarantine_json(&quarantine)) {
+        Ok(()) if quarantine.is_empty() => {}
+        Ok(()) => eprintln!(
+            "[wrote {QUARANTINE_PATH}: {} quarantined cell(s)]",
+            quarantine.len()
+        ),
+        Err(e) => eprintln!("[failed to write {QUARANTINE_PATH}: {e}]"),
+    }
 
     // Human-readable verdict table.
     let mut t = Table::new(&[

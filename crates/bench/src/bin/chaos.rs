@@ -1,0 +1,163 @@
+//! Chaos harness: prove the campaign supervisor survives every fault class.
+//!
+//! ```text
+//! cargo run --release -p tp-bench --bin chaos          # all five classes
+//! TP_FAULT=env-stall@3 cargo run -p tp-bench --bin chaos
+//! ```
+//!
+//! For each fault class (all of [`tp_core::FaultKind::all_defaults`], or
+//! just the one named by `TP_FAULT`), the harness supervises a synthetic
+//! cell with that fault armed and asserts the supervisor classifies it as
+//! expected — then runs one healthy control cell and asserts it still
+//! comes back clean, with zero retries. The quarantine ledger the faulted
+//! cells produced is written to `goldens/quarantine.json` exactly as a
+//! real campaign would. Any classification mismatch exits nonzero.
+
+use std::process::ExitCode;
+use std::time::Duration;
+use tp_bench::supervise::{
+    self, probe_cell, quarantine_json, run_cell, CellOutcome, QuarantineEntry,
+};
+use tp_bench::util::Table;
+use tp_core::{FaultKind, FaultPlan};
+
+/// Where the quarantine ledger is written (same path as the campaign's).
+const QUARANTINE_PATH: &str = "goldens/quarantine.json";
+
+fn expected_outcome(kind: FaultKind) -> CellOutcome {
+    match kind {
+        FaultKind::EnvPanic { .. } | FaultKind::NoisePoison { .. } => CellOutcome::Panicked,
+        FaultKind::EnvStall { .. } => CellOutcome::TimedOut,
+        FaultKind::CommitFlip { .. } => CellOutcome::ReplayDiverged,
+        FaultKind::SnapshotCorrupt => CellOutcome::SnapshotCorrupt,
+    }
+}
+
+fn main() -> ExitCode {
+    let plans: Vec<FaultPlan> = match FaultPlan::from_env() {
+        Ok(Some(mut p)) => {
+            if p.cell.take().is_some() {
+                eprintln!("[chaos: ignoring the :cell= scope; chaos runs synthetic cells]");
+            }
+            vec![p]
+        }
+        Ok(None) => FaultKind::all_defaults()
+            .into_iter()
+            .map(FaultPlan::new)
+            .collect(),
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // A tight deadline keeps the env-stall class (3 watchdog-bounded
+    // attempts) fast; `TP_CELL_TIMEOUT` still overrides for debugging.
+    let deadline = std::env::var("TP_CELL_TIMEOUT")
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .map_or(Duration::from_secs(2), Duration::from_secs_f64);
+
+    let mut t = Table::new(&["Fault", "Expected", "Classified", "Attempts", "Result"]);
+    let mut quarantine: Vec<QuarantineEntry> = Vec::new();
+    let mut failures = 0usize;
+    for (i, plan) in plans.iter().enumerate() {
+        let expected = expected_outcome(plan.kind);
+        let seed = 0xC4A0_5000 + i as u64;
+        if plan.kind == FaultKind::SnapshotCorrupt {
+            // Prime the boot cache so the supervised run below restores a
+            // (corrupted) snapshot instead of booting cold.
+            if let Err(e) = probe_cell(seed) {
+                eprintln!("chaos: cache-priming run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let name = plan.kind.class_name();
+        let report = run_cell("chaos", "haswell", Some(plan), deadline, move || {
+            probe_cell(seed)
+        });
+        let pass = report.outcome == expected;
+        if !pass {
+            failures += 1;
+            eprintln!(
+                "chaos: {} misclassified as {} (expected {}): {}",
+                plan,
+                report.outcome.name(),
+                expected.name(),
+                report.error.as_deref().unwrap_or("no detail"),
+            );
+        }
+        if report.outcome != CellOutcome::Ok {
+            supervise::note_quarantined();
+            quarantine.push(QuarantineEntry {
+                experiment: format!("chaos-{name}"),
+                platform: "haswell".to_string(),
+                outcome: report.outcome,
+                attempts: report.attempts,
+                error: report.error.unwrap_or_default(),
+            });
+        }
+        t.row(&[
+            plan.to_string(),
+            expected.name().to_string(),
+            report.outcome.name().to_string(),
+            report.attempts.to_string(),
+            if pass { "PASS" } else { "FAIL" }.to_string(),
+        ]);
+    }
+
+    // The healthy control: supervision must be transparent for a cell
+    // that needs none of it.
+    let before = supervise::counters();
+    let healthy = run_cell(
+        "chaos-healthy",
+        "haswell",
+        None,
+        Duration::from_secs(120),
+        || probe_cell(0xC4A0_50FF),
+    );
+    let after = supervise::counters();
+    let healthy_ok = healthy.outcome == CellOutcome::Ok
+        && healthy.attempts == 1
+        && after.retries == before.retries;
+    if !healthy_ok {
+        failures += 1;
+        eprintln!(
+            "chaos: healthy control cell came back {} after {} attempt(s): {}",
+            healthy.outcome.name(),
+            healthy.attempts,
+            healthy.error.as_deref().unwrap_or("no detail"),
+        );
+    }
+    t.row(&[
+        "(none)".to_string(),
+        "ok".to_string(),
+        healthy.outcome.name().to_string(),
+        healthy.attempts.to_string(),
+        if healthy_ok { "PASS" } else { "FAIL" }.to_string(),
+    ]);
+
+    if let Some(dir) = std::path::Path::new(QUARANTINE_PATH).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(QUARANTINE_PATH, quarantine_json(&quarantine)) {
+        Ok(()) => eprintln!(
+            "[wrote {QUARANTINE_PATH}: {} quarantined cell(s)]",
+            quarantine.len()
+        ),
+        Err(e) => eprintln!("[failed to write {QUARANTINE_PATH}: {e}]"),
+    }
+
+    println!("{}", t.render());
+    if failures == 0 {
+        println!(
+            "chaos: all {} fault class(es) classified correctly",
+            plans.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("chaos: {failures} classification failure(s)");
+        ExitCode::FAILURE
+    }
+}

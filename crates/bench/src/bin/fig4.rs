@@ -1,4 +1,15 @@
 //! Regenerates the paper's fig4 (see DESIGN.md experiment index).
-fn main() {
-    println!("{}", tp_bench::channels::fig4());
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match tp_bench::channels::fig4() {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fig4: simulation failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

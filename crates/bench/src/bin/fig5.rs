@@ -1,4 +1,15 @@
 //! Regenerates the paper's fig5 (see DESIGN.md experiment index).
-fn main() {
-    println!("{}", tp_bench::channels::fig5());
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match tp_bench::channels::fig5() {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fig5: simulation failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -1,4 +1,15 @@
 //! Regenerates the paper's fig7 (see DESIGN.md experiment index).
-fn main() {
-    println!("{}", tp_bench::splash::fig7());
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match tp_bench::splash::fig7() {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fig7: simulation failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -7,11 +7,35 @@
 //! stdout is bit-identical for every thread count; per-experiment timings
 //! go to stderr and to a machine-readable `BENCH.json` in the working
 //! directory, which CI uses as a perf-smoke budget check.
+//!
+//! A failing simulation no longer tears the whole run down: the failing
+//! experiment is named on stderr, the rest still print, and the process
+//! exits nonzero.
 
+use std::process::ExitCode;
 use std::time::Instant;
+use tp_core::SimError;
 
 /// One experiment: display name and the function regenerating it.
-type Experiment = (&'static str, fn() -> String);
+type Experiment = (&'static str, fn() -> Result<String, SimError>);
+
+// The table generators drive closed-form models and infallible channel
+// summaries; shim them into the fallible experiment signature.
+fn table1() -> Result<String, SimError> {
+    Ok(tp_bench::tables::table1())
+}
+fn table2() -> Result<String, SimError> {
+    Ok(tp_bench::tables::table2())
+}
+fn table5() -> Result<String, SimError> {
+    Ok(tp_bench::tables::table5())
+}
+fn table6() -> Result<String, SimError> {
+    Ok(tp_bench::tables::table6())
+}
+fn table7() -> Result<String, SimError> {
+    Ok(tp_bench::tables::table7())
+}
 
 /// Wall-time record of one run, serialised by hand (no JSON dependency)
 /// into `BENCH.json`.
@@ -39,19 +63,19 @@ fn bench_json(per_exp: &[(&str, f64)], total_s: f64) -> String {
     s
 }
 
-fn main() {
+fn main() -> ExitCode {
     let experiments: Vec<Experiment> = vec![
-        ("table1", tp_bench::tables::table1),
-        ("table2", tp_bench::tables::table2),
+        ("table1", table1),
+        ("table2", table2),
         ("fig3", tp_bench::channels::fig3),
         ("table3", tp_bench::channels::table3),
         ("fig4", tp_bench::channels::fig4),
         ("fig5", tp_bench::channels::fig5),
         ("table4", tp_bench::channels::table4),
         ("fig6", tp_bench::channels::fig6),
-        ("table5", tp_bench::tables::table5),
-        ("table6", tp_bench::tables::table6),
-        ("table7", tp_bench::tables::table7),
+        ("table5", table5),
+        ("table6", table6),
+        ("table7", table7),
         ("fig7", tp_bench::splash::fig7),
         ("table8", tp_bench::splash::table8),
         ("ablations", tp_bench::channels::ablations),
@@ -59,7 +83,7 @@ fn main() {
     let t_all = Instant::now();
     // Every experiment is independent and internally seeded, so they can
     // run concurrently; reports are printed in paper order below.
-    let results: Vec<(String, f64)> = rayon::par_map(&experiments, |(_, f)| {
+    let results: Vec<(Result<String, SimError>, f64)> = rayon::par_map(&experiments, |(_, f)| {
         let t0 = Instant::now();
         let report = f();
         (report, t0.elapsed().as_secs_f64())
@@ -67,10 +91,19 @@ fn main() {
     let total_s = t_all.elapsed().as_secs_f64();
 
     let mut per_exp: Vec<(&str, f64)> = Vec::with_capacity(experiments.len());
+    let mut failed: Vec<&str> = Vec::new();
     for ((name, _), (report, secs)) in experiments.iter().zip(&results) {
-        println!("==================== {name} ====================");
-        println!("{report}");
-        eprintln!("[{name} took {secs:.1}s]");
+        match report {
+            Ok(report) => {
+                println!("==================== {name} ====================");
+                println!("{report}");
+                eprintln!("[{name} took {secs:.1}s]");
+            }
+            Err(e) => {
+                eprintln!("[{name} FAILED after {secs:.1}s: {e}]");
+                failed.push(name);
+            }
+        }
         per_exp.push((name, *secs));
     }
     eprintln!(
@@ -83,5 +116,16 @@ fn main() {
     match std::fs::write("BENCH.json", &json) {
         Ok(()) => eprintln!("[wrote BENCH.json]"),
         Err(e) => eprintln!("[failed to write BENCH.json: {e}]"),
+    }
+
+    if failed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "reproduce_all: {} experiment(s) failed: {}",
+            failed.len(),
+            failed.join(", ")
+        );
+        ExitCode::FAILURE
     }
 }

@@ -1,4 +1,15 @@
 //! Regenerates the paper's table4 (see DESIGN.md experiment index).
-fn main() {
-    println!("{}", tp_bench::channels::table4());
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match tp_bench::channels::table4() {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("table4: simulation failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

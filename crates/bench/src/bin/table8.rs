@@ -1,4 +1,15 @@
 //! Regenerates the paper's table8 (see DESIGN.md experiment index).
-fn main() {
-    println!("{}", tp_bench::splash::table8());
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match tp_bench::splash::table8() {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("table8: simulation failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

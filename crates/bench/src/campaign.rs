@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use tp_attacks::harness::{ChannelOutcome, IntraCoreSpec, Scenario};
 use tp_attacks::{branchchan, bus, cache, flush_latency, interrupt, kernel_image, llc, tlbchan};
-use tp_core::ProtectionConfig;
+use tp_core::{ProtectionConfig, SimError};
 use tp_sim::Platform;
 
 /// One structured measurement: a channel under one defence mechanism.
@@ -55,18 +55,27 @@ const VOTE_SEEDS: [u64; 3] = [0x5EED, 0x5EED ^ 0x9E37_79B9, 0x5EED ^ 0x6A09_E667
 /// verdict by majority, value/baseline from the first seed that agrees
 /// with the majority (so a reported row is always self-consistent — a
 /// "leak" row shows an M above its M0, a "closed" row one below).
+///
+/// Each seed is XORed with the supervisor's retry salt
+/// ([`crate::supervise::retry_salt`], zero outside a retry), so a retried
+/// cell explores fresh seeds deterministically while a first attempt is
+/// byte-identical to an unsupervised run.
 fn vote(
     channel: &'static str,
     mechanism: &'static str,
-    run: impl Fn(u64) -> ChannelOutcome,
-) -> ChannelResult {
-    let outcomes: Vec<ChannelOutcome> = VOTE_SEEDS.iter().map(|&s| run(s)).collect();
+    run: impl Fn(u64) -> Result<ChannelOutcome, SimError>,
+) -> Result<ChannelResult, SimError> {
+    let salt = crate::supervise::retry_salt();
+    let outcomes: Vec<ChannelOutcome> = VOTE_SEEDS
+        .iter()
+        .map(|&s| run(s ^ salt))
+        .collect::<Result<_, _>>()?;
     let leaks = outcomes.iter().filter(|o| o.verdict.leaks).count() * 2 > outcomes.len();
     let o = outcomes
         .iter()
         .find(|o| o.verdict.leaks == leaks)
         .expect("majority verdict has at least one witness");
-    ChannelResult {
+    Ok(ChannelResult {
         channel,
         mechanism,
         metric: "M_mb",
@@ -74,7 +83,7 @@ fn vote(
         baseline: o.verdict.m0_millibits(),
         leaks,
         samples: o.dataset.len(),
-    }
+    })
 }
 
 impl ChannelResult {
@@ -116,8 +125,10 @@ pub struct ExperimentDef {
     pub cost: u32,
     /// Which platforms the experiment supports.
     pub supports: fn(Platform) -> bool,
-    /// Run on one platform, producing the structured results.
-    pub run: fn(Platform) -> Vec<ChannelResult>,
+    /// Run on one platform, producing the structured results. Errors
+    /// (simulation failures under fault injection) are classified by the
+    /// campaign supervisor ([`crate::supervise`]), never unwound.
+    pub run: fn(Platform) -> Result<Vec<ChannelResult>, SimError>,
 }
 
 fn any_platform(_: Platform) -> bool {
@@ -133,7 +144,7 @@ fn scenario_sweep(
     channel: &'static str,
     run: fn(&IntraCoreSpec) -> ChannelOutcome,
     platform: Platform,
-) -> Vec<ChannelResult> {
+) -> Result<Vec<ChannelResult>, SimError> {
     // The L2 channel's protected residue is the paper's most marginal
     // effect; at small sample scales the M-vs-M0 test is noise-prone
     // there, so it gets twice the observations.
@@ -155,37 +166,37 @@ fn scenario_sweep(
             if channel == "L2" {
                 spec = spec.with_slice_us(cache::l2_slice_us(&platform.config()));
             }
-            run(&spec)
+            Ok(run(&spec))
         })
     })
     .collect()
 }
 
-fn run_l1d(p: Platform) -> Vec<ChannelResult> {
+fn run_l1d(p: Platform) -> Result<Vec<ChannelResult>, SimError> {
     scenario_sweep("L1-D", cache::l1d_channel, p)
 }
 
-fn run_l1i(p: Platform) -> Vec<ChannelResult> {
+fn run_l1i(p: Platform) -> Result<Vec<ChannelResult>, SimError> {
     scenario_sweep("L1-I", cache::l1i_channel, p)
 }
 
-fn run_tlb(p: Platform) -> Vec<ChannelResult> {
+fn run_tlb(p: Platform) -> Result<Vec<ChannelResult>, SimError> {
     scenario_sweep("TLB", tlbchan::tlb_channel, p)
 }
 
-fn run_btb(p: Platform) -> Vec<ChannelResult> {
+fn run_btb(p: Platform) -> Result<Vec<ChannelResult>, SimError> {
     scenario_sweep("BTB", branchchan::btb_channel, p)
 }
 
-fn run_bhb(p: Platform) -> Vec<ChannelResult> {
+fn run_bhb(p: Platform) -> Result<Vec<ChannelResult>, SimError> {
     scenario_sweep("BHB", branchchan::bhb_channel, p)
 }
 
-fn run_l2(p: Platform) -> Vec<ChannelResult> {
+fn run_l2(p: Platform) -> Result<Vec<ChannelResult>, SimError> {
     scenario_sweep("L2", cache::l2_channel, p)
 }
 
-fn run_kernel_image(p: Platform) -> Vec<ChannelResult> {
+fn run_kernel_image(p: Platform) -> Result<Vec<ChannelResult>, SimError> {
     let n = samples(300);
     [
         ("coloured-only", kernel_image::coloured_userland_config()),
@@ -208,7 +219,7 @@ fn run_kernel_image(p: Platform) -> Vec<ChannelResult> {
     .collect()
 }
 
-fn run_flush(p: Platform) -> Vec<ChannelResult> {
+fn run_flush(p: Platform) -> Result<Vec<ChannelResult>, SimError> {
     let n = samples(250);
     let pad = flush_latency::table4_pad_us(p);
     let mk = |pad_us: Option<f64>, seed: u64| IntraCoreSpec {
@@ -234,19 +245,21 @@ fn run_flush(p: Platform) -> Vec<ChannelResult> {
     .collect()
 }
 
-fn run_interrupt(p: Platform) -> Vec<ChannelResult> {
+fn run_interrupt(p: Platform) -> Result<Vec<ChannelResult>, SimError> {
     let n = samples(250);
     [("raw", false), ("partitioned", true)]
         .into_iter()
         .map(|(mech, part)| {
             vote("interrupt", mech, |seed| {
-                interrupt::interrupt_channel(&interrupt::paper_spec(p, part, n).with_seed(seed))
+                Ok(interrupt::interrupt_channel(
+                    &interrupt::paper_spec(p, part, n).with_seed(seed),
+                ))
             })
         })
         .collect()
 }
 
-fn run_bus(p: Platform) -> Vec<ChannelResult> {
+fn run_bus(p: Platform) -> Result<Vec<ChannelResult>, SimError> {
     let n = samples(150);
     [("raw", Scenario::Raw), ("protected", Scenario::Protected)]
         .into_iter()
@@ -261,9 +274,9 @@ fn run_bus(p: Platform) -> Vec<ChannelResult> {
         .collect()
 }
 
-fn run_llc(p: Platform) -> Vec<ChannelResult> {
+fn run_llc(p: Platform) -> Result<Vec<ChannelResult>, SimError> {
     let slots = samples(6_000).max(3_000);
-    [
+    Ok([
         ("raw", ProtectionConfig::raw(), slots),
         ("protected", ProtectionConfig::protected(), slots / 2),
     ]
@@ -280,7 +293,7 @@ fn run_llc(p: Platform) -> Vec<ChannelResult> {
             samples: r.recovered_bits.len(),
         }
     })
-    .collect()
+    .collect())
 }
 
 /// The experiment registry, in report order.
@@ -437,11 +450,26 @@ pub fn bench_json(results: &[ExperimentResult], total_seconds: f64) -> String {
     };
     let _ = writeln!(
         s,
-        "  \"boot\": {{\"cold\": {}, \"warm\": {}, \"cold_mean_ms\": {:.6}, \"warm_mean_ms\": {:.6}}},",
+        "  \"boot\": {{\"cold\": {}, \"warm\": {}, \"fallback\": {}, \"cold_mean_ms\": {:.6}, \"warm_mean_ms\": {:.6}}},",
         boot.cold_boots,
         boot.warm_boots,
+        boot.fallback_boots,
         mean_ms(boot.cold_nanos, boot.cold_boots),
         mean_ms(boot.warm_nanos, boot.warm_boots),
+    );
+    // Supervisor accounting: a healthy (fault-free) campaign reports all
+    // zeroes here, and CI gates on exactly that.
+    let sup = crate::supervise::counters();
+    let _ = writeln!(
+        s,
+        "  \"supervisor\": {{\"retries\": {}, \"timeouts\": {}, \"panics\": {}, \"snapshot_corrupt\": {}, \"replay_diverged\": {}, \"quarantined\": {}, \"fallback_boots\": {}}},",
+        sup.retries,
+        sup.timeouts,
+        sup.panics,
+        sup.snapshot_corrupt,
+        sup.replay_diverged,
+        sup.quarantined,
+        boot.fallback_boots,
     );
     s.push_str("  \"cells\": [\n");
     for (i, r) in results.iter().enumerate() {

@@ -4,13 +4,15 @@ use crate::util::{fmt_mb, samples, Table};
 use tp_analysis::ChannelMatrix;
 use tp_attacks::harness::{ChannelOutcome, IntraCoreSpec, Scenario};
 use tp_attacks::{branchchan, cache, flush_latency, interrupt, kernel_image, llc, tlbchan};
-use tp_core::ProtectionConfig;
+use tp_core::{ProtectionConfig, SimError};
 use tp_sim::Platform;
 
 /// Figure 3: the kernel-image channel matrix and MI, coloured-userland
 /// (shared kernel) vs full time protection, on both platforms.
-#[must_use]
-pub fn fig3() -> String {
+///
+/// # Errors
+/// Propagates the first [`SimError`] from a failed channel simulation.
+pub fn fig3() -> Result<String, SimError> {
     let mut out = String::from("Figure 3: Kernel timing-channel matrix (conditional probability\nof LLC misses given the sender's system call).\n\n");
     for platform in Platform::ALL {
         for (name, prot) in [
@@ -31,7 +33,7 @@ pub fn fig3() -> String {
                 slice_us: 50.0,
                 seed: 0x5EED,
             };
-            let o = kernel_image::kernel_image_channel(&spec);
+            let o = kernel_image::kernel_image_channel(&spec)?;
             out.push_str(&format!("{} — {}\n", platform.name(), name));
             if o.dataset.len() >= 8 {
                 let m = ChannelMatrix::from_dataset(&o.dataset, 48);
@@ -40,7 +42,7 @@ pub fn fig3() -> String {
             out.push_str(&format!("  {}\n\n", o.summary()));
         }
     }
-    out
+    Ok(out)
 }
 
 /// The six intra-core channels of Table 3.
@@ -71,8 +73,11 @@ fn channel_spec(platform: Platform, scenario: Scenario, name: &str, n: usize) ->
 /// protected, on both platforms. The residual protected x86 L2 channel is
 /// additionally re-measured with the data prefetcher disabled (the §5.3.2
 /// follow-up).
-#[must_use]
-pub fn table3() -> String {
+///
+/// # Errors
+/// Infallible today (the Table 3 channels never fail their simulations);
+/// `Result` keeps the experiment surface uniform.
+pub fn table3() -> Result<String, SimError> {
     let mut t = Table::new(&[
         "Platform",
         "Cache",
@@ -120,17 +125,19 @@ pub fn table3() -> String {
             }
         }
     }
-    format!(
+    Ok(format!(
         "Table 3: Mutual information (mb) of intra-core timing channels.\n('*' marks a definite channel, M > M0.)\n\n{}\n{}",
         t.render(),
         residual_note
-    )
+    ))
 }
 
 /// Figure 4: the cross-core LLC side channel against ElGamal, raw and
 /// protected.
-#[must_use]
-pub fn fig4() -> String {
+///
+/// # Errors
+/// Infallible today; `Result` keeps the experiment surface uniform.
+pub fn fig4() -> Result<String, SimError> {
     let slots = samples(6_000).max(3_000);
     let raw = llc::llc_attack(ProtectionConfig::raw(), slots, 42);
     let prot = llc::llc_attack(ProtectionConfig::protected(), slots / 2, 42);
@@ -159,13 +166,15 @@ pub fn fig4() -> String {
         }
     }
     out.push('\n');
-    out
+    Ok(out)
 }
 
 /// Figure 5: the unmitigated cache-flush channel on Arm (receiver-observed
 /// offline time vs the sender's dirty-cache footprint).
-#[must_use]
-pub fn fig5() -> String {
+///
+/// # Errors
+/// Propagates the first [`SimError`] from a failed channel simulation.
+pub fn fig5() -> Result<String, SimError> {
     let spec = IntraCoreSpec {
         platform: Platform::Sabre,
         prot: flush_latency::flush_channel_config(None),
@@ -174,7 +183,7 @@ pub fn fig5() -> String {
         slice_us: 50.0,
         seed: 0x5EED,
     };
-    let o = flush_latency::flush_channel(&spec, flush_latency::Timing::Offline);
+    let o = flush_latency::flush_channel(&spec, flush_latency::Timing::Offline)?;
     let mut out = String::from(
         "Figure 5: Unmitigated cache-flush channel on Arm: receiver-observed\noffline time vs sender cache footprint (8 symbols = 0..256 dirty sets).\n\n",
     );
@@ -183,13 +192,15 @@ pub fn fig5() -> String {
         out.push_str(&m.render(&["0", "32", "64", "96", "128", "160", "192", "224"]));
     }
     out.push_str(&format!("  {}\n", o.summary()));
-    out
+    Ok(out)
 }
 
 /// Table 4: the flush-latency channel, online/offline timing, with and
 /// without padding.
-#[must_use]
-pub fn table4() -> String {
+///
+/// # Errors
+/// Propagates the first [`SimError`] from a failed channel simulation.
+pub fn table4() -> Result<String, SimError> {
     let mut t = Table::new(&[
         "Platform",
         "Timing",
@@ -213,8 +224,8 @@ pub fn table4() -> String {
                 slice_us: 50.0,
                 seed: 0x5EED,
             };
-            let no_pad = flush_latency::flush_channel(&mk(None), timing);
-            let padded = flush_latency::flush_channel(&mk(Some(pad)), timing);
+            let no_pad = flush_latency::flush_channel(&mk(None), timing)?;
+            let padded = flush_latency::flush_channel(&mk(Some(pad)), timing)?;
             t.row(&[
                 format!("{} (pad {pad} µs)", platform.short_name()),
                 format!("{timing:?}"),
@@ -225,16 +236,18 @@ pub fn table4() -> String {
             ]);
         }
     }
-    format!(
+    Ok(format!(
         "Table 4: Channel through cache-flush latency (mb) without and with\ntime padding.\n\n{}",
         t.render()
-    )
+    ))
 }
 
 /// Figure 6: the interrupt channel (spy online time vs the Trojan's timer
 /// value), unmitigated and with IRQ partitioning.
-#[must_use]
-pub fn fig6() -> String {
+///
+/// # Errors
+/// Infallible today; `Result` keeps the experiment surface uniform.
+pub fn fig6() -> Result<String, SimError> {
     let n = samples(250);
     let raw = interrupt::interrupt_channel(&interrupt::paper_spec(Platform::Haswell, false, n));
     let part = interrupt::interrupt_channel(&interrupt::paper_spec(Platform::Haswell, true, n));
@@ -248,14 +261,16 @@ pub fn fig6() -> String {
     }
     out.push_str(&format!("  raw:         {}\n", raw.summary()));
     out.push_str(&format!("  partitioned: {}\n", part.summary()));
-    out
+    Ok(out)
 }
 
 /// Per-mechanism ablations: switching off each Requirement's mechanism
 /// (with the rest of time protection intact) re-opens exactly its channel
 /// — and the interconnect channel stays open no matter what (§6.1).
-#[must_use]
-pub fn ablations() -> String {
+///
+/// # Errors
+/// Propagates the first [`SimError`] from a failed channel simulation.
+pub fn ablations() -> Result<String, SimError> {
     use tp_attacks::bus;
     let n = samples(150);
     let mut t = Table::new(&[
@@ -291,7 +306,7 @@ pub fn ablations() -> String {
         samples: n,
         slice_us: 50.0,
         seed: 0x5EED,
-    });
+    })?;
     push_ablation(&mut t, "R2 kernel clone (+R1)", "kernel-image syscalls", &o);
 
     // Requirement 4: padding off -> flush-latency channel (Arm).
@@ -305,7 +320,7 @@ pub fn ablations() -> String {
             seed: 0x5EED,
         },
         flush_latency::Timing::Offline,
-    );
+    )?;
     push_ablation(&mut t, "R4 switch padding", "flush write-back latency", &o);
 
     // Requirement 5: interrupt partitioning off.
@@ -321,7 +336,7 @@ pub fn ablations() -> String {
     // there is none (§2.3: no bandwidth-partitioning hardware exists).
     let o = bus::bus_channel(
         &IntraCoreSpec::new(Platform::Haswell, Scenario::Protected, 2, n).with_slice_us(30.0),
-    );
+    )?;
     push_ablation(
         &mut t,
         "(none: unpartitionable)",
@@ -329,10 +344,10 @@ pub fn ablations() -> String {
         &o,
     );
 
-    format!(
+    Ok(format!(
         "Ablations: each time-protection mechanism individually disabled\n(everything else active). The re-opened channel demonstrates what the\nmechanism defends; the bus row is the paper's declared hardware\nlimitation — it leaks under FULL protection.\n\n{}",
         t.render()
-    )
+    ))
 }
 
 fn push_ablation(t: &mut Table, mech: &str, chan: &str, o: &ChannelOutcome) {
@@ -360,7 +375,7 @@ mod tests {
     fn fig4_report_contains_both_scenarios() {
         // No TP_SAMPLES override here: env vars are process-global and the
         // tables/util tests in this binary read it concurrently.
-        let s = fig4();
+        let s = fig4().expect("fig4 is infallible");
         assert!(s.contains("raw:"));
         assert!(s.contains("protected:"));
         assert!(s.contains('#'), "raw trace should show activity: {s}");

@@ -17,5 +17,6 @@
 pub mod campaign;
 pub mod channels;
 pub mod splash;
+pub mod supervise;
 pub mod tables;
 pub mod util;

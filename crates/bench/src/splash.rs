@@ -2,7 +2,7 @@
 
 use crate::util::{samples, Table};
 use tp_analysis::stats;
-use tp_core::ProtectionConfig;
+use tp_core::{ProtectionConfig, SimError};
 use tp_sim::Platform;
 use tp_workloads::{all_benchmarks, run_workload, WorkloadRun};
 
@@ -26,8 +26,10 @@ fn prot_for(clone: bool) -> ProtectionConfig {
 
 /// Figure 7: per-benchmark slowdowns of cache colouring and kernel
 /// cloning, plus the geometric mean.
-#[must_use]
-pub fn fig7() -> String {
+///
+/// # Errors
+/// Propagates the first [`SimError`] from a failed workload run.
+pub fn fig7() -> Result<String, SimError> {
     let ops = samples(60_000);
     let mut out = String::from(
         "Figure 7: Slowdowns of Splash-2 benchmarks against the baseline\nkernel without partitioning (single process on the system).\n\n",
@@ -46,13 +48,13 @@ pub fn fig7() -> String {
             let base = run_workload(
                 &bench,
                 &WorkloadRun::solo(platform, ProtectionConfig::raw(), (1, 1)).with_ops(ops),
-            );
+            )?;
             let mut cells = vec![bench.name.to_string()];
             for (i, (_, clone, colors)) in CASES.iter().enumerate() {
                 let r = run_workload(
                     &bench,
                     &WorkloadRun::solo(platform, prot_for(*clone), *colors).with_ops(ops),
-                );
+                )?;
                 let slow = r.slowdown_vs(base);
                 per_case[i].push(1.0 + slow);
                 cells.push(format!("{:.2}%", slow * 100.0));
@@ -67,15 +69,17 @@ pub fn fig7() -> String {
         t.row(&mean_cells);
         out.push_str(&format!("{}\n{}\n", platform.name(), t.render()));
     }
-    out
+    Ok(out)
 }
 
 /// Table 8: the impact of time protection with 50% colours when
 /// time-sharing with an idle domain, with and without padding. Slowdowns
 /// are relative to the 100%-colour unprotected baseline, counting only the
 /// benchmark's own share of the processor.
-#[must_use]
-pub fn table8() -> String {
+///
+/// # Errors
+/// Propagates the first [`SimError`] from a failed workload run.
+pub fn table8() -> Result<String, SimError> {
     let ops = samples(60_000);
     let mut out = String::from(
         "Table 8: Performance impact on Splash-2 of time protection with 50%\ncolours, time-shared with an idle domain, with and without padding.\n\n",
@@ -89,11 +93,11 @@ pub fn table8() -> String {
             let base = run_workload(
                 &bench,
                 &WorkloadRun::shared(platform, ProtectionConfig::raw(), (1, 2)).with_ops(ops),
-            );
+            )?;
             let no_pad = run_workload(
                 &bench,
                 &WorkloadRun::shared(platform, ProtectionConfig::protected(), (1, 2)).with_ops(ops),
-            );
+            )?;
             let padded = run_workload(
                 &bench,
                 &WorkloadRun::shared(
@@ -102,7 +106,7 @@ pub fn table8() -> String {
                     (1, 2),
                 )
                 .with_ops(ops),
-            );
+            )?;
             rows.push((
                 bench.name.to_string(),
                 no_pad.slowdown_vs(base),
@@ -133,7 +137,7 @@ pub fn table8() -> String {
         }
         out.push_str(&format!("{}\n{}\n", platform.name(), t.render()));
     }
-    out
+    Ok(out)
 }
 
 fn pick(row: &(String, f64, f64), idx: usize) -> f64 {

@@ -29,6 +29,51 @@ pub const DEFAULT_WINDOW: u64 = 4_000;
 /// stops.
 pub struct SimExit;
 
+/// Why a failed simulation failed — the typed form of what used to be a
+/// bare panic out of [`crate::SystemBuilder::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError {
+    /// Broad classification (drives the campaign supervisor's retry and
+    /// quarantine decisions).
+    pub kind: SimErrorKind,
+    /// The worker's panic payload or the watchdog's abort note.
+    pub message: String,
+}
+
+/// Classification of a [`SimError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimErrorKind {
+    /// A simulated program (or the kernel under it) panicked.
+    ProgramPanic,
+    /// The engine watchdog aborted the cell: its wall-clock deadline passed
+    /// while the simulation was making no progress.
+    Watchdog,
+}
+
+impl SimError {
+    /// Classify an engine error string: watchdog aborts announce themselves
+    /// with a `watchdog:` prefix, everything else is a program failure.
+    pub(crate) fn from_message(message: String) -> Self {
+        let kind = if message.starts_with("watchdog") {
+            SimErrorKind::Watchdog
+        } else {
+            SimErrorKind::ProgramPanic
+        };
+        SimError { kind, message }
+    }
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            SimErrorKind::ProgramPanic => write!(f, "simulated program failed: {}", self.message),
+            SimErrorKind::Watchdog => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
 /// A kernel-level event pending on a core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EvKind {
@@ -80,7 +125,27 @@ pub struct SimInner {
     pub epoch: u64,
     /// First error reported by a worker, if any.
     pub error: Option<String>,
+    /// Wall-clock deadline for the watchdog: when set, threads parked on
+    /// the scheduler condvar use timed waits and abort the simulation once
+    /// the deadline passes. `None` (the default) keeps waits untimed and
+    /// the hot path free of clock reads.
+    pub deadline: Option<std::time::Instant>,
+    /// Injected fault: panic on this (1-based) global syscall ordinal.
+    fault_panic_at: Option<u64>,
+    /// Injected fault: stop yielding after this (1-based) syscall ordinal.
+    fault_stall_at: Option<u64>,
+    /// Syscalls executed so far — counted under the lock at execution time,
+    /// so the ordinal is schedule-deterministic.
+    syscalls_seen: u64,
     seq: u64,
+}
+
+/// Action an armed environment fault demands at the current syscall.
+enum EnvFault {
+    /// Panic inside the engine op (unwinds into the worker handler).
+    Panic(u64),
+    /// Return normally, then stop yielding (spin off-lock forever).
+    Stall(u64),
 }
 
 impl SimInner {
@@ -99,8 +164,38 @@ impl SimInner {
             primaries_left: 0,
             epoch: 0,
             error: None,
+            deadline: None,
+            fault_panic_at: None,
+            fault_stall_at: None,
+            syscalls_seen: 0,
             seq: 0,
         }
+    }
+
+    /// Arm an environment fault (panic or stall at syscall N). Other fault
+    /// classes are injected elsewhere and ignored here.
+    pub fn arm_env_fault(&mut self, kind: crate::fault::FaultKind) {
+        match kind {
+            crate::fault::FaultKind::EnvPanic { at } => self.fault_panic_at = Some(at.max(1)),
+            crate::fault::FaultKind::EnvStall { at } => self.fault_stall_at = Some(at.max(1)),
+            _ => {}
+        }
+    }
+
+    /// Count one environment interaction (syscall or preemption wait) and
+    /// report the fault (if any) due at this ordinal.
+    fn env_fault_tick(&mut self) -> Option<EnvFault> {
+        if self.fault_panic_at.is_none() && self.fault_stall_at.is_none() {
+            return None;
+        }
+        self.syscalls_seen += 1;
+        if self.fault_panic_at == Some(self.syscalls_seen) {
+            return Some(EnvFault::Panic(self.syscalls_seen));
+        }
+        if self.fault_stall_at == Some(self.syscalls_seen) {
+            return Some(EnvFault::Stall(self.syscalls_seen));
+        }
+        None
     }
 
     /// Schedule an event on a core at an absolute cycle.
@@ -369,7 +464,60 @@ impl UserEnv {
                 self.ctl.cv.notify_all();
                 continue;
             }
-            self.ctl.cv.wait(g);
+            match g.deadline {
+                None => self.ctl.cv.wait(g),
+                Some(d) => {
+                    // Watchdog: poll the deadline with short timed waits so
+                    // a simulation making no progress (every thread parked
+                    // here) still aborts instead of hanging forever.
+                    let notified = self
+                        .ctl
+                        .cv
+                        .wait_for(g, std::time::Duration::from_millis(100));
+                    if !notified && !g.stop && std::time::Instant::now() >= d {
+                        g.stop = true;
+                        if g.error.is_none() {
+                            g.error = Some(
+                                "watchdog: wall-clock deadline exceeded with no \
+                                 scheduling progress"
+                                    .to_string(),
+                            );
+                        }
+                        g.epoch += 1;
+                        self.ctl.cv.notify_all();
+                    }
+                }
+            }
+        }
+    }
+
+    /// The armed-stall endgame: hold the simulated core without yielding,
+    /// sleeping off-lock so other host threads can observe the hang. Exits
+    /// only when the simulation stops — normally via the watchdog noticing
+    /// the expired deadline (checked here too, for single-threaded cells
+    /// with no other waiter to run the `wait_turn` watchdog).
+    fn stall_loop(&self) -> ! {
+        loop {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            let mut g = self.ctl.inner.lock();
+            if g.stop {
+                std::panic::panic_any(SimExit);
+            }
+            if let Some(d) = g.deadline {
+                if std::time::Instant::now() >= d {
+                    g.stop = true;
+                    if g.error.is_none() {
+                        g.error = Some(
+                            "watchdog: environment stopped yielding (wall-clock \
+                             deadline exceeded)"
+                                .to_string(),
+                        );
+                    }
+                    g.epoch += 1;
+                    self.ctl.cv.notify_all();
+                    std::panic::panic_any(SimExit);
+                }
+            }
         }
     }
 
@@ -677,7 +825,13 @@ impl UserEnv {
     /// # Errors
     /// Kernel errors (bad capability, rights, types) are returned verbatim.
     pub fn syscall(&self, sys: Syscall) -> Result<u64, KernelError> {
+        let mut stall_after = None;
         let ret = self.op(true, |g| {
+            match g.env_fault_tick() {
+                Some(EnvFault::Panic(n)) => panic!("injected fault: env-panic at syscall {n}"),
+                Some(EnvFault::Stall(n)) => stall_after = Some(n),
+                None => {}
+            }
             let SimInner {
                 machine, kernel, ..
             } = g;
@@ -687,6 +841,11 @@ impl UserEnv {
             }
             out.ret
         });
+        if stall_after.is_some() {
+            // The injected stall: the syscall completed, but the environment
+            // never hands control back to the program.
+            self.stall_loop();
+        }
         match ret {
             SysReturn::Val(v) => Ok(v),
             SysReturn::Err(e) => Err(e),
@@ -728,8 +887,27 @@ impl UserEnv {
         // partitioning) therefore do NOT end the wait.
         const OBSERVABLE: u64 = 150;
         let mut g = self.ctl.inner.lock();
+        let mut fault_checked = false;
         loop {
             self.wait_turn(&mut g);
+            if !fault_checked {
+                // The wait counts as one environment interaction for the
+                // fault plane (ticked after `wait_turn`, so ordinals follow
+                // the deterministic simulated schedule, not host threading).
+                // Harness environments that never issue explicit syscalls
+                // still block here, so env faults reach every real cell.
+                fault_checked = true;
+                match g.env_fault_tick() {
+                    Some(EnvFault::Panic(n)) => {
+                        panic!("injected fault: env-panic at syscall {n}")
+                    }
+                    Some(EnvFault::Stall(_)) => {
+                        drop(g);
+                        self.stall_loop();
+                    }
+                    None => {}
+                }
+            }
             let Some(evc) = g.next_event_cycle(self.core) else {
                 // Nothing will ever preempt us: treat as end of simulation.
                 g.stop = true;

@@ -56,6 +56,7 @@
 pub mod commit;
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod kernel;
 pub mod kimage;
 pub mod layout;
@@ -67,7 +68,8 @@ pub mod system;
 
 pub use commit::{Commit, CommitLog, StateHasher};
 pub use config::{FlushMode, ProtectionConfig};
-pub use engine::{EnvPlan, SimCtl, SimInner, UserEnv, UserProgram};
+pub use engine::{EnvPlan, SimCtl, SimError, SimErrorKind, SimInner, UserEnv, UserProgram};
+pub use fault::{FaultKind, FaultPlan};
 pub use kernel::{EngineMode, FootKind, Kernel, KernelError, SysReturn, Syscall};
 pub use objects::{CapObject, Capability, DomainId, ImageId, Rights, TcbId, ThreadState};
 pub use replay::{replay, replay_diff, Booted, Divergence, Genesis, ScriptDriver, Snapshot};

@@ -8,7 +8,9 @@
 
 use crate::commit::Commit;
 use crate::config::ProtectionConfig;
-use crate::engine::{run_programs, EvKind, SimCtl, SimInner, UserProgram, DEFAULT_WINDOW};
+use crate::engine::{
+    run_programs, EvKind, SimCtl, SimError, SimInner, UserProgram, DEFAULT_WINDOW,
+};
 use crate::kernel::{EngineMode, Kernel, KernelStats};
 use crate::objects::{DomainId, TcbId};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -35,6 +37,11 @@ struct BootSnapshot {
     kernel: Kernel,
     domain_ids: Vec<DomainId>,
     tcbs: Vec<TcbId>,
+    /// `kernel.state_hash()` at checkpoint time. Every restore re-hashes
+    /// the clone against this; a mismatch (rot, or an injected
+    /// [`crate::fault::FaultKind::SnapshotCorrupt`]) evicts the entry and
+    /// falls back to a cold boot instead of trusting the snapshot.
+    hash: u64,
 }
 
 /// Shared boot-prefix cache, keyed by a digest of everything that shapes
@@ -46,6 +53,7 @@ static BOOT_COLD: AtomicU64 = AtomicU64::new(0);
 static BOOT_WARM: AtomicU64 = AtomicU64::new(0);
 static BOOT_COLD_NANOS: AtomicU64 = AtomicU64::new(0);
 static BOOT_WARM_NANOS: AtomicU64 = AtomicU64::new(0);
+static BOOT_FALLBACK: AtomicU64 = AtomicU64::new(0);
 
 /// Process-wide boot accounting: how many boots were served cold (built
 /// from scratch) vs. warm (restored from a cached boot snapshot), and the
@@ -61,6 +69,10 @@ pub struct BootStats {
     pub cold_nanos: u64,
     /// Total wall-clock nanoseconds spent warm-restoring.
     pub warm_nanos: u64,
+    /// Warm restores whose snapshot failed `state_hash()` verification and
+    /// fell back to a cold boot (the cold boot is also counted in
+    /// `cold_boots`).
+    pub fallback_boots: u64,
 }
 
 /// Read the process-wide [`BootStats`] counters.
@@ -71,6 +83,7 @@ pub fn boot_stats() -> BootStats {
         warm_boots: BOOT_WARM.load(Ordering::Relaxed),
         cold_nanos: BOOT_COLD_NANOS.load(Ordering::Relaxed),
         warm_nanos: BOOT_WARM_NANOS.load(Ordering::Relaxed),
+        fallback_boots: BOOT_FALLBACK.load(Ordering::Relaxed),
     }
 }
 
@@ -269,29 +282,61 @@ impl SystemBuilder {
     ///
     /// # Panics
     /// Panics if a worker program panicked (other than normal shutdown) or
-    /// if construction fails (e.g. pool exhaustion).
+    /// if construction fails (e.g. pool exhaustion). The campaign
+    /// supervisor uses [`SystemBuilder::try_run`] instead.
     #[must_use]
     pub fn run(self) -> SystemReport {
+        match self.try_run() {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Build and run the system to completion, returning a typed error
+    /// instead of panicking when a simulated program fails or the engine
+    /// watchdog aborts the run.
+    ///
+    /// Any [`crate::fault`] plan and deadline armed on the calling thread
+    /// is applied to this run.
+    ///
+    /// # Errors
+    /// [`SimError`] with the first worker failure or watchdog abort.
+    ///
+    /// # Panics
+    /// Still panics if construction itself fails (e.g. pool exhaustion) —
+    /// that is a bug in the experiment, not a simulation outcome.
+    pub fn try_run(self) -> Result<SystemReport, SimError> {
         let cfg = self.cfg;
         let slice_cycles = cfg.us_to_cycles(self.slice_us);
         let boot_start = std::time::Instant::now();
         let key = self.boot_key(slice_cycles);
+        let armed_fault = crate::fault::armed();
 
         let restored = if self.warm_boot {
             let mut cache = BOOT_CACHE.lock().expect("boot cache");
-            cache.iter().position(|(k, _)| *k == key).map(|i| {
+            cache.iter().position(|(k, _)| *k == key).and_then(|i| {
                 // LRU: a hit moves the entry to the back so campaign-wide
                 // reuse distances don't evict live boot shapes.
                 let entry = cache.remove(i);
                 let snap = &entry.1;
-                let state = (
-                    snap.machine.clone(),
-                    snap.kernel.clone(),
-                    snap.domain_ids.clone(),
-                    snap.tcbs.clone(),
-                );
-                cache.push(entry);
-                state
+                let machine = snap.machine.clone();
+                let mut kernel = snap.kernel.clone();
+                let state_rest = (snap.domain_ids.clone(), snap.tcbs.clone());
+                if matches!(armed_fault, Some(crate::fault::FaultKind::SnapshotCorrupt)) {
+                    // Deterministic rot: perturb the clone so verification
+                    // must catch it.
+                    kernel.stats.syscalls = kernel.stats.syscalls.wrapping_add(0xBAD);
+                }
+                // Trust nothing restored: re-hash the clone against the
+                // checkpointed hash before handing it to the run.
+                if kernel.state_hash() == snap.hash {
+                    cache.push(entry);
+                    Some((machine, kernel, state_rest.0, state_rest.1))
+                } else {
+                    // Evict (drop `entry`) and fall back to a cold boot.
+                    BOOT_FALLBACK.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
             })
         } else {
             None
@@ -366,6 +411,7 @@ impl SystemBuilder {
                                 kernel: kernel.clone(),
                                 domain_ids: domain_ids.clone(),
                                 tcbs: tcbs.clone(),
+                                hash: kernel.state_hash(),
                             },
                         ));
                     }
@@ -387,6 +433,16 @@ impl SystemBuilder {
         // cache stays logging-agnostic and the log covers the run proper.
         if self.record_commits {
             kernel.log.enable();
+        }
+
+        // Injected faults that live in machine/kernel state (the env faults
+        // and the watchdog deadline are armed on the engine below).
+        match armed_fault {
+            Some(crate::fault::FaultKind::CommitFlip { index }) => kernel.log.arm_flip(index),
+            Some(crate::fault::FaultKind::NoisePoison { after }) => {
+                machine.rng().poison_after(after);
+            }
+            _ => {}
         }
 
         let specs: Vec<_> = tcbs
@@ -429,6 +485,15 @@ impl SystemBuilder {
         }
 
         let mut inner = SimInner::new(machine, kernel, self.window, self.max_cycles);
+        if let Some(kind) = armed_fault {
+            inner.arm_env_fault(kind);
+        }
+        // The watchdog deadline: whatever the supervisor armed, or — when a
+        // fault is injected without one — a generous default so a chaos run
+        // outside the supervisor can still never hang forever.
+        inner.deadline = crate::fault::deadline().or_else(|| {
+            armed_fault.map(|_| std::time::Instant::now() + std::time::Duration::from_secs(60))
+        });
         if self.mode == EngineMode::Slotted {
             for core in 0..cfg.cores {
                 if !inner.kernel.cores[core].slots.is_empty() {
@@ -455,10 +520,10 @@ impl SystemBuilder {
 
         let ctl = run_programs(ctl, programs);
         let mut g = ctl.inner.lock();
-        if let Some(e) = &g.error {
-            panic!("simulated program failed: {e}");
+        if let Some(e) = g.error.take() {
+            return Err(SimError::from_message(e));
         }
-        SystemReport {
+        Ok(SystemReport {
             cfg: g.machine.cfg,
             stats: g.kernel.stats,
             cycles: (0..g.machine.cfg.cores)
@@ -466,7 +531,7 @@ impl SystemBuilder {
                 .collect(),
             domains: domain_ids,
             commits: g.kernel.log.take(),
-        }
+        })
     }
 }
 

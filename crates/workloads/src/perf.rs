@@ -10,7 +10,7 @@
 use crate::splash2::Benchmark;
 use parking_lot::Mutex;
 use std::sync::Arc;
-use tp_core::{ProtectionConfig, SystemBuilder, UserEnv};
+use tp_core::{ProtectionConfig, SimError, SimErrorKind, SystemBuilder, UserEnv};
 use tp_sim::{ColorSet, Platform};
 
 /// Configuration of one workload run.
@@ -96,10 +96,10 @@ impl PerfResult {
 
 /// Execute a benchmark under the given configuration.
 ///
-/// # Panics
-/// Panics if the simulation fails.
-#[must_use]
-pub fn run_workload(bench: &Benchmark, run: &WorkloadRun) -> PerfResult {
+/// # Errors
+/// Returns the [`SimError`] if the simulation fails or the benchmark makes
+/// no measurable progress.
+pub fn run_workload(bench: &Benchmark, run: &WorkloadRun) -> Result<PerfResult, SimError> {
     let cfg = run.platform.config();
     let n_colors = cfg.partition_colors();
     let share = (n_colors * run.colors.0 / run.colors.1).max(1);
@@ -180,13 +180,18 @@ pub fn run_workload(bench: &Benchmark, run: &WorkloadRun) -> PerfResult {
             let _ = env.wait_preempt();
         });
     }
-    let _ = b.run();
+    let _ = b.try_run()?;
     let (cycles, done) = *outcome.lock();
-    assert!(cycles > 0 && done > 0, "benchmark did not complete");
-    PerfResult {
+    if cycles == 0 || done == 0 {
+        return Err(SimError {
+            kind: SimErrorKind::ProgramPanic,
+            message: format!("benchmark {} did not complete", bench.name),
+        });
+    }
+    Ok(PerfResult {
         cycles,
         ops: done as usize,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -200,11 +205,13 @@ mod tests {
         let base = run_workload(
             &rt,
             &WorkloadRun::solo(Platform::Sabre, ProtectionConfig::raw(), (1, 1)).with_ops(40_000),
-        );
+        )
+        .expect("simulation");
         let half = run_workload(
             &rt,
             &WorkloadRun::solo(Platform::Sabre, ProtectionConfig::raw(), (1, 2)).with_ops(40_000),
-        );
+        )
+        .expect("simulation");
         let slow = half.slowdown_vs(base);
         assert!(
             slow > 0.005,
@@ -220,11 +227,13 @@ mod tests {
         let base = run_workload(
             &rx,
             &WorkloadRun::solo(Platform::Sabre, ProtectionConfig::raw(), (1, 1)).with_ops(40_000),
-        );
+        )
+        .expect("simulation");
         let half = run_workload(
             &rx,
             &WorkloadRun::solo(Platform::Sabre, ProtectionConfig::raw(), (1, 2)).with_ops(40_000),
-        );
+        )
+        .expect("simulation");
         let slow = half.slowdown_vs(base);
         assert!(
             slow.abs() < 0.03,
@@ -239,12 +248,14 @@ mod tests {
         let base = run_workload(
             &lu,
             &WorkloadRun::solo(Platform::Haswell, ProtectionConfig::raw(), (1, 1)).with_ops(40_000),
-        );
+        )
+        .expect("simulation");
         let cloned = run_workload(
             &lu,
             &WorkloadRun::solo(Platform::Haswell, ProtectionConfig::protected(), (1, 1))
                 .with_ops(40_000),
-        );
+        )
+        .expect("simulation");
         let slow = cloned.slowdown_vs(base);
         assert!(
             slow.abs() < 0.05,
@@ -260,12 +271,14 @@ mod tests {
             &fft,
             &WorkloadRun::shared(Platform::Haswell, ProtectionConfig::raw(), (1, 2))
                 .with_ops(60_000),
-        );
+        )
+        .expect("simulation");
         let prot_shared = run_workload(
             &fft,
             &WorkloadRun::shared(Platform::Haswell, ProtectionConfig::protected(), (1, 2))
                 .with_ops(60_000),
-        );
+        )
+        .expect("simulation");
         let slow = prot_shared.slowdown_vs(raw_shared);
         assert!(
             slow > -0.02,

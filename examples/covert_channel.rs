@@ -32,7 +32,7 @@ fn main() {
             slice_us: 50.0,
             seed: 0x5EED,
         };
-        let outcome = kernel_image_channel(&spec);
+        let outcome = kernel_image_channel(&spec).expect("simulation");
         println!("== {what} ==");
         if outcome.dataset.len() >= 8 {
             let matrix = ChannelMatrix::from_dataset(&outcome.dataset, 40);

@@ -18,8 +18,10 @@ fn kernel_clone_closes_the_kernel_image_channel() {
         slice_us: 50.0,
         seed: 0x1111,
     };
-    let shared = kernel_image::kernel_image_channel(&mk(kernel_image::coloured_userland_config()));
-    let cloned = kernel_image::kernel_image_channel(&mk(ProtectionConfig::protected()));
+    let shared = kernel_image::kernel_image_channel(&mk(kernel_image::coloured_userland_config()))
+        .expect("simulation");
+    let cloned =
+        kernel_image::kernel_image_channel(&mk(ProtectionConfig::protected())).expect("simulation");
     assert!(shared.verdict.leaks, "shared kernel: {}", shared.summary());
     // A single-shot verdict can false-positive right at the M ≈ M0
     // boundary (the campaign's 3-seed majority vote exists to absorb
@@ -65,11 +67,13 @@ fn padding_closes_the_flush_latency_channel() {
         slice_us: 50.0,
         seed: 0x2222,
     };
-    let no_pad = flush_latency::flush_channel(&mk(None), flush_latency::Timing::Offline);
+    let no_pad = flush_latency::flush_channel(&mk(None), flush_latency::Timing::Offline)
+        .expect("simulation");
     let padded = flush_latency::flush_channel(
         &mk(Some(flush_latency::table4_pad_us(Platform::Sabre))),
         flush_latency::Timing::Offline,
-    );
+    )
+    .expect("simulation");
     assert!(no_pad.verdict.leaks, "{}", no_pad.summary());
     assert!(!padded.verdict.leaks, "{}", padded.summary());
 }
@@ -197,7 +201,8 @@ fn protection_overhead_is_modest() {
     let raw = run_workload(
         &b,
         &WorkloadRun::shared(Platform::Haswell, ProtectionConfig::raw(), (1, 2)).with_ops(30_000),
-    );
+    )
+    .expect("simulation");
     let prot = run_workload(
         &b,
         &WorkloadRun::shared(
@@ -206,7 +211,8 @@ fn protection_overhead_is_modest() {
             (1, 2),
         )
         .with_ops(30_000),
-    );
+    )
+    .expect("simulation");
     let slow = prot.slowdown_vs(raw);
     assert!(
         slow < 0.15,

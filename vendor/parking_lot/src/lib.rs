@@ -133,6 +133,26 @@ impl Condvar {
         );
     }
 
+    /// Block like [`Condvar::wait`], but give up after `dur`.
+    ///
+    /// Returns `true` if the thread was notified before the timeout and
+    /// `false` if the wait timed out. (The real `parking_lot` returns a
+    /// `WaitTimeoutResult`; a bool keeps the stub minimal while exposing the
+    /// one bit callers need.) Spurious wakeups are possible either way, so
+    /// callers must re-check their predicate.
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, dur: std::time::Duration) -> bool {
+        let inner = guard
+            .inner
+            .take()
+            .expect("guard present outside Condvar::wait_for");
+        let (inner, result) = self
+            .inner
+            .wait_timeout(inner, dur)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(inner);
+        !result.timed_out()
+    }
+
     /// Wake all threads blocked on this condition variable.
     pub fn notify_all(&self) {
         self.inner.notify_all();
@@ -172,6 +192,38 @@ mod tests {
             let mut g = m.lock();
             while !*g {
                 cv.wait(&mut g);
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out_and_keeps_guard_usable() {
+        let pair = (Mutex::new(0u32), Condvar::new());
+        let mut g = pair.0.lock();
+        let notified = pair
+            .1
+            .wait_for(&mut g, std::time::Duration::from_millis(10));
+        assert!(!notified, "nothing notified; wait must time out");
+        *g += 1; // guard must still deref after the timed-out wait
+        assert_eq!(*g, 1);
+    }
+
+    #[test]
+    fn wait_for_sees_notification() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut g = m.lock();
+            while !*g {
+                // Generous timeout: the test only needs "eventually wakes".
+                cv.wait_for(&mut g, std::time::Duration::from_secs(30));
             }
         });
         {
