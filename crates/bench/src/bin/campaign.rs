@@ -10,6 +10,9 @@
 //! campaign --json results.json            # write structured results
 //! campaign --check goldens/verdicts.json  # fail on any verdict diff
 //! campaign --update-goldens goldens/verdicts.json
+//! campaign --resume                       # skip journaled cells
+//! campaign --shard 0/2                    # run half the matrix
+//! campaign --merge 2                      # fold shard journals + finish
 //! ```
 //!
 //! `TP_SAMPLES` scales sample counts as everywhere else; the pinned
@@ -23,11 +26,26 @@
 //! chaos-testing exactly that machinery (see `tp_core::fault`), and
 //! `TP_CELL_TIMEOUT` overrides the per-cell wall-clock deadline that is
 //! otherwise derived from the previous run's `BENCH-campaign.json`.
+//!
+//! Every completed cell is appended (checksummed, fsynced) to the
+//! per-cell journal `goldens/campaign.journal` as it finishes, so a
+//! campaign killed at any point resumes with `--resume` instead of
+//! re-running finished work: the journal is replayed, torn records are
+//! truncated, verified cells are skipped, and the final artifacts are
+//! byte-identical (modulo wall times) to an uninterrupted run. `--shard
+//! i/N` deterministically runs every Nth cell into a per-shard journal;
+//! `--merge N` folds the shard journals together, runs anything still
+//! missing, and emits the single unified artifacts. An advisory lock next
+//! to each journal keeps concurrent campaigns from interleaving appends.
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 use tp_bench::campaign::{
     bench_json, check_goldens, golden_json, registry, results_json, ExperimentDef, ExperimentResult,
+};
+use tp_bench::store::{
+    self, read_artifact, write_atomic, CampaignLock, CellRecord, Journal, JournalHeader,
 };
 use tp_bench::supervise::{
     self, cell_deadline, parse_bench_history, quarantine_json, CellOutcome, QuarantineEntry,
@@ -39,6 +57,12 @@ use tp_sim::Platform;
 /// Where the quarantine ledger is written (next to the golden verdicts).
 const QUARANTINE_PATH: &str = "goldens/quarantine.json";
 
+/// The unsharded per-cell journal (shards append `.shard-i-of-N`).
+const JOURNAL_PATH: &str = "goldens/campaign.journal";
+
+/// How long to wait on the advisory lock before giving up.
+const LOCK_TIMEOUT: Duration = Duration::from_secs(900);
+
 struct Args {
     list: bool,
     only: Vec<String>,
@@ -46,6 +70,23 @@ struct Args {
     json: Option<String>,
     check: Option<String>,
     update_goldens: Option<String>,
+    resume: bool,
+    shard: Option<(usize, usize)>,
+    merge: Option<usize>,
+}
+
+fn parse_shard(spec: &str) -> Result<(usize, usize), String> {
+    let (i, n) = spec
+        .split_once('/')
+        .ok_or_else(|| format!("--shard {spec:?} is not i/N (e.g. 0/2)"))?;
+    let (i, n): (usize, usize) = match (i.parse(), n.parse()) {
+        (Ok(i), Ok(n)) => (i, n),
+        _ => return Err(format!("--shard {spec:?} is not i/N with integer i and N")),
+    };
+    if n == 0 || i >= n {
+        return Err(format!("--shard {spec:?} needs 0 <= i < N"));
+    }
+    Ok((i, n))
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -56,12 +97,16 @@ fn parse_args() -> Result<Args, String> {
         json: None,
         check: None,
         update_goldens: None,
+        resume: false,
+        shard: None,
+        merge: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match arg.as_str() {
             "--list" => args.list = true,
+            "--resume" => args.resume = true,
             "--only" => {
                 args.only
                     .extend(value("--only")?.split(',').map(str::to_string));
@@ -78,6 +123,16 @@ fn parse_args() -> Result<Args, String> {
             "--json" => args.json = Some(value("--json")?),
             "--check" => args.check = Some(value("--check")?),
             "--update-goldens" => args.update_goldens = Some(value("--update-goldens")?),
+            "--shard" => args.shard = Some(parse_shard(&value("--shard")?)?),
+            "--merge" => {
+                let n: usize = value("--merge")?
+                    .parse()
+                    .map_err(|_| "--merge needs a shard count N".to_string())?;
+                if n == 0 {
+                    return Err("--merge needs N >= 1".into());
+                }
+                args.merge = Some(n);
+            }
             other => {
                 return Err(format!(
                     "unknown argument {other:?} (see --list usage in the module docs)"
@@ -88,7 +143,21 @@ fn parse_args() -> Result<Args, String> {
     if args.platforms.is_empty() {
         args.platforms = Platform::ALL.to_vec();
     }
+    if args.shard.is_some() && args.merge.is_some() {
+        return Err("--shard and --merge are mutually exclusive".into());
+    }
+    if args.shard.is_some()
+        && (args.json.is_some() || args.check.is_some() || args.update_goldens.is_some())
+    {
+        return Err(
+            "--shard runs write only their journal; emit artifacts from --merge instead".into(),
+        );
+    }
     Ok(args)
+}
+
+fn shard_journal_path(i: usize, n: usize) -> String {
+    format!("{JOURNAL_PATH}.shard-{i}-of-{n}")
 }
 
 fn print_list(defs: &[ExperimentDef], platforms: &[Platform]) {
@@ -159,12 +228,13 @@ fn main() -> ExitCode {
 
     // Per-cell deadlines derive from the previous run's wall times; a
     // missing or stale history degrades to a generous default.
-    let history = std::fs::read_to_string("BENCH-campaign.json")
-        .map(|t| parse_bench_history(&t))
+    let history = read_artifact("BENCH-campaign.json")
+        .map(|(t, _)| parse_bench_history(&t))
         .unwrap_or_default();
 
-    // Work items keyed by registry × platform report order, scheduled
-    // heavy-first so expensive experiments overlap the cheap tail.
+    // Work items keyed by registry × platform report order. The index is
+    // assigned over the *full* supported matrix before any shard filter,
+    // so shard i/N always owns the same deterministic slice of cells.
     let mut schedule: Vec<(usize, &ExperimentDef, Platform)> = Vec::new();
     for d in &defs {
         for &p in &args.platforms {
@@ -173,11 +243,115 @@ fn main() -> ExitCode {
             }
         }
     }
-    schedule.sort_by_key(|&(_, d, _)| std::cmp::Reverse(d.cost));
+    if let Some((i, n)) = args.shard {
+        schedule.retain(|&(idx, _, _)| idx % n == i);
+        eprintln!("[shard {i}/{n}: {} of the matrix's cells]", schedule.len());
+    }
 
+    // The journal this run appends to, guarded by its advisory lock.
+    let journal_path = match args.shard {
+        Some((i, n)) => shard_journal_path(i, n),
+        None => JOURNAL_PATH.to_string(),
+    };
+    let _lock = match CampaignLock::acquire(format!("{journal_path}.lock"), LOCK_TIMEOUT) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Replay whatever journals this invocation trusts: every shard journal
+    // on --merge, plus this run's own journal on --resume. The own journal
+    // is then reopened for append — a fresh run truncates it, a resumed run
+    // rewrites the verified prefix and continues after it.
+    let header = JournalHeader::current();
+    let mut reports = Vec::new();
+    if let Some(n) = args.merge {
+        for i in 0..n {
+            let path = shard_journal_path(i, n);
+            let report = Journal::load(&path, &header);
+            if report.records.is_empty() && report.truncated == 0 {
+                eprintln!("[merge: shard journal {path} is missing or empty]");
+            } else if let Some(why) = &report.why {
+                eprintln!(
+                    "[journal {path}: {why} — {} record(s) recovered, {} dropped and will recompute]",
+                    report.recovered, report.truncated,
+                );
+            }
+            store::note_load(&report);
+            reports.push(report);
+        }
+    }
+    let mut own_keys: std::collections::BTreeSet<(String, String)> = Default::default();
+    let journal = if args.resume {
+        Journal::open_resume(&journal_path, &header).map(|(j, report)| {
+            own_keys = report.records.iter().map(CellRecord::key).collect();
+            reports.push(report);
+            j
+        })
+    } else {
+        Journal::create(&journal_path, &header)
+    };
+    let journal = match journal {
+        Ok(j) => Mutex::new(j),
+        Err(e) => {
+            eprintln!("campaign: cannot open journal {journal_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let completed = store::completed_cells(&reports);
+
+    // Partition the schedule: journaled cells replay, the rest run.
+    let mut replayed: Vec<(usize, ExperimentResult)> = Vec::new();
+    let mut todo: Vec<(usize, &ExperimentDef, Platform)> = Vec::new();
+    for &(idx, d, p) in &schedule {
+        match completed.get(&(d.name.to_string(), p.key().to_string())) {
+            Some(rec) => {
+                store::note_cell_skipped();
+                replayed.push((idx, ExperimentResult::from_record(d.name, p, rec)));
+            }
+            None => todo.push((idx, d, p)),
+        }
+    }
+    if !replayed.is_empty() {
+        eprintln!(
+            "[resume: {} cell(s) replayed from the journal, {} still to run]",
+            replayed.len(),
+            todo.len()
+        );
+    }
+
+    // Cells replayed from *other* journals (merged shards) land in this
+    // run's own journal too, so the merged journal is itself a complete
+    // resume point; cells already in the own journal's verified prefix were
+    // rewritten by `open_resume` and must not be appended twice.
+    {
+        let mut j = journal.lock().expect("journal lock");
+        for &(_, d, p) in &schedule {
+            let key = (d.name.to_string(), p.key().to_string());
+            if own_keys.contains(&key) {
+                continue;
+            }
+            if let Some(rec) = completed.get(&key) {
+                if let Err(e) = j.append(rec) {
+                    eprintln!(
+                        "[failed to journal replayed {} on {}: {e}]",
+                        d.name,
+                        p.key()
+                    );
+                }
+            }
+        }
+    }
+
+    // Heavy-first scheduling so expensive experiments overlap the cheap
+    // tail; completed cells are journaled (checksummed + fsynced) the
+    // moment they finish, so a SIGKILL between cells loses nothing.
+    todo.sort_by_key(|&(_, d, _)| std::cmp::Reverse(d.cost));
     let t_all = Instant::now();
     type Cell = (usize, &'static str, Platform, f64, supervise::CellReport);
-    let mut cells: Vec<Cell> = rayon::par_map(&schedule, |&(i, d, p)| {
+    let mut cells: Vec<Cell> = rayon::par_map(&todo, |&(i, d, p)| {
         let t0 = Instant::now();
         let deadline = cell_deadline(
             history
@@ -186,29 +360,36 @@ fn main() -> ExitCode {
         );
         let run = d.run;
         let report = supervise::run_cell(d.name, p.key(), plan.as_ref(), deadline, move || run(p));
-        eprintln!(
-            "[{} on {}: {:.1}s]",
-            d.name,
-            p.key(),
-            t0.elapsed().as_secs_f64()
-        );
-        (i, d.name, p, t0.elapsed().as_secs_f64(), report)
+        let seconds = t0.elapsed().as_secs_f64();
+        if report.outcome == CellOutcome::Ok {
+            if let Some(channels) = &report.channels {
+                let rec = CellRecord::new(d.name, p, seconds, channels);
+                if let Err(e) = journal.lock().expect("journal lock").append(&rec) {
+                    eprintln!("[failed to journal {} on {}: {e}]", d.name, p.key());
+                }
+            }
+        }
+        eprintln!("[{} on {}: {:.1}s]", d.name, p.key(), seconds);
+        (i, d.name, p, seconds, report)
     });
     cells.sort_by_key(|&(i, ..)| i);
     let total_seconds = t_all.elapsed().as_secs_f64();
 
     // Partition: healthy cells feed the results; everything else goes to
     // the quarantine ledger and the campaign continues without it.
-    let mut results: Vec<ExperimentResult> = Vec::new();
+    let mut results: Vec<(usize, ExperimentResult)> = replayed;
     let mut quarantine: Vec<QuarantineEntry> = Vec::new();
-    for (_, name, p, seconds, report) in cells {
+    for (i, name, p, seconds, report) in cells {
         if report.outcome == CellOutcome::Ok {
-            results.push(ExperimentResult {
-                experiment: name,
-                platform: p,
-                seconds,
-                channels: report.channels.unwrap_or_default(),
-            });
+            results.push((
+                i,
+                ExperimentResult {
+                    experiment: name,
+                    platform: p,
+                    seconds,
+                    channels: report.channels.unwrap_or_default(),
+                },
+            ));
         } else {
             eprintln!(
                 "[QUARANTINED {} on {}: {} after {} attempt(s): {}]",
@@ -228,13 +409,28 @@ fn main() -> ExitCode {
             });
         }
     }
+    results.sort_by_key(|&(i, _)| i);
+    let results: Vec<ExperimentResult> = results.into_iter().map(|(_, r)| r).collect();
+
+    if let Some((i, n)) = args.shard {
+        // Shard runs produce only their journal; `--merge N` folds the
+        // shards into the unified artifacts (and owns the golden gate).
+        eprintln!(
+            "[shard {i}/{n} done: {} cell(s) journaled to {journal_path}, {} quarantined, {:.1}s]",
+            results.len(),
+            quarantine.len(),
+            total_seconds,
+        );
+        return if quarantine.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
 
     // The ledger is written on every run, so a clean campaign visibly
     // overwrites the previous chaos run's entries with `[]`.
-    if let Some(dir) = std::path::Path::new(QUARANTINE_PATH).parent() {
-        let _ = std::fs::create_dir_all(dir);
-    }
-    match std::fs::write(QUARANTINE_PATH, quarantine_json(&quarantine)) {
+    match write_atomic(QUARANTINE_PATH, &quarantine_json(&quarantine)) {
         Ok(()) if quarantine.is_empty() => {}
         Ok(()) => eprintln!(
             "[wrote {QUARANTINE_PATH}: {} quarantined cell(s)]",
@@ -271,23 +467,25 @@ fn main() -> ExitCode {
         }
     }
     println!("{}", t.render());
+    let res = store::resume_counters();
     eprintln!(
-        "[campaign total {total_seconds:.1}s, {} experiment runs, {} threads, TP_SAMPLES={}]",
+        "[campaign total {total_seconds:.1}s, {} experiment runs ({} replayed from the journal), {} threads, TP_SAMPLES={}]",
         results.len(),
+        res.cells_skipped,
         tp_bench::util::threads(),
         tp_bench::util::effort()
     );
 
     // Per-cell wall times, mirroring reproduce_all's BENCH.json (CI
     // budgets the campaign total and keeps both files as artifacts).
-    match std::fs::write("BENCH-campaign.json", bench_json(&results, total_seconds)) {
+    match write_atomic("BENCH-campaign.json", &bench_json(&results, total_seconds)) {
         Ok(()) => eprintln!("[wrote BENCH-campaign.json]"),
         Err(e) => eprintln!("[failed to write BENCH-campaign.json: {e}]"),
     }
 
     if let Some(path) = &args.json {
         let json = results_json(&results, total_seconds);
-        if let Err(e) = std::fs::write(path, json) {
+        if let Err(e) = write_atomic(path, &json) {
             eprintln!("campaign: failed to write {path}: {e}");
             return ExitCode::from(2);
         }
@@ -295,10 +493,7 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = &args.update_goldens {
-        if let Some(dir) = std::path::Path::new(path).parent() {
-            let _ = std::fs::create_dir_all(dir);
-        }
-        if let Err(e) = std::fs::write(path, golden_json(&results)) {
+        if let Err(e) = write_atomic(path, &golden_json(&results)) {
             eprintln!("campaign: failed to write {path}: {e}");
             return ExitCode::from(2);
         }
@@ -306,8 +501,8 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = &args.check {
-        let golden = match std::fs::read_to_string(path) {
-            Ok(g) => g,
+        let golden = match read_artifact(path) {
+            Ok((g, _)) => g,
             Err(e) => {
                 eprintln!("campaign: cannot read golden file {path}: {e}");
                 return ExitCode::from(2);

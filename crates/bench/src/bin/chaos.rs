@@ -1,28 +1,51 @@
-//! Chaos harness: prove the campaign supervisor survives every fault class.
+//! Chaos harness: prove the campaign supervisor survives every fault
+//! class, and that the durable store recovers from process death and
+//! journal damage.
 //!
 //! ```text
-//! cargo run --release -p tp-bench --bin chaos          # all five classes
+//! cargo run --release -p tp-bench --bin chaos    # all eight classes
 //! TP_FAULT=env-stall@3 cargo run -p tp-bench --bin chaos
+//! TP_FAULT=kill@2      cargo run --release -p tp-bench --bin chaos
 //! ```
 //!
-//! For each fault class (all of [`tp_core::FaultKind::all_defaults`], or
-//! just the one named by `TP_FAULT`), the harness supervises a synthetic
-//! cell with that fault armed and asserts the supervisor classifies it as
-//! expected — then runs one healthy control cell and asserts it still
-//! comes back clean, with zero retries. The quarantine ledger the faulted
-//! cells produced is written to `goldens/quarantine.json` exactly as a
-//! real campaign would. Any classification mismatch exits nonzero.
+//! Two families of faults:
+//!
+//! * **In-process** (all of [`tp_core::FaultKind::all_defaults`]): the
+//!   harness supervises a synthetic cell with the fault armed and asserts
+//!   the supervisor classifies it as expected — then runs one healthy
+//!   control cell and asserts it still comes back clean, with zero
+//!   retries. The quarantine ledger the faulted cells produced is written
+//!   exactly as a real campaign would write it.
+//! * **Store-level** (`kill@N`, `torn-write`, `journal-rot`): the harness
+//!   runs the real `campaign` binary as a subprocess in a scratch
+//!   directory, injures it — SIGKILL after its Nth journal record, a
+//!   truncated journal tail, a flipped byte inside a journal record — and
+//!   then runs `campaign --resume`, asserting the resumed run exits
+//!   cleanly and produces the same artifacts (byte-identical goldens,
+//!   results modulo wall times) as an undisturbed reference run.
+//!
+//! Any mismatch exits nonzero.
 
-use std::process::ExitCode;
-use std::time::Duration;
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode, Stdio};
+use std::time::{Duration, Instant};
+use tp_bench::store::write_atomic;
 use tp_bench::supervise::{
-    self, probe_cell, quarantine_json, run_cell, CellOutcome, QuarantineEntry,
+    self, cell_timeout_override, probe_cell, quarantine_json, run_cell, CellOutcome,
+    QuarantineEntry,
 };
 use tp_bench::util::Table;
 use tp_core::{FaultKind, FaultPlan};
 
 /// Where the quarantine ledger is written (same path as the campaign's).
 const QUARANTINE_PATH: &str = "goldens/quarantine.json";
+
+/// The journal path the campaign subprocess writes, relative to its cwd.
+const CHILD_JOURNAL: &str = "goldens/campaign.journal";
+
+/// The cell subset the store scenarios run: four cheap cells, enough to
+/// kill a campaign between journal appends and still finish fast.
+const CHILD_CELLS: &[&str] = &["--only", "tlb,btb", "--platform", "haswell,sabre"];
 
 fn expected_outcome(kind: FaultKind) -> CellOutcome {
     match kind {
@@ -33,31 +56,340 @@ fn expected_outcome(kind: FaultKind) -> CellOutcome {
     }
 }
 
-fn main() -> ExitCode {
-    let plans: Vec<FaultPlan> = match FaultPlan::from_env() {
-        Ok(Some(mut p)) => {
-            if p.cell.take().is_some() {
-                eprintln!("[chaos: ignoring the :cell= scope; chaos runs synthetic cells]");
+// ------------------------------------------------------ store fault classes
+
+/// A process-level fault injected around the real `campaign` binary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum StoreFault {
+    /// SIGKILL the campaign subprocess once its journal holds N records.
+    Kill(u64),
+    /// Truncate the journal mid-record, as a crash mid-append would.
+    TornWrite,
+    /// Flip one byte inside a committed journal record.
+    JournalRot,
+}
+
+impl StoreFault {
+    fn all() -> Vec<StoreFault> {
+        vec![
+            StoreFault::Kill(2),
+            StoreFault::TornWrite,
+            StoreFault::JournalRot,
+        ]
+    }
+
+    fn parse(raw: &str) -> Option<StoreFault> {
+        match raw.trim() {
+            "torn-write" => Some(StoreFault::TornWrite),
+            "journal-rot" => Some(StoreFault::JournalRot),
+            "kill" => Some(StoreFault::Kill(2)),
+            other => other
+                .strip_prefix("kill@")
+                .and_then(|n| n.parse().ok())
+                .map(StoreFault::Kill),
+        }
+    }
+
+    fn name(self) -> String {
+        match self {
+            StoreFault::Kill(n) => format!("kill@{n}"),
+            StoreFault::TornWrite => "torn-write".to_string(),
+            StoreFault::JournalRot => "journal-rot".to_string(),
+        }
+    }
+
+    /// Scratch directory name for this class's campaign runs.
+    fn dir(self) -> String {
+        match self {
+            StoreFault::Kill(_) => "kill".to_string(),
+            other => other.name(),
+        }
+    }
+}
+
+/// The real `campaign` binary, expected next to this executable.
+fn campaign_exe() -> Result<PathBuf, String> {
+    let me = std::env::current_exe().map_err(|e| format!("cannot locate chaos binary: {e}"))?;
+    let name = if cfg!(windows) {
+        "campaign.exe"
+    } else {
+        "campaign"
+    };
+    let exe = me.with_file_name(name);
+    if exe.exists() {
+        Ok(exe)
+    } else {
+        Err(format!(
+            "{} not found; build it first: cargo build --release -p tp-bench --bin campaign",
+            exe.display()
+        ))
+    }
+}
+
+/// The effort scale forwarded to campaign subprocesses: the caller's
+/// `TP_SAMPLES` when set, otherwise the CI default of 0.25.
+fn child_samples() -> String {
+    std::env::var("TP_SAMPLES")
+        .ok()
+        .filter(|s| !s.trim().is_empty())
+        .unwrap_or_else(|| "0.25".to_string())
+}
+
+/// A campaign subprocess invocation in `dir`. `TP_THREADS=1` makes cells
+/// finish one at a time, so `kill@N` lands between journal appends;
+/// results are thread-count-invariant so the reference run matches.
+fn campaign_cmd(exe: &Path, dir: &Path, resume: bool) -> Command {
+    let mut c = Command::new(exe);
+    c.current_dir(dir)
+        .args(CHILD_CELLS)
+        .args(["--json", "results.json", "--update-goldens", "goldens.json"])
+        .env_remove("TP_FAULT")
+        .env("TP_SAMPLES", child_samples())
+        .env("TP_THREADS", "1")
+        .stdout(Stdio::null());
+    if resume {
+        c.arg("--resume");
+    }
+    c
+}
+
+fn run_campaign(exe: &Path, dir: &Path, resume: bool) -> Result<(), String> {
+    let out = campaign_cmd(exe, dir, resume)
+        .output()
+        .map_err(|e| format!("cannot spawn campaign: {e}"))?;
+    if out.status.success() {
+        Ok(())
+    } else {
+        Err(format!(
+            "campaign in {} exited with {}:\n{}",
+            dir.display(),
+            out.status,
+            String::from_utf8_lossy(&out.stderr),
+        ))
+    }
+}
+
+/// Strip wall-clock-dependent content from a `results.json`: the
+/// `total_seconds` line, per-cell `"seconds"` fields, and the store
+/// trailer (whose checksum covers the stripped bytes).
+fn normalize_results(text: &str) -> String {
+    let mut out = String::new();
+    for line in text.lines() {
+        if line.contains("\"total_seconds\"") || line.starts_with("{\"tp_store\": ") {
+            continue;
+        }
+        let mut line = line.to_string();
+        if let Some(i) = line.find("\"seconds\": ") {
+            if let Some(j) = line[i..].find(", ") {
+                line.replace_range(i..i + j + 2, "");
             }
-            vec![p]
         }
-        Ok(None) => FaultKind::all_defaults()
-            .into_iter()
-            .map(FaultPlan::new)
-            .collect(),
-        Err(e) => {
-            eprintln!("chaos: {e}");
-            return ExitCode::from(2);
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Extract `"name": <int>` from machine-written JSON.
+fn json_u64(text: &str, name: &str) -> Option<u64> {
+    let tag = format!("\"{name}\": ");
+    let start = text.find(&tag)? + tag.len();
+    let rest = &text[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn read_to_string(path: &Path) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// The undisturbed reference artifacts every damaged run must reproduce.
+struct Reference {
+    goldens: String,
+    results_norm: String,
+}
+
+fn reference_run(exe: &Path, base: &Path) -> Result<Reference, String> {
+    let dir = base.join("ref");
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    run_campaign(exe, &dir, false)?;
+    Ok(Reference {
+        goldens: read_to_string(&dir.join("goldens.json"))?,
+        results_norm: normalize_results(&read_to_string(&dir.join("results.json"))?),
+    })
+}
+
+/// Assert a resumed run reproduced the reference artifacts and report the
+/// resume counters it recorded in its `BENCH-campaign.json`.
+fn check_recovery(dir: &Path, reference: &Reference) -> Result<String, String> {
+    let goldens = read_to_string(&dir.join("goldens.json"))?;
+    if goldens != reference.goldens {
+        return Err("resumed goldens.json differs from the reference run's".to_string());
+    }
+    let results = normalize_results(&read_to_string(&dir.join("results.json"))?);
+    if results != reference.results_norm {
+        return Err(
+            "resumed results.json differs from the reference run's (beyond wall times)".to_string(),
+        );
+    }
+    let bench = read_to_string(&dir.join("BENCH-campaign.json"))?;
+    let resume = bench
+        .find("\"resume\": ")
+        .map(|i| &bench[i..])
+        .ok_or("BENCH-campaign.json has no resume object")?;
+    let skipped = json_u64(resume, "cells_skipped").unwrap_or(0);
+    let recovered = json_u64(resume, "records_recovered").unwrap_or(0);
+    let truncated = json_u64(resume, "records_truncated").unwrap_or(0);
+    Ok(format!(
+        "skipped {skipped}, recovered {recovered}, truncated {truncated}"
+    ))
+}
+
+/// Run one store-level fault scenario end to end. Returns the human
+/// summary of what the recovery accounted for.
+fn run_store_fault(
+    fault: StoreFault,
+    exe: &Path,
+    base: &Path,
+    reference: &Reference,
+) -> Result<String, String> {
+    let dir = base.join(fault.dir());
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let journal = dir.join(CHILD_JOURNAL);
+
+    match fault {
+        StoreFault::Kill(n) => {
+            // Kill the campaign once its journal holds n cell records
+            // (header line + n), then prove --resume finishes the rest.
+            let mut child = campaign_cmd(exe, &dir, false)
+                .stderr(Stdio::null())
+                .spawn()
+                .map_err(|e| format!("cannot spawn campaign: {e}"))?;
+            let deadline = Instant::now() + Duration::from_secs(300);
+            let lines = |p: &Path| {
+                std::fs::read(p)
+                    .map(|b| b.iter().filter(|&&c| c == b'\n').count() as u64)
+                    .unwrap_or(0)
+            };
+            let mut finished_early = false;
+            loop {
+                if child
+                    .try_wait()
+                    .map_err(|e| format!("wait on campaign: {e}"))?
+                    .is_some()
+                {
+                    finished_early = true;
+                    break;
+                }
+                // Header line + n cell records.
+                if lines(&journal) > n {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    break;
+                }
+                if Instant::now() > deadline {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(format!(
+                        "campaign never reached {n} journal record(s) before the deadline"
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            if finished_early {
+                eprintln!("[kill@{n}: campaign finished before the kill; resume still verified]");
+            }
         }
+        StoreFault::TornWrite => {
+            // A full run, then a crash-mid-append torn tail.
+            run_campaign(exe, &dir, false)?;
+            let bytes = std::fs::read(&journal).map_err(|e| format!("{CHILD_JOURNAL}: {e}"))?;
+            if bytes.len() < 32 {
+                return Err("journal too short to tear".to_string());
+            }
+            std::fs::write(&journal, &bytes[..bytes.len() - 7])
+                .map_err(|e| format!("{CHILD_JOURNAL}: {e}"))?;
+        }
+        StoreFault::JournalRot => {
+            // A full run, then one flipped byte inside the second cell
+            // record: the record before it must be served, everything at
+            // and after it recomputed.
+            run_campaign(exe, &dir, false)?;
+            let mut bytes = std::fs::read(&journal).map_err(|e| format!("{CHILD_JOURNAL}: {e}"))?;
+            let newlines: Vec<usize> = bytes
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| b == b'\n')
+                .map(|(i, _)| i)
+                .collect();
+            let target = newlines
+                .get(1)
+                .map(|&i| i + 60)
+                .filter(|&i| i < bytes.len())
+                .ok_or("journal too short to rot")?;
+            bytes[target] ^= 0x01;
+            std::fs::write(&journal, bytes).map_err(|e| format!("{CHILD_JOURNAL}: {e}"))?;
+        }
+    }
+
+    run_campaign(exe, &dir, true)?;
+    let summary = check_recovery(&dir, reference)?;
+
+    // The damage classes must actually have skipped/truncated something —
+    // a recovery that silently re-ran everything would also "match".
+    let bench = read_to_string(&dir.join("BENCH-campaign.json"))?;
+    let resume = &bench[bench.find("\"resume\": ").unwrap_or(0)..];
+    match fault {
+        StoreFault::Kill(_) => {}
+        StoreFault::TornWrite | StoreFault::JournalRot => {
+            if json_u64(resume, "records_truncated").unwrap_or(0) == 0 {
+                return Err("damaged journal reported zero truncated records".to_string());
+            }
+            if json_u64(resume, "cells_skipped").unwrap_or(0) == 0 {
+                return Err("resume served nothing from the journal".to_string());
+            }
+        }
+    }
+    Ok(summary)
+}
+
+fn main() -> ExitCode {
+    // `TP_FAULT` selects either one store-level class (parsed here) or one
+    // in-process class (parsed by `FaultPlan`); unset runs everything.
+    let raw_fault = std::env::var("TP_FAULT").ok();
+    let store_only = raw_fault.as_deref().and_then(StoreFault::parse);
+
+    let plans: Vec<FaultPlan> = if store_only.is_some() {
+        Vec::new()
+    } else {
+        match FaultPlan::from_env() {
+            Ok(Some(mut p)) => {
+                if p.cell.take().is_some() {
+                    eprintln!("[chaos: ignoring the :cell= scope; chaos runs synthetic cells]");
+                }
+                vec![p]
+            }
+            Ok(None) => FaultKind::all_defaults()
+                .into_iter()
+                .map(FaultPlan::new)
+                .collect(),
+            Err(e) => {
+                eprintln!("chaos: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let store_faults: Vec<StoreFault> = match store_only {
+        Some(f) => vec![f],
+        None if raw_fault.is_some() => Vec::new(),
+        None => StoreFault::all(),
     };
 
     // A tight deadline keeps the env-stall class (3 watchdog-bounded
     // attempts) fast; `TP_CELL_TIMEOUT` still overrides for debugging.
-    let deadline = std::env::var("TP_CELL_TIMEOUT")
-        .ok()
-        .and_then(|v| v.trim().parse::<f64>().ok())
-        .filter(|v| *v > 0.0)
-        .map_or(Duration::from_secs(2), Duration::from_secs_f64);
+    let deadline = cell_timeout_override().unwrap_or(Duration::from_secs(2));
 
     let mut t = Table::new(&["Fault", "Expected", "Classified", "Attempts", "Result"]);
     let mut quarantine: Vec<QuarantineEntry> = Vec::new();
@@ -107,54 +439,104 @@ fn main() -> ExitCode {
         ]);
     }
 
-    // The healthy control: supervision must be transparent for a cell
-    // that needs none of it.
-    let before = supervise::counters();
-    let healthy = run_cell(
-        "chaos-healthy",
-        "haswell",
-        None,
-        Duration::from_secs(120),
-        || probe_cell(0xC4A0_50FF),
-    );
-    let after = supervise::counters();
-    let healthy_ok = healthy.outcome == CellOutcome::Ok
-        && healthy.attempts == 1
-        && after.retries == before.retries;
-    if !healthy_ok {
-        failures += 1;
-        eprintln!(
-            "chaos: healthy control cell came back {} after {} attempt(s): {}",
-            healthy.outcome.name(),
-            healthy.attempts,
-            healthy.error.as_deref().unwrap_or("no detail"),
+    if !plans.is_empty() {
+        // The healthy control: supervision must be transparent for a cell
+        // that needs none of it.
+        let before = supervise::counters();
+        let healthy = run_cell(
+            "chaos-healthy",
+            "haswell",
+            None,
+            Duration::from_secs(120),
+            || probe_cell(0xC4A0_50FF),
         );
-    }
-    t.row(&[
-        "(none)".to_string(),
-        "ok".to_string(),
-        healthy.outcome.name().to_string(),
-        healthy.attempts.to_string(),
-        if healthy_ok { "PASS" } else { "FAIL" }.to_string(),
-    ]);
+        let after = supervise::counters();
+        let healthy_ok = healthy.outcome == CellOutcome::Ok
+            && healthy.attempts == 1
+            && after.retries == before.retries;
+        if !healthy_ok {
+            failures += 1;
+            eprintln!(
+                "chaos: healthy control cell came back {} after {} attempt(s): {}",
+                healthy.outcome.name(),
+                healthy.attempts,
+                healthy.error.as_deref().unwrap_or("no detail"),
+            );
+        }
+        t.row(&[
+            "(none)".to_string(),
+            "ok".to_string(),
+            healthy.outcome.name().to_string(),
+            healthy.attempts.to_string(),
+            if healthy_ok { "PASS" } else { "FAIL" }.to_string(),
+        ]);
 
-    if let Some(dir) = std::path::Path::new(QUARANTINE_PATH).parent() {
-        let _ = std::fs::create_dir_all(dir);
+        match write_atomic(QUARANTINE_PATH, &quarantine_json(&quarantine)) {
+            Ok(()) => eprintln!(
+                "[wrote {QUARANTINE_PATH}: {} quarantined cell(s)]",
+                quarantine.len()
+            ),
+            Err(e) => eprintln!("[failed to write {QUARANTINE_PATH}: {e}]"),
+        }
     }
-    match std::fs::write(QUARANTINE_PATH, quarantine_json(&quarantine)) {
-        Ok(()) => eprintln!(
-            "[wrote {QUARANTINE_PATH}: {} quarantined cell(s)]",
-            quarantine.len()
-        ),
-        Err(e) => eprintln!("[failed to write {QUARANTINE_PATH}: {e}]"),
+
+    // Store-level classes: injure a real campaign subprocess, resume it,
+    // and require the reference artifacts back.
+    if !store_faults.is_empty() {
+        let setup = campaign_exe().and_then(|exe| {
+            let base = std::env::temp_dir().join(format!("tp-chaos-store-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&base);
+            eprintln!(
+                "[store scenarios: reference campaign in {}]",
+                base.display()
+            );
+            reference_run(&exe, &base).map(|r| (exe, base, r))
+        });
+        match setup {
+            Err(e) => {
+                failures += store_faults.len();
+                eprintln!("chaos: store scenarios failed to set up: {e}");
+                for f in &store_faults {
+                    t.row(&[
+                        f.name(),
+                        "recovered".to_string(),
+                        "setup-failed".to_string(),
+                        "-".to_string(),
+                        "FAIL".to_string(),
+                    ]);
+                }
+            }
+            Ok((exe, base, reference)) => {
+                for &fault in &store_faults {
+                    let res = run_store_fault(fault, &exe, &base, &reference);
+                    let (classified, pass) = match &res {
+                        Ok(summary) => {
+                            eprintln!("[{}: recovered — {summary}]", fault.name());
+                            ("recovered".to_string(), true)
+                        }
+                        Err(e) => {
+                            failures += 1;
+                            eprintln!("chaos: {} NOT recovered: {e}", fault.name());
+                            ("not-recovered".to_string(), false)
+                        }
+                    };
+                    t.row(&[
+                        fault.name(),
+                        "recovered".to_string(),
+                        classified,
+                        "-".to_string(),
+                        if pass { "PASS" } else { "FAIL" }.to_string(),
+                    ]);
+                }
+                let _ = std::fs::remove_dir_all(&base);
+            }
+        }
     }
 
     println!("{}", t.render());
+    let total = plans.len() + store_faults.len();
     if failures == 0 {
-        println!(
-            "chaos: all {} fault class(es) classified correctly",
-            plans.len()
-        );
+        println!("chaos: all {total} fault class(es) classified correctly");
         ExitCode::SUCCESS
     } else {
         println!("chaos: {failures} classification failure(s)");

@@ -113,7 +113,7 @@ fn main() -> ExitCode {
     );
 
     let json = bench_json(&per_exp, total_s);
-    match std::fs::write("BENCH.json", &json) {
+    match tp_bench::store::write_atomic("BENCH.json", &json) {
         Ok(()) => eprintln!("[wrote BENCH.json]"),
         Err(e) => eprintln!("[failed to write BENCH.json: {e}]"),
     }

@@ -24,7 +24,7 @@ use tp_core::{ProtectionConfig, SimError};
 use tp_sim::Platform;
 
 /// One structured measurement: a channel under one defence mechanism.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChannelResult {
     /// Channel name (e.g. `L1-D`).
     pub channel: &'static str,
@@ -43,13 +43,22 @@ pub struct ChannelResult {
     pub samples: usize,
 }
 
+/// Base seed every vote seed is derived from. Part of the campaign
+/// journal's cache key ([`crate::store::JournalHeader`]): changing the
+/// seeds invalidates every cached cell.
+pub const VOTE_SEED_BASE: u64 = 0x5EED;
+
 /// Seeds for the three independent repetitions behind every pinned
 /// verdict. A channel is reported as leaking iff at least two of three
 /// seeds flag it: real channels (M ≫ M0) leak under every seed, while a
 /// cell whose M hovers at the M0 boundary — a ~1% single-shot false
 /// positive of the §5.1 shuffle test — does not survive the vote. This is
 /// what makes the golden file a stable CI gate.
-const VOTE_SEEDS: [u64; 3] = [0x5EED, 0x5EED ^ 0x9E37_79B9, 0x5EED ^ 0x6A09_E667];
+const VOTE_SEEDS: [u64; 3] = [
+    VOTE_SEED_BASE,
+    VOTE_SEED_BASE ^ 0x9E37_79B9,
+    VOTE_SEED_BASE ^ 0x6A09_E667,
+];
 
 /// Run one measurement under each of [`VOTE_SEEDS`] and combine: leak
 /// verdict by majority, value/baseline from the first seed that agrees
@@ -109,6 +118,27 @@ pub struct ExperimentResult {
     pub seconds: f64,
     /// Per-channel × mechanism measurements.
     pub channels: Vec<ChannelResult>,
+}
+
+impl ExperimentResult {
+    /// Rebuild a result from a replayed journal record. `experiment` is
+    /// the registry's static name for the cell (the journal string is only
+    /// used to find it); channel strings are interned by the store. The
+    /// record carries bit-exact `f64`s, so re-serialising a replayed cell
+    /// is byte-identical to serialising the original run.
+    #[must_use]
+    pub fn from_record(
+        experiment: &'static str,
+        platform: Platform,
+        rec: &crate::store::CellRecord,
+    ) -> Self {
+        ExperimentResult {
+            experiment,
+            platform,
+            seconds: rec.seconds,
+            channels: rec.channels.clone(),
+        }
+    }
 }
 
 /// A registered experiment.
@@ -471,6 +501,17 @@ pub fn bench_json(results: &[ExperimentResult], total_seconds: f64) -> String {
         sup.quarantined,
         boot.fallback_boots,
     );
+    // Resume/durability accounting: a clean (non-resumed, uncontended)
+    // campaign reports all zeroes here, and CI gates on exactly that.
+    let res = crate::store::resume_counters();
+    let _ = writeln!(
+        s,
+        "  \"resume\": {{\"cells_skipped\": {}, \"records_recovered\": {}, \"records_truncated\": {}, \"lock_waits\": {}}},",
+        res.cells_skipped,
+        res.records_recovered,
+        res.records_truncated,
+        res.lock_waits,
+    );
     s.push_str("  \"cells\": [\n");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
@@ -771,7 +812,13 @@ mod tests {
 
     fn pinned_goldens() -> String {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../goldens/verdicts.json");
-        std::fs::read_to_string(path).expect("pinned goldens readable")
+        let (payload, prov) = crate::store::read_artifact(path).expect("pinned goldens readable");
+        assert_eq!(
+            prov,
+            crate::store::Provenance::Checksummed,
+            "pinned goldens must carry a verified store trailer"
+        );
+        payload
     }
 
     #[test]

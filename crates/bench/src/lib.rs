@@ -17,6 +17,7 @@
 pub mod campaign;
 pub mod channels;
 pub mod splash;
+pub mod store;
 pub mod supervise;
 pub mod tables;
 pub mod util;

@@ -359,17 +359,48 @@ pub fn probe_cell(seed: u64) -> Result<Vec<ChannelResult>, SimError> {
     Ok(Vec::new())
 }
 
+/// Parse a `TP_CELL_TIMEOUT` value (seconds). `None`/empty means "unset";
+/// anything set but not a positive finite number is a hard error naming
+/// the variable — a typo must never silently degrade to the default
+/// deadline and let a wedged cell run 10× longer than asked.
+///
+/// # Errors
+/// A human-readable message naming `TP_CELL_TIMEOUT` and the rejected
+/// value.
+pub fn parse_cell_timeout(raw: Option<&str>) -> Result<Option<Duration>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<f64>() {
+        Ok(v) if v > 0.0 && v.is_finite() => Ok(Some(Duration::from_secs_f64(v))),
+        _ => Err(format!(
+            "TP_CELL_TIMEOUT: `{raw}` is not a positive number of seconds"
+        )),
+    }
+}
+
+/// The `TP_CELL_TIMEOUT` override, if set. Exits with status 2 on a
+/// malformed value, naming the variable — same contract as `TP_FAULT`.
+#[must_use]
+pub fn cell_timeout_override() -> Option<Duration> {
+    match parse_cell_timeout(std::env::var("TP_CELL_TIMEOUT").ok().as_deref()) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// The wall-clock deadline for one cell: 20× its last recorded wall time
 /// (clamped to \[30 s, 600 s\]), 120 s with no history, and whatever
 /// `TP_CELL_TIMEOUT` (seconds) says when set.
 #[must_use]
 pub fn cell_deadline(history_seconds: Option<f64>) -> Duration {
-    if let Some(secs) = std::env::var("TP_CELL_TIMEOUT")
-        .ok()
-        .and_then(|v| v.trim().parse::<f64>().ok())
-        .filter(|v| *v > 0.0)
-    {
-        return Duration::from_secs_f64(secs);
+    if let Some(d) = cell_timeout_override() {
+        return d;
     }
     match history_seconds {
         Some(s) if s > 0.0 => Duration::from_secs_f64((s * 20.0).clamp(30.0, 600.0)),
@@ -582,6 +613,26 @@ mod tests {
             tiny_cell(0xA11C_E006)
         });
         assert_eq!(r.outcome, CellOutcome::Ok, "{:?}", r.error);
+    }
+
+    #[test]
+    fn cell_timeout_parses_or_errors_naming_the_variable() {
+        assert_eq!(parse_cell_timeout(None), Ok(None));
+        assert_eq!(parse_cell_timeout(Some("")), Ok(None));
+        assert_eq!(parse_cell_timeout(Some("  ")), Ok(None));
+        assert_eq!(
+            parse_cell_timeout(Some("1.5")),
+            Ok(Some(Duration::from_secs_f64(1.5)))
+        );
+        assert_eq!(
+            parse_cell_timeout(Some(" 120 ")),
+            Ok(Some(Duration::from_secs(120)))
+        );
+        for bad in ["soon", "0", "-5", "12s", "inf"] {
+            let err = parse_cell_timeout(Some(bad)).unwrap_err();
+            assert!(err.contains("TP_CELL_TIMEOUT"), "{err}");
+            assert!(err.contains(bad), "{err}");
+        }
     }
 
     #[test]

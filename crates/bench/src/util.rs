@@ -12,15 +12,39 @@
 //!   every value, because all per-work-item RNG seeds are derived from
 //!   the master seed.
 
+/// Parse a `TP_SAMPLES` value. `None`/empty means "unset" (default 1.0);
+/// anything set but not a positive finite number is a hard error naming
+/// the variable — a typo must never silently run at the default scale and
+/// then fail the golden gate's `tp_samples` check (or worse, pass it).
+///
+/// # Errors
+/// A human-readable message naming `TP_SAMPLES` and the rejected value.
+pub fn parse_effort(raw: Option<&str>) -> Result<f64, String> {
+    let Some(raw) = raw else { return Ok(1.0) };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(1.0);
+    }
+    match trimmed.parse::<f64>() {
+        Ok(v) if v > 0.0 && v.is_finite() => Ok(v),
+        _ => Err(format!(
+            "TP_SAMPLES: `{raw}` is not a positive number (expected e.g. 0.25, 1 or 4)"
+        )),
+    }
+}
+
 /// Scale factor for sample counts, from the `TP_SAMPLES` environment
-/// variable (default 1.0).
+/// variable (default 1.0). Exits with status 2 on a malformed value,
+/// naming the variable — same contract as `TP_FAULT`.
 #[must_use]
 pub fn effort() -> f64 {
-    std::env::var("TP_SAMPLES")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .filter(|v| *v > 0.0)
-        .unwrap_or(1.0)
+    match parse_effort(std::env::var("TP_SAMPLES").ok().as_deref()) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// `base` samples scaled by the effort factor (minimum 40).
@@ -127,6 +151,20 @@ mod tests {
     fn effort_default_is_one() {
         // (Cannot safely mutate env in tests; just check the default path.)
         assert!(samples(100) >= 40);
+    }
+
+    #[test]
+    fn effort_parses_or_errors_naming_the_variable() {
+        assert_eq!(parse_effort(None), Ok(1.0));
+        assert_eq!(parse_effort(Some("")), Ok(1.0));
+        assert_eq!(parse_effort(Some("  ")), Ok(1.0));
+        assert_eq!(parse_effort(Some("0.25")), Ok(0.25));
+        assert_eq!(parse_effort(Some(" 4 ")), Ok(4.0));
+        for bad in ["garbage", "0", "-1", "1.5x", "NaN", "inf"] {
+            let err = parse_effort(Some(bad)).unwrap_err();
+            assert!(err.contains("TP_SAMPLES"), "{err}");
+            assert!(err.contains(bad), "{err}");
+        }
     }
 
     #[test]
