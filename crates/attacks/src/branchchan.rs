@@ -11,7 +11,8 @@
 //! (mis)prediction on an aliasing conditional jump. `BPIALL`/IBC reset the
 //! predictor and close both channels.
 
-use crate::harness::{measure_channel, ChannelOutcome, IntraCoreSpec, Receiver};
+use crate::harness::{try_measure_channel, ChannelOutcome, IntraCoreSpec, Receiver};
+use tp_core::SimError;
 use tp_core::UserEnv;
 use tp_sim::{PlatformConfig, VAddr};
 
@@ -45,14 +46,16 @@ fn slot_pc(i: usize) -> VAddr {
 }
 
 /// Run the BTB channel.
-#[must_use]
-pub fn btb_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
+///
+/// # Errors
+/// Returns the [`SimError`] of the first simulated program that fails.
+pub fn try_btb_channel(spec: &IntraCoreSpec) -> Result<ChannelOutcome, SimError> {
     let n = spec.n_symbols;
     let cfg = spec.platform.config();
     let sweep = btb_sweep_slots(&cfg);
     let slots = btb_probe_slots(&cfg);
     let ways = u64::from(cfg.btb.ways);
-    measure_channel(
+    try_measure_channel(
         spec,
         move |env: &mut UserEnv, sym: usize| {
             // The sender's branches live at *different* code addresses that
@@ -87,6 +90,16 @@ pub fn btb_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
     )
 }
 
+/// Panicking wrapper over [`try_btb_channel`].
+///
+/// # Panics
+/// Panics if the simulation fails.
+#[deprecated(note = "use `try_btb_channel` and handle the `SimError`")]
+#[must_use]
+pub fn btb_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
+    try_btb_channel(spec).expect("simulated program failed")
+}
+
 /// Drive the global history register to a known (all-zero) state by
 /// executing `n` never-taken conditional branches at a scratch pc.
 ///
@@ -101,11 +114,13 @@ fn zero_history(env: &mut UserEnv, n: u32) {
 }
 
 /// Run the BHB channel: 1-bit symbols.
-#[must_use]
-pub fn bhb_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
+///
+/// # Errors
+/// Returns the [`SimError`] of the first simulated program that fails.
+pub fn try_bhb_channel(spec: &IntraCoreSpec) -> Result<ChannelOutcome, SimError> {
     let ghr_bits = spec.platform.config().ghr_bits;
     let probe_pc = VAddr(BRANCH_BASE + 0x80);
-    measure_channel(
+    try_measure_channel(
         spec,
         move |env: &mut UserEnv, sym: usize| {
             // Repeatedly train the aliased PHT entry towards taken (1) or
@@ -129,6 +144,16 @@ pub fn bhb_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
     )
 }
 
+/// Panicking wrapper over [`try_bhb_channel`].
+///
+/// # Panics
+/// Panics if the simulation fails.
+#[deprecated(note = "use `try_bhb_channel` and handle the `SimError`")]
+#[must_use]
+pub fn bhb_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
+    try_bhb_channel(spec).expect("simulated program failed")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,19 +162,21 @@ mod tests {
 
     #[test]
     fn btb_raw_leaks_on_haswell() {
-        let raw = btb_channel(&IntraCoreSpec::new(
+        let raw = try_btb_channel(&IntraCoreSpec::new(
             Platform::Haswell,
             Scenario::Raw,
             8,
             120,
-        ));
+        ))
+        .expect("sim run failed");
         assert!(raw.verdict.leaks, "raw BTB: {}", raw.summary());
-        let prot = btb_channel(&IntraCoreSpec::new(
+        let prot = try_btb_channel(&IntraCoreSpec::new(
             Platform::Haswell,
             Scenario::Protected,
             8,
             120,
-        ));
+        ))
+        .expect("sim run failed");
         assert!(
             prot.verdict.m.bits < raw.verdict.m.bits / 4.0,
             "BTB protection ineffective: {} vs {}",
@@ -160,20 +187,22 @@ mod tests {
 
     #[test]
     fn bhb_raw_leaks_and_flush_closes() {
-        let raw = bhb_channel(&IntraCoreSpec::new(
+        let raw = try_bhb_channel(&IntraCoreSpec::new(
             Platform::Haswell,
             Scenario::Raw,
             2,
             150,
-        ));
+        ))
+        .expect("sim run failed");
         assert!(raw.verdict.leaks, "raw BHB: {}", raw.summary());
         assert!(raw.verdict.m.bits > 0.3, "raw BHB weak: {}", raw.summary());
-        let ff = bhb_channel(&IntraCoreSpec::new(
+        let ff = try_bhb_channel(&IntraCoreSpec::new(
             Platform::Haswell,
             Scenario::FullFlush,
             2,
             150,
-        ));
+        ))
+        .expect("sim run failed");
         assert!(
             !ff.verdict.leaks || ff.verdict.m.bits < 0.05,
             "full flush BHB: {}",

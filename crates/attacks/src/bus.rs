@@ -48,7 +48,7 @@ pub fn bus_channel(spec: &IntraCoreSpec) -> Result<ChannelOutcome, SimError> {
     let receiver_log: Arc<Mutex<Vec<(u64, f64)>>> = Arc::new(Mutex::new(Vec::new()));
     let period = spec.platform.config().us_to_cycles(spec.slice_us);
 
-    let mut b = SystemBuilder::new(spec.platform, spec.prot.clone())
+    let mut b = SystemBuilder::new(spec.platform, spec.prot)
         .seed(spec.seed)
         .max_cycles(spec.cycle_budget())
         .window(800)

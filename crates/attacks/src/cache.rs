@@ -5,8 +5,9 @@
 //! proportional to the symbol; the receiver then re-probes and the total
 //! latency reveals how many of its lines were evicted.
 
-use crate::harness::{measure_channel, ChannelOutcome, IntraCoreSpec, Receiver};
+use crate::harness::{try_measure_channel, ChannelOutcome, IntraCoreSpec, Receiver};
 use crate::probe::{l1_probe, phys_probe, ProbeBuf};
+use tp_core::SimError;
 use tp_core::UserEnv;
 use tp_sim::PlatformConfig;
 
@@ -20,11 +21,13 @@ const L2_PROBE_LINES: usize = 4096;
 
 /// The L1-D channel: sender dirties `k` sets, receiver probes the full
 /// cache with loads.
-#[must_use]
-pub fn l1d_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
+///
+/// # Errors
+/// Returns the [`SimError`] of the first simulated program that fails.
+pub fn try_l1d_channel(spec: &IntraCoreSpec) -> Result<ChannelOutcome, SimError> {
     let n = spec.n_symbols;
     let mut sbuf: Option<ProbeBuf> = None;
-    measure_channel(
+    try_measure_channel(
         spec,
         move |env: &mut UserEnv, sym: usize| {
             let geom = env.platform().l1d;
@@ -47,12 +50,24 @@ pub fn l1d_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
     )
 }
 
-/// The L1-I channel: as L1-D but with instruction fetches on both sides.
+/// Panicking wrapper over [`try_l1d_channel`].
+///
+/// # Panics
+/// Panics if the simulation fails.
+#[deprecated(note = "use `try_l1d_channel` and handle the `SimError`")]
 #[must_use]
-pub fn l1i_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
+pub fn l1d_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
+    try_l1d_channel(spec).expect("simulated program failed")
+}
+
+/// The L1-I channel: as L1-D but with instruction fetches on both sides.
+///
+/// # Errors
+/// Returns the [`SimError`] of the first simulated program that fails.
+pub fn try_l1i_channel(spec: &IntraCoreSpec) -> Result<ChannelOutcome, SimError> {
     let n = spec.n_symbols;
     let mut sbuf: Option<ProbeBuf> = None;
-    measure_channel(
+    try_measure_channel(
         spec,
         move |env: &mut UserEnv, sym: usize| {
             let geom = env.platform().l1i;
@@ -76,6 +91,16 @@ pub fn l1i_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
     )
 }
 
+/// Panicking wrapper over [`try_l1i_channel`].
+///
+/// # Panics
+/// Panics if the simulation fails.
+#[deprecated(note = "use `try_l1i_channel` and handle the `SimError`")]
+#[must_use]
+pub fn l1i_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
+    try_l1i_channel(spec).expect("simulated program failed")
+}
+
 /// How many L2 sets each side works with on a platform: as many sets as
 /// keep the probe buffer within `L2_PROBE_LINES` (4096) lines, derived
 /// from the cache geometry rather than a per-platform table.
@@ -97,12 +122,14 @@ pub fn l2_slice_us(cfg: &PlatformConfig) -> f64 {
 /// The L2 channel: physically-indexed, so colouring (not flushing) is the
 /// defence — and the residual x86 channel via the data prefetcher lives
 /// here (§5.3.2).
-#[must_use]
-pub fn l2_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
+///
+/// # Errors
+/// Returns the [`SimError`] of the first simulated program that fails.
+pub fn try_l2_channel(spec: &IntraCoreSpec) -> Result<ChannelOutcome, SimError> {
     let n = spec.n_symbols;
     let n_sets = l2_probe_sets(&spec.platform.config());
     let mut sbuf: Option<ProbeBuf> = None;
-    measure_channel(
+    try_measure_channel(
         spec,
         move |env: &mut UserEnv, sym: usize| {
             let buf = sbuf.get_or_insert_with(|| {
@@ -134,6 +161,16 @@ pub fn l2_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
     )
 }
 
+/// Panicking wrapper over [`try_l2_channel`].
+///
+/// # Panics
+/// Panics if the simulation fails.
+#[deprecated(note = "use `try_l2_channel` and handle the `SimError`")]
+#[must_use]
+pub fn l2_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
+    try_l2_channel(spec).expect("simulated program failed")
+}
+
 /// The §5.3.2 residual-channel ablation: the sender walks `2·symbol` pages
 /// sequentially, leaving that many *confidently trained* streams in the
 /// data prefetcher. The on-core flush (manual L1 flush + IBC) does not
@@ -141,11 +178,13 @@ pub fn l2_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
 /// first demand misses, perturbing the probe time in proportion to the
 /// sender's stream count. Disabling the prefetcher (MSR 0x1A4) removes the
 /// effect — the paper's follow-up experiment.
-#[must_use]
-pub fn l2_prefetcher_residual(spec: &IntraCoreSpec) -> ChannelOutcome {
+///
+/// # Errors
+/// Returns the [`SimError`] of the first simulated program that fails.
+pub fn try_l2_prefetcher_residual(spec: &IntraCoreSpec) -> Result<ChannelOutcome, SimError> {
     let n = spec.n_symbols;
     let mut sender_buf: Option<tp_sim::VAddr> = None;
-    measure_channel(
+    try_measure_channel(
         spec,
         move |env: &mut UserEnv, sym: usize| {
             let pages = 2 * n;
@@ -172,6 +211,16 @@ pub fn l2_prefetcher_residual(spec: &IntraCoreSpec) -> ChannelOutcome {
     )
 }
 
+/// Panicking wrapper over [`try_l2_prefetcher_residual`].
+///
+/// # Panics
+/// Panics if the simulation fails.
+#[deprecated(note = "use `try_l2_prefetcher_residual` and handle the `SimError`")]
+#[must_use]
+pub fn l2_prefetcher_residual(spec: &IntraCoreSpec) -> ChannelOutcome {
+    try_l2_prefetcher_residual(spec).expect("simulated program failed")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,12 +241,13 @@ mod tests {
 
     #[test]
     fn l1d_raw_leaks_and_protected_does_not() {
-        let raw = l1d_channel(&IntraCoreSpec::new(
+        let raw = try_l1d_channel(&IntraCoreSpec::new(
             Platform::Haswell,
             Scenario::Raw,
             8,
             120,
-        ));
+        ))
+        .expect("sim run failed");
         assert!(raw.verdict.leaks, "raw L1-D: {}", raw.summary());
         assert!(
             raw.verdict.m.bits > 0.5,
@@ -205,12 +255,13 @@ mod tests {
             raw.summary()
         );
 
-        let prot = l1d_channel(&IntraCoreSpec::new(
+        let prot = try_l1d_channel(&IntraCoreSpec::new(
             Platform::Haswell,
             Scenario::Protected,
             8,
             120,
-        ));
+        ))
+        .expect("sim run failed");
         assert!(
             prot.verdict.m.bits < raw.verdict.m.bits / 5.0,
             "protection ineffective: raw {} vs protected {}",
@@ -221,18 +272,21 @@ mod tests {
 
     #[test]
     fn l1i_raw_leaks_on_arm() {
-        let raw = l1i_channel(&IntraCoreSpec::new(Platform::Sabre, Scenario::Raw, 8, 100));
+        let raw = try_l1i_channel(&IntraCoreSpec::new(Platform::Sabre, Scenario::Raw, 8, 100))
+            .expect("sim run failed");
         assert!(raw.verdict.leaks, "raw L1-I: {}", raw.summary());
     }
 
     #[test]
     fn l2_full_flush_closes_channel() {
-        let raw = l2_channel(
+        let raw = try_l2_channel(
             &IntraCoreSpec::new(Platform::Haswell, Scenario::Raw, 8, 100).with_slice_us(60.0),
-        );
-        let ff = l2_channel(
+        )
+        .expect("sim run failed");
+        let ff = try_l2_channel(
             &IntraCoreSpec::new(Platform::Haswell, Scenario::FullFlush, 8, 100).with_slice_us(60.0),
-        );
+        )
+        .expect("sim run failed");
         assert!(raw.verdict.leaks, "raw L2: {}", raw.summary());
         assert!(
             ff.verdict.m.bits < raw.verdict.m.bits / 5.0,

@@ -52,7 +52,7 @@ pub fn flush_channel(spec: &IntraCoreSpec, timing: Timing) -> Result<ChannelOutc
     let sender_log: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
     let receiver_log: Arc<Mutex<Vec<(u64, f64)>>> = Arc::new(Mutex::new(Vec::new()));
 
-    let mut b = SystemBuilder::new(spec.platform, spec.prot.clone())
+    let mut b = SystemBuilder::new(spec.platform, spec.prot)
         .seed(spec.seed)
         .slice_us(spec.slice_us)
         .max_cycles(spec.cycle_budget());

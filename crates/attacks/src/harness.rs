@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use tp_analysis::{leakage_test, Dataset, LeakageVerdict};
-use tp_core::{ProtectionConfig, SystemBuilder, UserEnv};
+use tp_core::{ProtectionConfig, SimError, SystemBuilder, UserEnv};
 use tp_sim::Platform;
 
 /// The three defence scenarios of §5.2.
@@ -153,11 +153,27 @@ pub struct Receiver<S, M> {
 
 /// Run a sender/receiver pair and return the paired dataset.
 ///
-/// `make_sender` is invoked with the symbol sequence infrastructure already
+/// `sender` is invoked with the symbol sequence infrastructure already
 /// in place; `setup`/`measure` describe the receiver.
+///
+/// # Errors
+/// Returns the [`SimError`] of the first simulated program that fails.
+pub fn try_run_intra_core<T: Send + 'static>(
+    spec: &IntraCoreSpec,
+    sender: impl SenderFn,
+    receiver: Receiver<
+        impl FnOnce(&mut UserEnv) -> T + Send + 'static,
+        impl FnMut(&mut UserEnv, &mut T) -> f64 + Send + 'static,
+    >,
+) -> Result<Dataset, SimError> {
+    try_run_intra_core_with_setup(spec, None, sender, receiver)
+}
+
+/// Panicking wrapper over [`try_run_intra_core`].
 ///
 /// # Panics
 /// Panics if a simulated program fails.
+#[deprecated(note = "use `try_run_intra_core` and handle the `SimError`")]
 #[must_use]
 pub fn run_intra_core<T: Send + 'static>(
     spec: &IntraCoreSpec,
@@ -167,14 +183,16 @@ pub fn run_intra_core<T: Send + 'static>(
         impl FnMut(&mut UserEnv, &mut T) -> f64 + Send + 'static,
     >,
 ) -> Dataset {
-    run_intra_core_with_setup(spec, None, sender, receiver)
+    try_run_intra_core(spec, sender, receiver).expect("simulated program failed")
 }
 
-/// As [`run_intra_core`], with an optional kernel-setup hook that runs
+/// As [`try_run_intra_core`], with an optional kernel-setup hook that runs
 /// after thread creation (capability grants etc.). The hook sees the TCBs
 /// in order `[sender, receiver]`.
-#[must_use]
-pub fn run_intra_core_with_setup<T: Send + 'static>(
+///
+/// # Errors
+/// Returns the [`SimError`] of the first simulated program that fails.
+pub fn try_run_intra_core_with_setup<T: Send + 'static>(
     spec: &IntraCoreSpec,
     setup_hook: Option<tp_core::system::SetupFn>,
     mut sender: impl SenderFn,
@@ -182,11 +200,11 @@ pub fn run_intra_core_with_setup<T: Send + 'static>(
         impl FnOnce(&mut UserEnv) -> T + Send + 'static,
         impl FnMut(&mut UserEnv, &mut T) -> f64 + Send + 'static,
     >,
-) -> Dataset {
+) -> Result<Dataset, SimError> {
     let sender_log: SenderLog = Arc::new(Mutex::new(Vec::new()));
     let receiver_log: ReceiverLog = Arc::new(Mutex::new(Vec::new()));
 
-    let mut b = SystemBuilder::new(spec.platform, spec.prot.clone())
+    let mut b = SystemBuilder::new(spec.platform, spec.prot)
         .seed(spec.seed)
         .slice_us(spec.slice_us)
         .max_cycles(spec.cycle_budget())
@@ -232,11 +250,30 @@ pub fn run_intra_core_with_setup<T: Send + 'static>(
         }
     });
 
-    let _ = b.run();
+    let _ = b.try_run()?;
 
     let sends = sender_log.lock().clone();
     let recvs = receiver_log.lock().clone();
-    pair_logs(n_symbols, &sends, &recvs)
+    Ok(pair_logs(n_symbols, &sends, &recvs))
+}
+
+/// Panicking wrapper over [`try_run_intra_core_with_setup`].
+///
+/// # Panics
+/// Panics if a simulated program fails.
+#[deprecated(note = "use `try_run_intra_core_with_setup` and handle the `SimError`")]
+#[must_use]
+pub fn run_intra_core_with_setup<T: Send + 'static>(
+    spec: &IntraCoreSpec,
+    setup_hook: Option<tp_core::system::SetupFn>,
+    sender: impl SenderFn,
+    receiver: Receiver<
+        impl FnOnce(&mut UserEnv) -> T + Send + 'static,
+        impl FnMut(&mut UserEnv, &mut T) -> f64 + Send + 'static,
+    >,
+) -> Dataset {
+    try_run_intra_core_with_setup(spec, setup_hook, sender, receiver)
+        .expect("simulated program failed")
 }
 
 /// Pair each receiver observation with the sender slice that most recently
@@ -255,6 +292,27 @@ pub fn pair_logs(n_symbols: usize, sends: &[(u64, usize)], recvs: &[(u64, f64)])
 }
 
 /// Run the full measurement + §5.1 leakage test.
+///
+/// # Errors
+/// Returns the [`SimError`] of the first simulated program that fails.
+pub fn try_measure_channel<T: Send + 'static>(
+    spec: &IntraCoreSpec,
+    sender: impl SenderFn,
+    receiver: Receiver<
+        impl FnOnce(&mut UserEnv) -> T + Send + 'static,
+        impl FnMut(&mut UserEnv, &mut T) -> f64 + Send + 'static,
+    >,
+) -> Result<ChannelOutcome, SimError> {
+    let dataset = try_run_intra_core(spec, sender, receiver)?;
+    let verdict = leakage_test(&dataset, spec.seed ^ 0x0F0F_F0F0);
+    Ok(ChannelOutcome { dataset, verdict })
+}
+
+/// Panicking wrapper over [`try_measure_channel`].
+///
+/// # Panics
+/// Panics if a simulated program fails.
+#[deprecated(note = "use `try_measure_channel` and handle the `SimError`")]
 #[must_use]
 pub fn measure_channel<T: Send + 'static>(
     spec: &IntraCoreSpec,
@@ -264,9 +322,7 @@ pub fn measure_channel<T: Send + 'static>(
         impl FnMut(&mut UserEnv, &mut T) -> f64 + Send + 'static,
     >,
 ) -> ChannelOutcome {
-    let dataset = run_intra_core(spec, sender, receiver);
-    let verdict = leakage_test(&dataset, spec.seed ^ 0x0F0F_F0F0);
-    ChannelOutcome { dataset, verdict }
+    try_measure_channel(spec, sender, receiver).expect("simulated program failed")
 }
 
 #[cfg(test)]
@@ -296,7 +352,7 @@ mod tests {
         // Smoke test of the harness itself: sender does nothing observable;
         // dataset must still assemble with the right shape.
         let spec = IntraCoreSpec::new(Platform::Haswell, Scenario::Raw, 2, 10).with_slice_us(20.0);
-        let d = run_intra_core(
+        let d = try_run_intra_core(
             &spec,
             |env: &mut UserEnv, _sym| {
                 env.compute(500);
@@ -308,7 +364,8 @@ mod tests {
                     1.0
                 },
             },
-        );
+        )
+        .expect("harness smoke run failed");
         assert!(d.len() >= 8, "only {} samples", d.len());
     }
 }

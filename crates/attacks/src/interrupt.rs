@@ -15,7 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use tp_analysis::leakage_test;
-use tp_core::{CapObject, Capability, ProtectionConfig, Rights, SystemBuilder, UserEnv};
+use tp_core::{CapObject, Capability, ProtectionConfig, Rights, SimError, SystemBuilder, UserEnv};
 
 /// The IRQ line the Trojan's timer uses.
 pub const TROJAN_IRQ: u32 = 3;
@@ -39,15 +39,17 @@ pub fn interrupt_config(partitioned: bool) -> ProtectionConfig {
 /// Run the interrupt channel. Outputs are the spy's online-period lengths
 /// (cycles); inputs index [`TIMER_VALUES_MS`].
 ///
+/// # Errors
+/// Returns the [`SimError`] of the first simulated program that fails.
+///
 /// # Panics
-/// Panics if the simulation fails.
-#[must_use]
-pub fn interrupt_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
+/// Panics if `spec.n_symbols` does not match [`TIMER_VALUES_MS`].
+pub fn try_interrupt_channel(spec: &IntraCoreSpec) -> Result<ChannelOutcome, SimError> {
     assert_eq!(spec.n_symbols, TIMER_VALUES_MS.len());
     let sender_log: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
     let receiver_log: Arc<Mutex<Vec<(u64, f64)>>> = Arc::new(Mutex::new(Vec::new()));
 
-    let mut b = SystemBuilder::new(spec.platform, spec.prot.clone())
+    let mut b = SystemBuilder::new(spec.platform, spec.prot)
         .seed(spec.seed)
         .slice_us(spec.slice_us)
         .max_cycles(spec.cycle_budget());
@@ -112,10 +114,20 @@ pub fn interrupt_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
         }
     });
 
-    let _ = b.run();
+    let _ = b.try_run()?;
     let dataset = pair_logs(n_symbols, &sender_log.lock(), &receiver_log.lock());
     let verdict = leakage_test(&dataset, spec.seed ^ 0x0F0F_F0F0);
-    ChannelOutcome { dataset, verdict }
+    Ok(ChannelOutcome { dataset, verdict })
+}
+
+/// Panicking wrapper over [`try_interrupt_channel`].
+///
+/// # Panics
+/// Panics if the simulation fails.
+#[deprecated(note = "use `try_interrupt_channel` and handle the `SimError`")]
+#[must_use]
+pub fn interrupt_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
+    try_interrupt_channel(spec).expect("simulated program failed")
 }
 
 /// The paper's spec: 10 ms tick.
@@ -138,7 +150,8 @@ mod tests {
 
     #[test]
     fn unpartitioned_interrupts_leak() {
-        let raw = interrupt_channel(&paper_spec(Platform::Haswell, false, 150));
+        let raw = try_interrupt_channel(&paper_spec(Platform::Haswell, false, 150))
+            .expect("sim run failed");
         assert!(
             raw.verdict.leaks,
             "raw interrupt channel: {}",
@@ -149,8 +162,10 @@ mod tests {
 
     #[test]
     fn partitioning_closes_the_channel() {
-        let raw = interrupt_channel(&paper_spec(Platform::Haswell, false, 120));
-        let part = interrupt_channel(&paper_spec(Platform::Haswell, true, 120));
+        let raw = try_interrupt_channel(&paper_spec(Platform::Haswell, false, 120))
+            .expect("sim run failed");
+        let part = try_interrupt_channel(&paper_spec(Platform::Haswell, true, 120))
+            .expect("sim run failed");
         assert!(
             part.verdict.m.bits < raw.verdict.m.bits / 5.0,
             "partitioning ineffective: {} vs {}",

@@ -83,7 +83,7 @@ pub fn kernel_image_channel(spec: &IntraCoreSpec) -> Result<ChannelOutcome, SimE
     let sender_log: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
     let receiver_log: Arc<Mutex<Vec<(u64, f64)>>> = Arc::new(Mutex::new(Vec::new()));
 
-    let mut b = SystemBuilder::new(spec.platform, spec.prot.clone())
+    let mut b = SystemBuilder::new(spec.platform, spec.prot)
         .seed(spec.seed)
         .slice_us(spec.slice_us)
         .max_cycles(spec.cycle_budget());

@@ -12,7 +12,9 @@ use crate::elgamal::{key_bits, BigUint, ElGamalKey, ExpOp};
 use crate::probe::llc_slice_probe;
 use parking_lot::Mutex;
 use std::sync::Arc;
-use tp_core::{CapObject, Capability, ProtectionConfig, Rights, Syscall, SystemBuilder, UserEnv};
+use tp_core::{
+    CapObject, Capability, ProtectionConfig, Rights, SimError, Syscall, SystemBuilder, UserEnv,
+};
 use tp_sim::machine::slice_index;
 use tp_sim::{CacheGeom, Platform, VAddr, FRAME_SIZE};
 
@@ -56,24 +58,39 @@ pub struct LlcAttackResult {
 /// Run the attack for `slots` spy probe slots on the paper's cross-core
 /// platform (Haswell).
 ///
+/// # Errors
+/// Returns the [`SimError`] of the first simulated program that fails.
+pub fn try_llc_attack(
+    prot: ProtectionConfig,
+    slots: usize,
+    seed: u64,
+) -> Result<LlcAttackResult, SimError> {
+    try_llc_attack_on(Platform::Haswell, prot, slots, seed)
+}
+
+/// Panicking wrapper over [`try_llc_attack`].
+///
 /// # Panics
 /// Panics if the simulation fails.
+#[deprecated(note = "use `try_llc_attack` and handle the `SimError`")]
 #[must_use]
 pub fn llc_attack(prot: ProtectionConfig, slots: usize, seed: u64) -> LlcAttackResult {
-    llc_attack_on(Platform::Haswell, prot, slots, seed)
+    try_llc_attack(prot, slots, seed).expect("simulated program failed")
 }
 
 /// Run the attack on any registered platform with a sliced LLC.
 ///
+/// # Errors
+/// Returns the [`SimError`] of the first simulated program that fails.
+///
 /// # Panics
-/// Panics if the platform has no LLC or the simulation fails.
-#[must_use]
-pub fn llc_attack_on(
+/// Panics if the platform has no LLC.
+pub fn try_llc_attack_on(
     platform: Platform,
     prot: ProtectionConfig,
     slots: usize,
     seed: u64,
-) -> LlcAttackResult {
+) -> Result<LlcAttackResult, SimError> {
     assert!(
         platform.config().llc.is_some(),
         "the LLC attack needs a last-level cache"
@@ -219,14 +236,29 @@ pub fn llc_attack_on(
         }
     });
 
-    let _ = b.run();
+    let _ = b.try_run()?;
 
     let trace = Arc::try_unwrap(trace).map_or_else(|a| a.lock().clone(), Mutex::into_inner);
     let eviction_set_size = *evset_size.lock();
     let squares = square_log.lock().clone();
     let mut result = decode_trace(trace, &true_bits, eviction_set_size);
     result.victim_square_cycles = squares;
-    result
+    Ok(result)
+}
+
+/// Panicking wrapper over [`try_llc_attack_on`].
+///
+/// # Panics
+/// Panics if the platform has no LLC or the simulation fails.
+#[deprecated(note = "use `try_llc_attack_on` and handle the `SimError`")]
+#[must_use]
+pub fn llc_attack_on(
+    platform: Platform,
+    prot: ProtectionConfig,
+    slots: usize,
+    seed: u64,
+) -> LlcAttackResult {
+    try_llc_attack_on(platform, prot, slots, seed).expect("simulated program failed")
 }
 
 /// Decode the probe trace into exponent bits.
@@ -345,7 +377,7 @@ mod tests {
 
     #[test]
     fn raw_attack_recovers_key_bits() {
-        let r = llc_attack(ProtectionConfig::raw(), 6_000, 42);
+        let r = try_llc_attack(ProtectionConfig::raw(), 6_000, 42).expect("sim run failed");
         assert_eq!(r.eviction_set_size, 16);
         assert!(r.activity_detected, "no victim activity observed");
         assert!(
@@ -358,7 +390,7 @@ mod tests {
 
     #[test]
     fn colouring_closes_the_side_channel() {
-        let r = llc_attack(ProtectionConfig::protected(), 2_000, 42);
+        let r = try_llc_attack(ProtectionConfig::protected(), 2_000, 42).expect("sim run failed");
         // The spy cannot build an eviction set into the victim's colours.
         assert!(
             !r.activity_detected || r.accuracy < 0.65,

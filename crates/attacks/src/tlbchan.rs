@@ -5,7 +5,8 @@
 //! own working set and observes the extra page-walk latency. Flushing the
 //! TLBs on domain switch (invpcid / TLBIALL) closes the channel.
 
-use crate::harness::{measure_channel, ChannelOutcome, IntraCoreSpec};
+use crate::harness::{try_measure_channel, ChannelOutcome, IntraCoreSpec};
+use tp_core::SimError;
 use tp_core::UserEnv;
 use tp_sim::{PlatformConfig, VAddr, FRAME_SIZE};
 
@@ -42,14 +43,16 @@ pub fn tlb_sweep_pages(cfg: &PlatformConfig) -> usize {
 }
 
 /// Run the TLB channel.
-#[must_use]
-pub fn tlb_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
+///
+/// # Errors
+/// Returns the [`SimError`] of the first simulated program that fails.
+pub fn try_tlb_channel(spec: &IntraCoreSpec) -> Result<ChannelOutcome, SimError> {
     let cfg = spec.platform.config();
     let pages = tlb_probe_pages(&cfg);
     let sweep = tlb_sweep_pages(&cfg);
     let n = spec.n_symbols;
     let mut sender_base: Option<VAddr> = None;
-    measure_channel(
+    try_measure_channel(
         spec,
         move |env: &mut UserEnv, sym: usize| {
             let base = *sender_base.get_or_insert_with(|| env.map_pages(sweep).0);
@@ -81,6 +84,16 @@ pub fn tlb_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
     )
 }
 
+/// Panicking wrapper over [`try_tlb_channel`].
+///
+/// # Panics
+/// Panics if the simulation fails.
+#[deprecated(note = "use `try_tlb_channel` and handle the `SimError`")]
+#[must_use]
+pub fn tlb_channel(spec: &IntraCoreSpec) -> ChannelOutcome {
+    try_tlb_channel(spec).expect("simulated program failed")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,19 +102,21 @@ mod tests {
 
     #[test]
     fn tlb_raw_leaks_protected_closed() {
-        let raw = tlb_channel(&IntraCoreSpec::new(
+        let raw = try_tlb_channel(&IntraCoreSpec::new(
             Platform::Haswell,
             Scenario::Raw,
             8,
             120,
-        ));
+        ))
+        .expect("sim run failed");
         assert!(raw.verdict.leaks, "raw TLB: {}", raw.summary());
-        let prot = tlb_channel(&IntraCoreSpec::new(
+        let prot = try_tlb_channel(&IntraCoreSpec::new(
             Platform::Haswell,
             Scenario::Protected,
             8,
             120,
-        ));
+        ))
+        .expect("sim run failed");
         // Protected outputs are near-constant, which makes the absolute MI
         // estimate noise-dominated; the §5.1 criterion is M ≤ M0.
         assert!(

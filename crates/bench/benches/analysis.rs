@@ -35,15 +35,15 @@ fn bench_density(c: &mut Criterion) {
     let d = dataset(1_000);
     let samples = d.class(3);
     let (lo, hi) = (0.0, 180.0);
-    let width = (hi - lo) / 512.0;
+    let width = (hi - lo) / 256.0;
     let kde = Kde::fit(&samples, lo, hi, width);
-    let grid: Vec<f64> = (0..512).map(|i| lo + (i as f64 + 0.5) * width).collect();
-    let mut g = c.benchmark_group("kde_density_512");
+    let grid: Vec<f64> = (0..256).map(|i| lo + (i as f64 + 0.5) * width).collect();
+    let mut g = c.benchmark_group("kde_density_256");
     g.bench_function("naive_oracle", |b| {
         b.iter(|| black_box(kde.density_grid(&grid)));
     });
     g.bench_function("banded_convolution", |b| {
-        b.iter(|| black_box(kde.density_grid_aligned(512)));
+        b.iter(|| black_box(kde.density_grid_aligned(256)));
     });
     g.finish();
 }

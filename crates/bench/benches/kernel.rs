@@ -39,7 +39,7 @@ fn bench_domain_switch(c: &mut Criterion) {
         ("protected", ProtectionConfig::protected()),
     ] {
         g.bench_function(name, |b| {
-            let (mut m, mut k) = setup(prot.clone());
+            let (mut m, mut k) = setup(prot);
             let d0 = k.create_domain(ColorSet::range(0, 4), 1024).unwrap();
             let d1 = k.create_domain(ColorSet::range(4, 8), 1024).unwrap();
             if prot.clone_kernel {

@@ -44,6 +44,7 @@ use std::time::{Duration, Instant};
 use tp_bench::campaign::{
     bench_json, check_goldens, golden_json, registry, results_json, ExperimentDef, ExperimentResult,
 };
+use tp_bench::cli;
 use tp_bench::store::{
     self, read_artifact, write_atomic, CampaignLock, CellRecord, Journal, JournalHeader,
 };
@@ -90,6 +91,7 @@ fn parse_shard(spec: &str) -> Result<(usize, usize), String> {
 }
 
 fn parse_args() -> Result<Args, String> {
+    let mut common = cli::Common::new().with_json();
     let mut args = Args {
         list: false,
         only: Vec::new(),
@@ -101,31 +103,24 @@ fn parse_args() -> Result<Args, String> {
         shard: None,
         merge: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = cli::ArgStream::from_env();
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        if common.accept(&arg, &mut it)? {
+            continue;
+        }
         match arg.as_str() {
             "--list" => args.list = true,
             "--resume" => args.resume = true,
             "--only" => {
                 args.only
-                    .extend(value("--only")?.split(',').map(str::to_string));
+                    .extend(it.value("--only")?.split(',').map(str::to_string));
             }
-            "--platform" => {
-                for key in value("--platform")?.split(',') {
-                    let p = Platform::from_key(key).ok_or_else(|| {
-                        let known: Vec<_> = Platform::ALL.iter().map(|p| p.key()).collect();
-                        format!("unknown platform {key:?}; known: {}", known.join(", "))
-                    })?;
-                    args.platforms.push(p);
-                }
-            }
-            "--json" => args.json = Some(value("--json")?),
-            "--check" => args.check = Some(value("--check")?),
-            "--update-goldens" => args.update_goldens = Some(value("--update-goldens")?),
-            "--shard" => args.shard = Some(parse_shard(&value("--shard")?)?),
+            "--check" => args.check = Some(it.value("--check")?),
+            "--update-goldens" => args.update_goldens = Some(it.value("--update-goldens")?),
+            "--shard" => args.shard = Some(parse_shard(&it.value("--shard")?)?),
             "--merge" => {
-                let n: usize = value("--merge")?
+                let n: usize = it
+                    .value("--merge")?
                     .parse()
                     .map_err(|_| "--merge needs a shard count N".to_string())?;
                 if n == 0 {
@@ -140,9 +135,8 @@ fn parse_args() -> Result<Args, String> {
             }
         }
     }
-    if args.platforms.is_empty() {
-        args.platforms = Platform::ALL.to_vec();
-    }
+    args.platforms = common.platforms;
+    args.json = common.json;
     if args.shard.is_some() && args.merge.is_some() {
         return Err("--shard and --merge are mutually exclusive".into());
     }

@@ -29,6 +29,7 @@
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode, Stdio};
 use std::time::{Duration, Instant};
+use tp_bench::cli;
 use tp_bench::store::write_atomic;
 use tp_bench::supervise::{
     self, cell_timeout_override, probe_cell, quarantine_json, run_cell, CellOutcome,
@@ -356,6 +357,19 @@ fn run_store_fault(
 }
 
 fn main() -> ExitCode {
+    // Chaos is driven entirely by `TP_FAULT`; it takes no flags of its
+    // own, but it shares the bad-flag convention (report + exit 2) so a
+    // typo'd invocation fails loudly instead of running the full matrix.
+    cli::parse_or_exit("chaos", || {
+        let mut it = cli::ArgStream::from_env();
+        match it.next() {
+            Some(other) => Err(format!(
+                "unknown argument {other:?} (chaos is configured via TP_FAULT)"
+            )),
+            None => Ok(()),
+        }
+    });
+
     // `TP_FAULT` selects either one store-level class (parsed here) or one
     // in-process class (parsed by `FaultPlan`); unset runs everything.
     let raw_fault = std::env::var("TP_FAULT").ok();

@@ -12,6 +12,7 @@
 //! cargo run --release --bin replay -- --platform sabre --flip 17
 //! ```
 
+use tp_bench::cli::{self, parse_u64};
 use tp_core::replay::{self, Booted, Genesis};
 use tp_core::{Commit, Snapshot};
 use tp_sim::Platform;
@@ -24,35 +25,26 @@ struct Args {
     flip: Option<usize>,
 }
 
-fn parse_args() -> Args {
+fn parse_args() -> Result<Args, String> {
+    let mut common = cli::Common::new().with_seed(0x5EED);
     let mut args = Args {
-        platforms: Platform::ALL.to_vec(),
-        seed: 0x5EED,
+        platforms: Vec::new(),
+        seed: 0,
         ops: 200,
         snapshot_at: None,
         flip: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = cli::ArgStream::from_env();
     while let Some(a) = it.next() {
-        let mut val = |name: &str| {
-            it.next()
-                .unwrap_or_else(|| panic!("{name} requires a value"))
-        };
+        if common.accept(&a, &mut it)? {
+            continue;
+        }
         match a.as_str() {
-            "--platform" => {
-                let v = val("--platform");
-                if v == "all" {
-                    args.platforms = Platform::ALL.to_vec();
-                } else {
-                    let p =
-                        Platform::from_key(&v).unwrap_or_else(|| panic!("unknown platform {v:?}"));
-                    args.platforms = vec![p];
-                }
+            "--ops" => args.ops = parse_u64("--ops", &it.value("--ops")?)?,
+            "--snapshot-at" => {
+                args.snapshot_at = Some(parse_u64("--snapshot-at", &it.value("--snapshot-at")?)?);
             }
-            "--seed" => args.seed = parse_u64(&val("--seed")),
-            "--ops" => args.ops = parse_u64(&val("--ops")),
-            "--snapshot-at" => args.snapshot_at = Some(parse_u64(&val("--snapshot-at"))),
-            "--flip" => args.flip = Some(parse_u64(&val("--flip")) as usize),
+            "--flip" => args.flip = Some(parse_u64("--flip", &it.value("--flip")?)? as usize),
             "--help" | "-h" => {
                 println!(
                     "usage: replay [--platform KEY|all] [--seed N] [--ops N] \
@@ -60,14 +52,12 @@ fn parse_args() -> Args {
                 );
                 std::process::exit(0);
             }
-            other => panic!("unknown argument {other:?}"),
+            other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    args
-}
-
-fn parse_u64(s: &str) -> u64 {
-    s.parse().unwrap_or_else(|_| panic!("bad number {s:?}"))
+    args.platforms = common.platforms;
+    args.seed = common.seed.expect("seed enabled");
+    Ok(args)
 }
 
 fn splitmix(state: &mut u64) -> u64 {
@@ -80,7 +70,7 @@ fn splitmix(state: &mut u64) -> u64 {
 
 #[allow(clippy::too_many_lines)]
 fn main() {
-    let args = parse_args();
+    let args = cli::parse_or_exit("replay", parse_args);
     let mut failed = false;
 
     for &platform in &args.platforms {

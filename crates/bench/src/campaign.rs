@@ -172,7 +172,7 @@ fn needs_llc(p: Platform) -> bool {
 /// Run one intra-core channel under the three §5.2 scenarios.
 fn scenario_sweep(
     channel: &'static str,
-    run: fn(&IntraCoreSpec) -> ChannelOutcome,
+    run: fn(&IntraCoreSpec) -> Result<ChannelOutcome, SimError>,
     platform: Platform,
 ) -> Result<Vec<ChannelResult>, SimError> {
     // The L2 channel's protected residue is the paper's most marginal
@@ -196,34 +196,34 @@ fn scenario_sweep(
             if channel == "L2" {
                 spec = spec.with_slice_us(cache::l2_slice_us(&platform.config()));
             }
-            Ok(run(&spec))
+            run(&spec)
         })
     })
     .collect()
 }
 
 fn run_l1d(p: Platform) -> Result<Vec<ChannelResult>, SimError> {
-    scenario_sweep("L1-D", cache::l1d_channel, p)
+    scenario_sweep("L1-D", cache::try_l1d_channel, p)
 }
 
 fn run_l1i(p: Platform) -> Result<Vec<ChannelResult>, SimError> {
-    scenario_sweep("L1-I", cache::l1i_channel, p)
+    scenario_sweep("L1-I", cache::try_l1i_channel, p)
 }
 
 fn run_tlb(p: Platform) -> Result<Vec<ChannelResult>, SimError> {
-    scenario_sweep("TLB", tlbchan::tlb_channel, p)
+    scenario_sweep("TLB", tlbchan::try_tlb_channel, p)
 }
 
 fn run_btb(p: Platform) -> Result<Vec<ChannelResult>, SimError> {
-    scenario_sweep("BTB", branchchan::btb_channel, p)
+    scenario_sweep("BTB", branchchan::try_btb_channel, p)
 }
 
 fn run_bhb(p: Platform) -> Result<Vec<ChannelResult>, SimError> {
-    scenario_sweep("BHB", branchchan::bhb_channel, p)
+    scenario_sweep("BHB", branchchan::try_bhb_channel, p)
 }
 
 fn run_l2(p: Platform) -> Result<Vec<ChannelResult>, SimError> {
-    scenario_sweep("L2", cache::l2_channel, p)
+    scenario_sweep("L2", cache::try_l2_channel, p)
 }
 
 fn run_kernel_image(p: Platform) -> Result<Vec<ChannelResult>, SimError> {
@@ -237,7 +237,7 @@ fn run_kernel_image(p: Platform) -> Result<Vec<ChannelResult>, SimError> {
         vote("kernel-image", mech, |seed| {
             let spec = IntraCoreSpec {
                 platform: p,
-                prot: prot.clone(),
+                prot,
                 n_symbols: 4,
                 samples: n,
                 slice_us: 50.0,
@@ -281,9 +281,7 @@ fn run_interrupt(p: Platform) -> Result<Vec<ChannelResult>, SimError> {
         .into_iter()
         .map(|(mech, part)| {
             vote("interrupt", mech, |seed| {
-                Ok(interrupt::interrupt_channel(
-                    &interrupt::paper_spec(p, part, n).with_seed(seed),
-                ))
+                interrupt::try_interrupt_channel(&interrupt::paper_spec(p, part, n).with_seed(seed))
             })
         })
         .collect()
@@ -304,16 +302,31 @@ fn run_bus(p: Platform) -> Result<Vec<ChannelResult>, SimError> {
         .collect()
 }
 
+fn run_cloud(p: Platform) -> Result<Vec<ChannelResult>, SimError> {
+    [
+        ("raw", ProtectionConfig::raw()),
+        ("protected", ProtectionConfig::protected()),
+    ]
+    .into_iter()
+    .map(|(mech, prot)| {
+        vote("cloud", mech, |seed| {
+            let spec = crate::cloud::CloudSpec::new(p, prot, 96).with_seed(seed);
+            crate::cloud::run_cloud(&spec).map(|r| r.outcome)
+        })
+    })
+    .collect()
+}
+
 fn run_llc(p: Platform) -> Result<Vec<ChannelResult>, SimError> {
     let slots = samples(6_000).max(3_000);
-    Ok([
+    [
         ("raw", ProtectionConfig::raw(), slots),
         ("protected", ProtectionConfig::protected(), slots / 2),
     ]
     .into_iter()
     .map(|(mech, prot, slots)| {
-        let r = llc::llc_attack_on(p, prot, slots, 42);
-        ChannelResult {
+        let r = llc::try_llc_attack_on(p, prot, slots, 42)?;
+        Ok(ChannelResult {
             channel: "LLC-ElGamal",
             mechanism: mech,
             metric: "accuracy_pct",
@@ -321,9 +334,9 @@ fn run_llc(p: Platform) -> Result<Vec<ChannelResult>, SimError> {
             baseline: 50.0,
             leaks: r.activity_detected && r.accuracy > 0.65,
             samples: r.recovered_bits.len(),
-        }
+        })
     })
-    .collect())
+    .collect()
 }
 
 /// The experiment registry, in report order.
@@ -417,6 +430,14 @@ pub fn registry() -> Vec<ExperimentDef> {
             cost: 6,
             supports: needs_llc,
             run: run_llc,
+        },
+        ExperimentDef {
+            name: "cloud",
+            title: "Consolidated-tenant aggregate leakage (cloud scenario)",
+            paper: "§1 / §2.1 motivation, §5 mechanisms",
+            cost: 7,
+            supports: any_platform,
+            run: run_cloud,
         },
     ]
 }
@@ -829,8 +850,8 @@ mod tests {
         let pinned_scale = golden_tp_samples(&text).expect("tp_samples header");
         let m = parse_golden(&text);
         assert!(
-            m.len() >= 116,
-            "expected 116+ pinned verdicts, got {}",
+            m.len() >= 124,
+            "expected 124+ pinned verdicts, got {}",
             m.len()
         );
         let rewritten = golden_json_from_map(&m, pinned_scale);
@@ -852,7 +873,7 @@ mod tests {
         );
         let results = results_from_golden(&parse_golden(&text));
         let n = check_goldens(&text, &results).expect("pinned goldens self-check");
-        assert!(n >= 116, "checked {n} verdicts");
+        assert!(n >= 124, "checked {n} verdicts");
 
         // Synthetically flip the first pinned verdict: check must fail.
         let flipped = if let Some(pos) = text.find("\"verdict\": \"closed\"") {

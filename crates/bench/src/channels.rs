@@ -46,14 +46,14 @@ pub fn fig3() -> Result<String, SimError> {
 }
 
 /// The six intra-core channels of Table 3.
-fn run_channel(name: &str, spec: &IntraCoreSpec) -> ChannelOutcome {
+fn run_channel(name: &str, spec: &IntraCoreSpec) -> Result<ChannelOutcome, SimError> {
     match name {
-        "L1-D" => cache::l1d_channel(spec),
-        "L1-I" => cache::l1i_channel(spec),
-        "TLB" => tlbchan::tlb_channel(spec),
-        "BTB" => branchchan::btb_channel(spec),
-        "BHB" => branchchan::bhb_channel(spec),
-        "L2" => cache::l2_channel(spec),
+        "L1-D" => cache::try_l1d_channel(spec),
+        "L1-I" => cache::try_l1i_channel(spec),
+        "TLB" => tlbchan::try_tlb_channel(spec),
+        "BTB" => branchchan::try_btb_channel(spec),
+        "BHB" => branchchan::try_bhb_channel(spec),
+        "L2" => cache::try_l2_channel(spec),
         _ => unreachable!(),
     }
 }
@@ -91,9 +91,9 @@ pub fn table3() -> Result<String, SimError> {
     let mut residual_note = String::new();
     for platform in Platform::ALL {
         for name in ["L1-D", "L1-I", "TLB", "BTB", "BHB", "L2"] {
-            let raw = run_channel(name, &channel_spec(platform, Scenario::Raw, name, n));
-            let ff = run_channel(name, &channel_spec(platform, Scenario::FullFlush, name, n));
-            let prot = run_channel(name, &channel_spec(platform, Scenario::Protected, name, n));
+            let raw = run_channel(name, &channel_spec(platform, Scenario::Raw, name, n))?;
+            let ff = run_channel(name, &channel_spec(platform, Scenario::FullFlush, name, n))?;
+            let prot = run_channel(name, &channel_spec(platform, Scenario::Protected, name, n))?;
             t.row(&[
                 platform.short_name().to_string(),
                 name.to_string(),
@@ -115,7 +115,7 @@ pub fn table3() -> Result<String, SimError> {
             if name == "L2" && platform == Platform::Haswell {
                 let mut spec = channel_spec(platform, Scenario::Protected, name, 3 * n);
                 spec.prot = spec.prot.with_prefetcher_disabled();
-                let nopf = run_channel(name, &spec);
+                let nopf = run_channel(name, &spec)?;
                 residual_note = format!(
                     "x86 L2 protected, data prefetcher disabled (n = {}): M = {} mb (M0 = {:.1} mb)\n",
                     nopf.dataset.len(),
@@ -136,11 +136,11 @@ pub fn table3() -> Result<String, SimError> {
 /// protected.
 ///
 /// # Errors
-/// Infallible today; `Result` keeps the experiment surface uniform.
+/// Propagates the first [`SimError`] from a failed channel simulation.
 pub fn fig4() -> Result<String, SimError> {
     let slots = samples(6_000).max(3_000);
-    let raw = llc::llc_attack(ProtectionConfig::raw(), slots, 42);
-    let prot = llc::llc_attack(ProtectionConfig::protected(), slots / 2, 42);
+    let raw = llc::try_llc_attack(ProtectionConfig::raw(), slots, 42)?;
+    let prot = llc::try_llc_attack(ProtectionConfig::protected(), slots / 2, 42)?;
     let mut out = String::from("Figure 4: Cross-core LLC side channel against ElGamal\n(square-and-multiply exponentiation, Liu et al. prime&probe).\n\n");
     out.push_str(&format!(
         "raw:       eviction set {:2} lines, activity {}, {} bits recovered, key-bit accuracy {:.1}%\n",
@@ -246,11 +246,13 @@ pub fn table4() -> Result<String, SimError> {
 /// value), unmitigated and with IRQ partitioning.
 ///
 /// # Errors
-/// Infallible today; `Result` keeps the experiment surface uniform.
+/// Propagates the first [`SimError`] from a failed channel simulation.
 pub fn fig6() -> Result<String, SimError> {
     let n = samples(250);
-    let raw = interrupt::interrupt_channel(&interrupt::paper_spec(Platform::Haswell, false, n));
-    let part = interrupt::interrupt_channel(&interrupt::paper_spec(Platform::Haswell, true, n));
+    let raw =
+        interrupt::try_interrupt_channel(&interrupt::paper_spec(Platform::Haswell, false, n))?;
+    let part =
+        interrupt::try_interrupt_channel(&interrupt::paper_spec(Platform::Haswell, true, n))?;
     let mut out = String::from(
         "Figure 6: Interrupt channel: spy-observed online time vs the timer\ninterrupt configured by the Trojan (13..17 ms, 10 ms tick).\n\n",
     );
@@ -284,14 +286,14 @@ pub fn ablations() -> Result<String, SimError> {
     // Requirement 1: on-core flush off -> L1-D channel.
     let mut prot = ProtectionConfig::protected();
     prot.flush = tp_core::FlushMode::None;
-    let o = cache::l1d_channel(&IntraCoreSpec {
+    let o = cache::try_l1d_channel(&IntraCoreSpec {
         platform: Platform::Haswell,
         prot,
         n_symbols: 8,
         samples: n,
         slice_us: 50.0,
         seed: 0x5EED,
-    });
+    })?;
     push_ablation(&mut t, "R1 on-core flush", "L1-D prime&probe", &o);
 
     // Requirement 2: kernel clone off — the Figure 3 "coloured userland
@@ -324,7 +326,7 @@ pub fn ablations() -> Result<String, SimError> {
     push_ablation(&mut t, "R4 switch padding", "flush write-back latency", &o);
 
     // Requirement 5: interrupt partitioning off.
-    let o = interrupt::interrupt_channel(&interrupt::paper_spec(Platform::Haswell, false, n));
+    let o = interrupt::try_interrupt_channel(&interrupt::paper_spec(Platform::Haswell, false, n))?;
     push_ablation(
         &mut t,
         "R5 IRQ partitioning",

@@ -16,6 +16,8 @@
 
 pub mod campaign;
 pub mod channels;
+pub mod cli;
+pub mod cloud;
 pub mod splash;
 pub mod store;
 pub mod supervise;

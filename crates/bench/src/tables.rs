@@ -281,7 +281,7 @@ pub fn table6() -> String {
                     continue;
                 }
                 let mut m = Machine::new(cfg, 33);
-                let mut k = Kernel::new(cfg, prot.clone(), 16_384, u64::MAX / 4);
+                let mut k = Kernel::new(cfg, prot, 16_384, u64::MAX / 4);
                 let n = k.cfg.partition_colors();
                 let d0 = k
                     .create_domain(ColorSet::range(0, n / 2), 2048)

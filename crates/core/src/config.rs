@@ -21,7 +21,10 @@ pub enum FlushMode {
 }
 
 /// Configuration of the time-protection mechanism suite.
-#[derive(Debug, Clone)]
+///
+/// `Copy`: the config is a handful of flags, so it travels by value inside
+/// [`crate::system::SystemSpec`] and across experiment sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProtectionConfig {
     /// Partition user memory (and hence all dynamically allocated kernel
     /// data, §2.4) by page colour.

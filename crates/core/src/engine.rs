@@ -1,17 +1,35 @@
-//! The execution engine: deterministic thread-per-process co-simulation.
+//! The execution engine: deterministic cooperative co-simulation.
 //!
-//! Each simulated user program runs on its own host thread, but **all**
+//! Each simulated user program runs as a schedulable task, but **all**
 //! hardware and kernel interaction goes through [`UserEnv`], which holds a
-//! single global simulation lock and only admits the thread that the
+//! single global simulation lock and only admits the task that the
 //! simulated kernel has scheduled (and, on multicore, whose core holds the
 //! window token). Preemption, blocking IPC and idle-time skipping happen
 //! *inside* env calls, so attack code is written as natural straight-line
 //! loops reading the simulated cycle counter — exactly like real attack
 //! code against real hardware.
 //!
+//! Two executors implement that contract (see [`ExecMode`]):
+//!
+//! * **Cooperative** (the default): N environments become stackful
+//!   coroutines ([`tp_exec::Coro`]) multiplexed over M host worker threads.
+//!   Wherever an environment would block an OS thread — the `wait_turn`
+//!   admission loop, and therefore every env op and `wait_preempt` — it
+//!   *suspends* back to the worker instead, and a driver picks the next
+//!   admissible task straight from the kernel's scheduling state. This is
+//!   what lets a simulation hold thousands of environments (the `cloud`
+//!   scenario) on a handful of host threads.
+//! * **Thread-per-environment** (`TP_EXECUTOR=threads`): the original
+//!   engine, one parked host thread per program, kept as a differential
+//!   oracle — the workspace property tests pin that both executors produce
+//!   bit-identical reports.
+//!
 //! Determinism: the scheduling admission predicate is a pure function of
 //! simulation state, all randomness is seeded, and cross-core interleaving
-//! is quantised to a fixed cycle window.
+//! is quantised to a fixed cycle window. Under the cooperative executor the
+//! driver is additionally serialized (one task runs at any instant — which
+//! the single window token already forces), so results are independent of
+//! the worker count M by construction.
 
 use crate::kernel::{Kernel, KernelError, SysReturn, Syscall};
 use crate::objects::{DomainId, TcbId, ThreadState, VSpaceId};
@@ -462,6 +480,16 @@ impl UserEnv {
                 g.idle_advance();
                 g.rotate_token();
                 self.ctl.cv.notify_all();
+                continue;
+            }
+            if tp_exec::on_coroutine() {
+                // Cooperative executor: hand the host worker back to the
+                // driver instead of blocking it. The simulation lock is
+                // released for the duration of the suspend (the task may be
+                // resumed by a different worker thread) and re-acquired
+                // before the predicate is re-checked. Watchdog duties live
+                // in the driver's decide loop under this executor.
+                g.unlocked(tp_exec::suspend);
                 continue;
             }
             match g.deadline {
@@ -954,12 +982,126 @@ impl UserEnv {
 /// One program to run: (tcb, core, domain, colors, program, primary).
 pub type ProgramSpec = (TcbId, usize, DomainId, ColorSet, Box<dyn UserProgram>, bool);
 
-/// Run the set of programs to completion and return the final state.
+/// How [`run_programs_with`] maps simulated environments onto host threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// The cooperative executor: N environments as stackful coroutines
+    /// multiplexed over M host worker threads. The default.
+    Coop {
+        /// Host worker threads. `0` means auto: `TP_THREADS` if set, else
+        /// the host's available parallelism.
+        workers: usize,
+    },
+    /// The original thread-per-environment executor, kept as a differential
+    /// oracle and portability escape hatch.
+    Threads,
+}
+
+impl Default for ExecMode {
+    fn default() -> Self {
+        default_exec_mode()
+    }
+}
+
+/// The process-wide default executor: cooperative, unless
+/// `TP_EXECUTOR=threads` selects the legacy engine. Read once.
+pub fn default_exec_mode() -> ExecMode {
+    static MODE: std::sync::OnceLock<ExecMode> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("TP_EXECUTOR").as_deref() {
+        Ok("threads") => ExecMode::Threads,
+        _ => ExecMode::Coop { workers: 0 },
+    })
+}
+
+/// Resolve `Coop { workers: 0 }`: `TP_THREADS`, else host parallelism.
+fn auto_workers() -> usize {
+    std::env::var("TP_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Run the set of programs to completion under the default executor (see
+/// [`default_exec_mode`]) and return the final state.
 ///
 /// The simulation stops when all primary programs finish, `max_cycles`
 /// elapses, or the system goes permanently idle.
 #[must_use]
 pub fn run_programs(ctl: Arc<SimCtl>, programs: Vec<ProgramSpec>) -> Arc<SimCtl> {
+    run_programs_with(ctl, programs, default_exec_mode())
+}
+
+/// [`run_programs`] with an explicit executor choice.
+#[must_use]
+pub fn run_programs_with(
+    ctl: Arc<SimCtl>,
+    programs: Vec<ProgramSpec>,
+    mode: ExecMode,
+) -> Arc<SimCtl> {
+    match mode {
+        ExecMode::Threads => run_programs_threads(ctl, programs),
+        ExecMode::Coop { workers } => {
+            let m = if workers == 0 {
+                auto_workers()
+            } else {
+                workers
+            };
+            run_programs_coop(ctl, programs, m)
+        }
+    }
+}
+
+/// Shared exit bookkeeping for a finished environment, identical across
+/// executors: classify the unwind payload (a [`SimExit`] is a normal stop,
+/// anything else is the cell's first error), retire the thread in the
+/// kernel, count down primaries and stop when none remain, then let the
+/// simulation reschedule.
+fn finish_program(
+    ctl: &SimCtl,
+    tcb: TcbId,
+    primary: bool,
+    payload: Option<Box<dyn std::any::Any + Send>>,
+) {
+    let mut g = ctl.inner.lock();
+    if let Some(p) = payload {
+        if !p.is::<SimExit>() {
+            let msg = p
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| p.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "worker panicked".to_string());
+            g.stop = true;
+            if g.error.is_none() {
+                g.error = Some(msg);
+            }
+        }
+    }
+    let SimInner {
+        machine, kernel, ..
+    } = &mut *g;
+    kernel.thread_exited(machine, tcb);
+    if primary {
+        g.primaries_left = g.primaries_left.saturating_sub(1);
+        if g.primaries_left == 0 {
+            g.stop = true;
+        }
+    }
+    g.epoch += 1;
+    if !g.any_current() {
+        g.idle_advance();
+    }
+    g.rotate_token();
+    ctl.cv.notify_all();
+}
+
+/// The legacy executor: one host thread per program, parked in `wait_turn`
+/// on the scheduler condvar whenever its environment is not admitted.
+fn run_programs_threads(ctl: Arc<SimCtl>, programs: Vec<ProgramSpec>) -> Arc<SimCtl> {
     install_quiet_panic_hook();
     let cfg = ctl.inner.lock().machine.cfg;
     {
@@ -975,42 +1117,233 @@ pub fn run_programs(ctl: Arc<SimCtl>, programs: Vec<ProgramSpec>) -> Arc<SimCtl>
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 prog.run(&mut env);
             }));
-            let mut g = ctl2.inner.lock();
-            if let Err(p) = result {
-                if !p.is::<SimExit>() {
-                    let msg = p
-                        .downcast_ref::<String>()
-                        .cloned()
-                        .or_else(|| p.downcast_ref::<&str>().map(|s| (*s).to_string()))
-                        .unwrap_or_else(|| "worker panicked".to_string());
-                    g.stop = true;
-                    if g.error.is_none() {
-                        g.error = Some(msg);
-                    }
-                }
-            }
-            let SimInner {
-                machine, kernel, ..
-            } = &mut *g;
-            kernel.thread_exited(machine, tcb);
-            if primary {
-                g.primaries_left = g.primaries_left.saturating_sub(1);
-                if g.primaries_left == 0 {
-                    g.stop = true;
-                }
-            }
-            g.epoch += 1;
-            if !g.any_current() {
-                g.idle_advance();
-            }
-            g.rotate_token();
-            ctl2.cv.notify_all();
+            finish_program(&ctl2, tcb, primary, result.err());
         }));
     }
     for h in handles {
         let _ = h.join();
     }
     ctl
+}
+
+/// One environment task owned by the cooperative executor.
+struct CoopTask {
+    /// The coroutine, `None` only transiently while a worker runs it.
+    coro: Option<tp_exec::Coro>,
+    tcb: TcbId,
+    primary: bool,
+    done: bool,
+}
+
+/// Executor state shared by the M workers.
+struct CoopState {
+    tasks: Vec<CoopTask>,
+    /// `tcb.0` → task index, for the driver's admission lookup.
+    by_tcb: Vec<Option<usize>>,
+    /// A worker currently holds the driver role (decides and runs the next
+    /// task). Exactly one at a time: with a single window token at most one
+    /// environment is admissible anyway, so serializing the drive loses no
+    /// parallelism and makes results independent of M by construction.
+    driving: bool,
+    /// Tasks not yet run to completion.
+    remaining: usize,
+}
+
+impl CoopState {
+    fn task_of(&self, tcb: TcbId) -> Option<usize> {
+        self.by_tcb.get(tcb.0).copied().flatten()
+    }
+}
+
+/// What the driver decided to do next.
+enum Pick {
+    /// Resume the task at this index.
+    Run(usize),
+    /// Every task has completed; the executor is done.
+    Done,
+}
+
+/// Choose the next task as a pure function of simulation state: the thread
+/// the kernel has scheduled on the token-holding core. Advances idle time
+/// and rotates the token exactly like the blocked-thread path of the legacy
+/// executor, and owns the wall-clock watchdog when a deadline is armed.
+/// Once the simulation stops, drains the remaining tasks in ascending index
+/// order so each unwinds (via [`SimExit`] at its next admission check) and
+/// releases its resources.
+fn coop_decide(g: &mut parking_lot::MutexGuard<'_, SimInner>, st: &CoopState) -> Pick {
+    loop {
+        if st.remaining == 0 {
+            return Pick::Done;
+        }
+        if g.stop {
+            let idx = st
+                .tasks
+                .iter()
+                .position(|t| !t.done)
+                .expect("remaining > 0 implies an unfinished task");
+            return Pick::Run(idx);
+        }
+        if let Some(d) = g.deadline {
+            if std::time::Instant::now() >= d {
+                g.stop = true;
+                if g.error.is_none() {
+                    g.error = Some(
+                        "watchdog: wall-clock deadline exceeded with no \
+                         scheduling progress"
+                            .to_string(),
+                    );
+                }
+                g.epoch += 1;
+                continue;
+            }
+        }
+        let token = g.token;
+        if let Some(tcb) = g.kernel.cores[token].cur {
+            match st.task_of(tcb).filter(|&i| !st.tasks[i].done) {
+                Some(idx) => return Pick::Run(idx),
+                None => {
+                    // A scheduled thread with no live task violates the
+                    // executor invariant (threads retire via
+                    // `thread_exited` before their task completes).
+                    // Degrade to a clean stop instead of spinning.
+                    g.stop = true;
+                    if g.error.is_none() {
+                        g.error = Some("executor: scheduled thread has no live task".to_string());
+                    }
+                    g.epoch += 1;
+                    continue;
+                }
+            }
+        }
+        if !g.any_current() {
+            // May stop the simulation (permanently idle / cycle budget).
+            g.idle_advance();
+            g.rotate_token();
+            continue;
+        }
+        // The token core is inactive but some core is running: the rotate
+        // moves the token to the laggard active core, so the next iteration
+        // finds a scheduled thread there.
+        g.rotate_token();
+    }
+}
+
+/// The cooperative executor: N coroutines over M workers.
+///
+/// Workers take turns holding the driver role (serialized by
+/// `CoopState::driving`): decide the next admissible task under the
+/// simulation lock, resume it with **no** locks held (the task re-acquires
+/// the simulation lock inside its env ops and releases it across suspends),
+/// and on completion run the shared exit bookkeeping. Everything observable
+/// is decided by simulation state, never by which worker moved first.
+fn run_programs_coop(ctl: Arc<SimCtl>, programs: Vec<ProgramSpec>, workers: usize) -> Arc<SimCtl> {
+    install_quiet_panic_hook();
+    if programs.is_empty() {
+        return ctl;
+    }
+    let cfg = ctl.inner.lock().machine.cfg;
+    {
+        let mut g = ctl.inner.lock();
+        g.primaries_left = programs.iter().filter(|p| p.5).count();
+    }
+    let stack_bytes = tp_exec::default_stack_bytes();
+    let mut tasks = Vec::with_capacity(programs.len());
+    let mut by_tcb: Vec<Option<usize>> = Vec::new();
+    for (idx, (tcb, core, domain, colors, mut prog, primary)) in programs.into_iter().enumerate() {
+        let ctl2 = Arc::clone(&ctl);
+        let coro = tp_exec::Coro::with_stack(stack_bytes, move || {
+            let mut env = UserEnv::new(ctl2, tcb, core, domain, cfg, colors);
+            prog.run(&mut env);
+        });
+        if by_tcb.len() <= tcb.0 {
+            by_tcb.resize(tcb.0 + 1, None);
+        }
+        by_tcb[tcb.0] = Some(idx);
+        tasks.push(CoopTask {
+            coro: Some(coro),
+            tcb,
+            primary,
+            done: false,
+        });
+    }
+    let n = tasks.len();
+    let exec = Arc::new((
+        Mutex::new(CoopState {
+            tasks,
+            by_tcb,
+            driving: false,
+            remaining: n,
+        }),
+        Condvar::new(),
+    ));
+    let m = workers.clamp(1, n);
+    let mut handles = Vec::with_capacity(m);
+    for _ in 0..m {
+        let ctl2 = Arc::clone(&ctl);
+        let exec2 = Arc::clone(&exec);
+        handles.push(std::thread::spawn(move || coop_worker(&ctl2, &exec2)));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    ctl
+}
+
+/// One worker of the cooperative executor; see [`run_programs_coop`].
+fn coop_worker(ctl: &SimCtl, exec: &(Mutex<CoopState>, Condvar)) {
+    let (lock, cv) = exec;
+    loop {
+        // Claim the driver role and decide the next task.
+        let (idx, mut coro, tcb, primary) = {
+            let mut st = lock.lock();
+            loop {
+                if st.remaining == 0 {
+                    cv.notify_all();
+                    return;
+                }
+                if !st.driving {
+                    break;
+                }
+                cv.wait(&mut st);
+            }
+            let pick = {
+                let mut g = ctl.inner.lock();
+                coop_decide(&mut g, &st)
+            };
+            match pick {
+                Pick::Done => {
+                    cv.notify_all();
+                    return;
+                }
+                Pick::Run(idx) => {
+                    st.driving = true;
+                    let t = &mut st.tasks[idx];
+                    (
+                        idx,
+                        t.coro.take().expect("idle task owns its coroutine"),
+                        t.tcb,
+                        t.primary,
+                    )
+                }
+            }
+        };
+        // Run the task lock-free: it suspends back here from `wait_turn`
+        // whenever it stops being admitted, or completes (return / unwind).
+        let complete = coro.resume();
+        if complete {
+            finish_program(ctl, tcb, primary, coro.take_panic());
+        }
+        let mut st = lock.lock();
+        let t = &mut st.tasks[idx];
+        if complete {
+            t.done = true;
+            st.remaining -= 1;
+        } else {
+            t.coro = Some(coro);
+        }
+        st.driving = false;
+        cv.notify_all();
+    }
 }
 
 fn install_quiet_panic_hook() {

@@ -68,9 +68,12 @@ pub mod system;
 
 pub use commit::{Commit, CommitLog, StateHasher};
 pub use config::{FlushMode, ProtectionConfig};
-pub use engine::{EnvPlan, SimCtl, SimError, SimErrorKind, SimInner, UserEnv, UserProgram};
+pub use engine::{
+    default_exec_mode, EnvPlan, ExecMode, SimCtl, SimError, SimErrorKind, SimInner, UserEnv,
+    UserProgram,
+};
 pub use fault::{FaultKind, FaultPlan};
 pub use kernel::{EngineMode, FootKind, Kernel, KernelError, SysReturn, Syscall};
 pub use objects::{CapObject, Capability, DomainId, ImageId, Rights, TcbId, ThreadState};
 pub use replay::{replay, replay_diff, Booted, Divergence, Genesis, ScriptDriver, Snapshot};
-pub use system::{boot_stats, BootStats, DomainHandle, SystemBuilder, SystemReport};
+pub use system::{boot_stats, BootStats, DomainHandle, SystemBuilder, SystemReport, SystemSpec};

@@ -86,7 +86,7 @@ impl Genesis {
     pub fn boot(&self) -> Booted {
         let cfg = self.platform.config();
         let mut m = Machine::new(cfg, self.seed);
-        let mut k = Kernel::new(cfg, self.prot.clone(), self.ram_frames, self.slice_cycles);
+        let mut k = Kernel::new(cfg, self.prot, self.ram_frames, self.slice_cycles);
 
         let n_colors = cfg.partition_colors();
         let half = (n_colors / 2).max(1);

@@ -9,7 +9,7 @@
 use crate::commit::Commit;
 use crate::config::ProtectionConfig;
 use crate::engine::{
-    run_programs, EvKind, SimCtl, SimError, SimInner, UserProgram, DEFAULT_WINDOW,
+    run_programs_with, EvKind, ExecMode, SimCtl, SimError, SimInner, UserProgram, DEFAULT_WINDOW,
 };
 use crate::kernel::{EngineMode, Kernel, KernelStats};
 use crate::objects::{DomainId, TcbId};
@@ -108,16 +108,63 @@ pub struct DomainHandle(usize);
 /// starts (grant capabilities, create endpoints, configure padding, ...).
 pub type SetupFn = Box<dyn FnOnce(&mut Kernel, &mut Machine, &[TcbId], &[DomainId]) + Send>;
 
+/// The complete fixed shape of a simulated system, as one `Copy` value:
+/// everything [`SystemBuilder`]'s chained knobs used to set, minus the
+/// per-run payload (domains, programs, setup hook).
+///
+/// Build one with [`SystemSpec::new`] and adjust fields directly (it is a
+/// plain data struct), then hand it to [`SystemBuilder::from_spec`].
+/// Experiments that sweep a parameter copy the spec and overwrite one
+/// field — no builder re-chaining.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemSpec {
+    /// Hardware platform description (a [`tp_sim::Platform`] key converts
+    /// into one).
+    pub platform: PlatformConfig,
+    /// The time-protection mechanism suite.
+    pub prot: ProtectionConfig,
+    /// RNG seed (experiments vary it across runs).
+    pub seed: u64,
+    /// Preemption time slice in microseconds (paper experiments use 1 ms
+    /// or 10 ms).
+    pub slice_us: f64,
+    /// Simulated RAM size in frames.
+    pub ram_frames: u64,
+    /// Cross-core interleaving window in cycles (smaller = finer-grained
+    /// cross-core timing at more host-side synchronisation cost).
+    pub window: u64,
+    /// Cycle budget; the simulation stops when it is exceeded.
+    pub max_cycles: u64,
+    /// Thread scheduling regime: strict domain slots or open (IPC-switched)
+    /// scheduling.
+    pub scheduling: EngineMode,
+    /// Which executor runs the environments (see [`ExecMode`]).
+    pub executor: ExecMode,
+}
+
+impl SystemSpec {
+    /// A spec with the workspace defaults: seed `0xC0FFEE`, 1 ms slice,
+    /// [`DEFAULT_RAM_FRAMES`], [`DEFAULT_WINDOW`], no cycle cap, slotted
+    /// scheduling, default executor.
+    #[must_use]
+    pub fn new(platform: impl Into<PlatformConfig>, prot: ProtectionConfig) -> Self {
+        SystemSpec {
+            platform: platform.into(),
+            prot,
+            seed: 0xC0FFEE,
+            slice_us: 1_000.0,
+            ram_frames: DEFAULT_RAM_FRAMES,
+            window: DEFAULT_WINDOW,
+            max_cycles: u64::MAX,
+            scheduling: EngineMode::Slotted,
+            executor: ExecMode::Coop { workers: 0 },
+        }
+    }
+}
+
 /// Builder for a complete simulated system.
 pub struct SystemBuilder {
-    cfg: PlatformConfig,
-    prot: ProtectionConfig,
-    seed: u64,
-    slice_us: f64,
-    ram_frames: u64,
-    window: u64,
-    max_cycles: u64,
-    mode: EngineMode,
+    spec: SystemSpec,
     domains: Vec<DomainSpec>,
     threads: Vec<ThreadSpec>,
     setup: Option<SetupFn>,
@@ -129,23 +176,32 @@ impl SystemBuilder {
     /// Start describing a system with a protection config. Accepts either
     /// a [`tp_sim::Platform`] registry key or a full [`PlatformConfig`] (so
     /// experiments can run on custom hardware descriptions).
+    ///
+    /// Equivalent to `SystemBuilder::from_spec(SystemSpec::new(platform,
+    /// prot))`; the chained knobs below are thin delegating wrappers over
+    /// the spec's fields.
     #[must_use]
     pub fn new(platform: impl Into<PlatformConfig>, prot: ProtectionConfig) -> Self {
+        Self::from_spec(SystemSpec::new(platform, prot))
+    }
+
+    /// Start describing a system from a complete [`SystemSpec`].
+    #[must_use]
+    pub fn from_spec(spec: SystemSpec) -> Self {
         SystemBuilder {
-            cfg: platform.into(),
-            prot,
-            seed: 0xC0FFEE,
-            slice_us: 1_000.0,
-            ram_frames: DEFAULT_RAM_FRAMES,
-            window: DEFAULT_WINDOW,
-            max_cycles: u64::MAX,
-            mode: EngineMode::Slotted,
+            spec,
             domains: Vec::new(),
             threads: Vec::new(),
             setup: None,
             warm_boot: false,
             record_commits: false,
         }
+    }
+
+    /// The spec this builder was configured with (knob calls included).
+    #[must_use]
+    pub fn spec(&self) -> SystemSpec {
+        self.spec
     }
 
     /// Reuse (and populate) the shared boot-prefix snapshot cache: runs
@@ -167,14 +223,16 @@ impl SystemBuilder {
         self
     }
 
-    /// Digest of every input that shapes the boot prefix. Scheduling mode
-    /// and cycle caps are applied after the snapshot point and are
+    /// Digest of every input that shapes the boot prefix. Scheduling mode,
+    /// executor and cycle caps are applied after the snapshot point and are
     /// deliberately excluded.
     fn boot_key(&self, slice_cycles: u64) -> u64 {
         let mut h = crate::commit::StateHasher::new();
-        h.str(&format!("{:?}", self.cfg));
-        h.str(&format!("{:?}", self.prot));
-        h.u64(self.seed).u64(slice_cycles).u64(self.ram_frames);
+        h.str(&format!("{:?}", self.spec.platform));
+        h.str(&format!("{:?}", self.spec.prot));
+        h.u64(self.spec.seed)
+            .u64(slice_cycles)
+            .u64(self.spec.ram_frames);
         h.usize(self.domains.len());
         for d in &self.domains {
             h.opt(d.colors.map(|c| c.0)).usize(d.max_frames);
@@ -186,48 +244,59 @@ impl SystemBuilder {
         h.finish()
     }
 
-    /// Set the RNG seed (experiments vary it across runs).
+    /// Set the RNG seed (delegates to [`SystemSpec::seed`]).
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.spec.seed = seed;
         self
     }
 
-    /// Set the preemption time slice in microseconds (paper experiments
-    /// use 1 ms or 10 ms).
+    /// Set the preemption time slice in microseconds (delegates to
+    /// [`SystemSpec::slice_us`]).
     #[must_use]
     pub fn slice_us(mut self, us: f64) -> Self {
-        self.slice_us = us;
+        self.spec.slice_us = us;
         self
     }
 
-    /// Cap the simulation length in cycles.
+    /// Cap the simulation length in cycles (delegates to
+    /// [`SystemSpec::max_cycles`]).
     #[must_use]
     pub fn max_cycles(mut self, c: u64) -> Self {
-        self.max_cycles = c;
+        self.spec.max_cycles = c;
         self
     }
 
     /// Select open (thread-level, IPC-switched) scheduling instead of the
-    /// default strict domain slots.
+    /// default strict domain slots (delegates to [`SystemSpec::scheduling`]).
     #[must_use]
     pub fn open_scheduling(mut self) -> Self {
-        self.mode = EngineMode::Open;
+        self.spec.scheduling = EngineMode::Open;
         self
     }
 
-    /// Simulated RAM size in frames.
+    /// Simulated RAM size in frames (delegates to
+    /// [`SystemSpec::ram_frames`]).
     #[must_use]
     pub fn ram_frames(mut self, frames: u64) -> Self {
-        self.ram_frames = frames;
+        self.spec.ram_frames = frames;
         self
     }
 
-    /// Cross-core interleaving window in cycles (smaller = finer-grained
-    /// cross-core timing at more host-side synchronisation cost).
+    /// Cross-core interleaving window in cycles (delegates to
+    /// [`SystemSpec::window`]).
     #[must_use]
     pub fn window(mut self, cycles: u64) -> Self {
-        self.window = cycles;
+        self.spec.window = cycles;
+        self
+    }
+
+    /// Select the executor for this run (delegates to
+    /// [`SystemSpec::executor`]). Tests use this to pin a worker count
+    /// programmatically instead of mutating `TP_THREADS`.
+    #[must_use]
+    pub fn executor(mut self, mode: ExecMode) -> Self {
+        self.spec.executor = mode;
         self
     }
 
@@ -306,8 +375,8 @@ impl SystemBuilder {
     /// Still panics if construction itself fails (e.g. pool exhaustion) —
     /// that is a bug in the experiment, not a simulation outcome.
     pub fn try_run(self) -> Result<SystemReport, SimError> {
-        let cfg = self.cfg;
-        let slice_cycles = cfg.us_to_cycles(self.slice_us);
+        let cfg = self.spec.platform;
+        let slice_cycles = cfg.us_to_cycles(self.spec.slice_us);
         let boot_start = std::time::Instant::now();
         let key = self.boot_key(slice_cycles);
         let armed_fault = crate::fault::armed();
@@ -346,10 +415,11 @@ impl SystemBuilder {
         let (mut machine, mut kernel, domain_ids, tcbs) = match restored {
             Some(state) => state,
             None => {
-                let mut machine = Machine::new(cfg, self.seed);
-                let mut kernel = Kernel::new(cfg, self.prot.clone(), self.ram_frames, slice_cycles);
+                let mut machine = Machine::new(cfg, self.spec.seed);
+                let mut kernel =
+                    Kernel::new(cfg, self.spec.prot, self.spec.ram_frames, slice_cycles);
 
-                if self.prot.disable_data_prefetcher {
+                if self.spec.prot.disable_data_prefetcher {
                     for c in &mut machine.cores {
                         c.dpf.set_enabled(false);
                     }
@@ -362,7 +432,7 @@ impl SystemBuilder {
                 let mut domain_ids = Vec::new();
                 for (i, spec) in self.domains.iter().enumerate() {
                     let colors = spec.colors.unwrap_or_else(|| {
-                        if self.prot.color_userland {
+                        if self.spec.prot.color_userland {
                             let lo = i as u64 * per;
                             ColorSet::range(lo, (lo + per).min(n_colors))
                         } else {
@@ -372,7 +442,7 @@ impl SystemBuilder {
                     let d = kernel
                         .create_domain(colors, spec.max_frames)
                         .expect("domain memory");
-                    if self.prot.clone_kernel {
+                    if self.spec.prot.clone_kernel {
                         kernel
                             .clone_kernel_for_domain(&mut machine, 0, d)
                             .expect("kernel clone");
@@ -380,7 +450,7 @@ impl SystemBuilder {
                     domain_ids.push(d);
                 }
 
-                if let Some(pad_us) = self.prot.pad_us {
+                if let Some(pad_us) = self.spec.prot.pad_us {
                     let pad = cfg.us_to_cycles(pad_us);
                     let ids: Vec<usize> = kernel.images.iter().map(|(i, _)| i).collect();
                     for i in ids {
@@ -465,7 +535,7 @@ impl SystemBuilder {
 
         // Engine mode + initial schedule per core.
         for core in 0..cfg.cores {
-            kernel.cores[core].mode = self.mode;
+            kernel.cores[core].mode = self.spec.scheduling;
             if kernel.cores[core].slots.is_empty() {
                 continue;
             }
@@ -484,7 +554,7 @@ impl SystemBuilder {
             }
         }
 
-        let mut inner = SimInner::new(machine, kernel, self.window, self.max_cycles);
+        let mut inner = SimInner::new(machine, kernel, self.spec.window, self.spec.max_cycles);
         if let Some(kind) = armed_fault {
             inner.arm_env_fault(kind);
         }
@@ -494,7 +564,7 @@ impl SystemBuilder {
         inner.deadline = crate::fault::deadline().or_else(|| {
             armed_fault.map(|_| std::time::Instant::now() + std::time::Duration::from_secs(60))
         });
-        if self.mode == EngineMode::Slotted {
+        if self.spec.scheduling == EngineMode::Slotted {
             for core in 0..cfg.cores {
                 if !inner.kernel.cores[core].slots.is_empty() {
                     inner.push_event(core, slice_cycles, EvKind::Tick);
@@ -518,7 +588,7 @@ impl SystemBuilder {
             })
             .collect();
 
-        let ctl = run_programs(ctl, programs);
+        let ctl = run_programs_with(ctl, programs, self.spec.executor);
         let mut g = ctl.inner.lock();
         if let Some(e) = g.error.take() {
             return Err(SimError::from_message(e));
@@ -530,6 +600,7 @@ impl SystemBuilder {
                 .map(|c| g.machine.cycles(c))
                 .collect(),
             domains: domain_ids,
+            state_hash: g.kernel.state_hash(),
             commits: g.kernel.log.take(),
         })
     }
@@ -546,6 +617,10 @@ pub struct SystemReport {
     pub cycles: Vec<u64>,
     /// The domains, in declaration order.
     pub domains: Vec<DomainId>,
+    /// [`Kernel::state_hash`] of the final kernel state — the bit-for-bit
+    /// fingerprint the executor-equivalence property tests compare across
+    /// [`ExecMode`]s.
+    pub state_hash: u64,
     /// The commit log, when recording was requested with
     /// [`SystemBuilder::record_commits`] (empty otherwise). Engine runs
     /// issue unlogged user-program machine traffic, so this is an audit

@@ -107,7 +107,7 @@ pub fn run_workload(bench: &Benchmark, run: &WorkloadRun) -> Result<PerfResult, 
     // RAM sized to the workloads (the largest working set is 600 pages
     // plus kernel objects): pool carving scans every frame per domain, so
     // an oversized pool is pure per-run setup cost.
-    let mut b = SystemBuilder::new(run.platform, run.prot.clone())
+    let mut b = SystemBuilder::new(run.platform, run.prot)
         .seed(run.seed)
         .slice_us(run.slice_us)
         .ram_frames(16_384)

@@ -1,19 +1,31 @@
-//! The §5.3.3 cloud scenario: a victim VM decrypts with ElGamal while a
-//! co-resident spy on another core prime&probes the shared LLC set holding
-//! the victim's square function, recovering the private exponent bit by
-//! bit (Liu et al. [2015]). Cache colouring partitions the LLC and defeats
-//! the attack.
+//! The cloud consolidation scenario end to end.
+//!
+//! Part 1 is the paper's headline cross-core attack (§5.3.3): a victim VM
+//! decrypts with ElGamal while a co-resident spy on another core
+//! prime&probes the shared LLC set holding the victim's square function,
+//! recovering the private exponent bit by bit (Liu et al. [2015]). Cache
+//! colouring partitions the LLC and defeats the attack.
+//!
+//! Part 2 scales co-residency up to the consolidated fleet the paper's
+//! introduction motivates: ~100 tenant domains time-sharing one core
+//! under an open-loop request load, with embedded attacker pairs probing
+//! the L1-D across slice boundaries. `tp_bench::cloud` reports the
+//! aggregate leak verdict *and* what the defence costs the tenants in
+//! throughput and tail latency.
 //!
 //! Run with: `cargo run --release --example cloud_sidechannel`
 
-use time_protection::attacks::llc::llc_attack;
+use time_protection::attacks::llc::try_llc_attack;
 use time_protection::prelude::*;
+use tp_bench::cloud::{run_cloud, CloudSpec};
+use tp_bench::util::Table;
 
 fn main() {
+    println!("== part 1: one co-resident pair, cross-core LLC attack ==\n");
     println!("victim: ElGamal decryption (square-and-multiply) on core 1");
     println!("spy:    LLC prime&probe on core 0\n");
 
-    let raw = llc_attack(ProtectionConfig::raw(), 6_000, 42);
+    let raw = try_llc_attack(ProtectionConfig::raw(), 6_000, 42).expect("sim run failed");
     println!("-- unmitigated --");
     println!("  eviction set: {} lines", raw.eviction_set_size);
     println!(
@@ -32,7 +44,7 @@ fn main() {
         println!();
     }
 
-    let prot = llc_attack(ProtectionConfig::protected(), 3_000, 42);
+    let prot = try_llc_attack(ProtectionConfig::protected(), 3_000, 42).expect("sim run failed");
     println!("\n-- with time protection (LLC partitioned by colour) --");
     println!(
         "  eviction set: {} lines (the spy cannot reach the victim's colours)",
@@ -50,4 +62,56 @@ fn main() {
         "colouring should defeat the attack"
     );
     println!("\ncolouring closed the side channel.");
+
+    println!("\n== part 2: a consolidated tenant fleet on one core ==\n");
+    let tenants = 96;
+    println!(
+        "{tenants} tenant domains + 4 embedded attacker pairs, open-loop \
+         requests (exponential arrivals, Pareto service times)\n"
+    );
+
+    let mut table = Table::new(&[
+        "mechanism",
+        "verdict",
+        "M (mb)",
+        "M0 (mb)",
+        "req/s",
+        "p50 (us)",
+        "p95 (us)",
+    ]);
+    let mut verdicts = Vec::new();
+    for (mech, prot) in [
+        ("raw", ProtectionConfig::raw()),
+        ("protected", ProtectionConfig::protected()),
+    ] {
+        let spec = CloudSpec::new(tp_sim::Platform::Haswell, prot, tenants);
+        let r = run_cloud(&spec).expect("cloud run failed");
+        table.row(&[
+            mech.to_string(),
+            if r.outcome.verdict.leaks {
+                "LEAK".into()
+            } else {
+                "closed".into()
+            },
+            format!("{:.1}", r.outcome.verdict.m.millibits()),
+            format!("{:.1}", r.outcome.verdict.m0_millibits()),
+            format!("{:.0}", r.throughput_rps),
+            format!("{:.0}", r.p50_us),
+            format!("{:.0}", r.p95_us),
+        ]);
+        verdicts.push((mech, r.outcome.verdict.leaks));
+    }
+    println!("{}", table.render());
+    println!(
+        "aggregate co-resident leakage across all pairs; throughput and \
+         sojourn percentiles are the tenants' side of the trade-off."
+    );
+
+    assert_eq!(verdicts[0], ("raw", true), "raw fleet should leak");
+    assert_eq!(
+        verdicts[1],
+        ("protected", false),
+        "protected fleet should be closed"
+    );
+    println!("\ntime protection closed the consolidated fleet's channels too.");
 }

@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example interrupt_partitioning`
 
-use time_protection::attacks::interrupt::{interrupt_channel, paper_spec, TIMER_VALUES_MS};
+use time_protection::attacks::interrupt::{paper_spec, try_interrupt_channel, TIMER_VALUES_MS};
 use time_protection::prelude::*;
 use tp_analysis::ChannelMatrix;
 
@@ -16,7 +16,8 @@ fn main() {
     );
     println!("(10 ms tick, so 3-7 ms into the spy's slice), then sleeps.\n");
 
-    let raw = interrupt_channel(&paper_spec(Platform::Haswell, false, 150));
+    let raw =
+        try_interrupt_channel(&paper_spec(Platform::Haswell, false, 150)).expect("sim run failed");
     println!("-- interrupts unpartitioned --");
     if raw.dataset.len() >= 8 {
         let m = ChannelMatrix::from_dataset(&raw.dataset, 40);
@@ -24,7 +25,8 @@ fn main() {
     }
     println!("   {}\n", raw.summary());
 
-    let part = interrupt_channel(&paper_spec(Platform::Haswell, true, 150));
+    let part =
+        try_interrupt_channel(&paper_spec(Platform::Haswell, true, 150)).expect("sim run failed");
     println!("-- interrupts partitioned per kernel image --");
     println!("   {}", part.summary());
 

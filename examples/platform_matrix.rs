@@ -32,8 +32,10 @@ fn main() {
 
     println!("\nraw vs protected L1-D channel on every platform:\n");
     for p in Platform::ALL {
-        let raw = cache::l1d_channel(&IntraCoreSpec::new(p, Scenario::Raw, 8, 60));
-        let prot = cache::l1d_channel(&IntraCoreSpec::new(p, Scenario::Protected, 8, 60));
+        let raw = cache::try_l1d_channel(&IntraCoreSpec::new(p, Scenario::Raw, 8, 60))
+            .expect("sim run failed");
+        let prot = cache::try_l1d_channel(&IntraCoreSpec::new(p, Scenario::Protected, 8, 60))
+            .expect("sim run failed");
         println!(
             "{:14} raw: {}\n{:14} prot: {}",
             p.key(),

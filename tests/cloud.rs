@@ -1,0 +1,94 @@
+//! The `cloud` consolidation scenario at scale, and its executor
+//! contract:
+//!
+//! 1. **Worker-count stability**: the verdicts, datasets and tenant-side
+//!    performance numbers of a cloud run are bit-identical whether the
+//!    cooperative executor multiplexes the environments over 1 or 4 host
+//!    workers (the regression gate for the executor redesign).
+//! 2. **Scale**: a 1000-environment cell boots, runs and completes under
+//!    the campaign supervisor on a small runner, with a verdict in the
+//!    expected direction.
+
+use std::time::Duration;
+use tp_bench::cloud::{run_cloud, CloudSpec};
+use tp_bench::supervise::{run_cell, CellOutcome};
+use tp_core::{ExecMode, ProtectionConfig};
+use tp_sim::Platform;
+
+fn small_spec(prot: ProtectionConfig) -> CloudSpec {
+    let mut spec = CloudSpec::new(Platform::Haswell, prot, 16);
+    spec.samples = 40;
+    spec
+}
+
+/// The executor's host worker count must be invisible in every reported
+/// number: channel dataset, leak verdict, request count and latency
+/// percentiles.
+#[test]
+fn cloud_verdicts_are_stable_across_worker_counts() {
+    for prot in [ProtectionConfig::raw(), ProtectionConfig::protected()] {
+        let one = run_cloud(&small_spec(prot).with_executor(ExecMode::Coop { workers: 1 }))
+            .expect("1-worker run");
+        let four = run_cloud(&small_spec(prot).with_executor(ExecMode::Coop { workers: 4 }))
+            .expect("4-worker run");
+        assert_eq!(
+            one.outcome.verdict.leaks, four.outcome.verdict.leaks,
+            "leak verdict changed with worker count"
+        );
+        assert_eq!(
+            one.outcome.dataset.outputs(),
+            four.outcome.dataset.outputs(),
+            "observations changed with worker count"
+        );
+        assert_eq!(one.completed, four.completed);
+        assert_eq!(one.p50_us.to_bits(), four.p50_us.to_bits());
+        assert_eq!(one.p95_us.to_bits(), four.p95_us.to_bits());
+        assert_eq!(one.throughput_rps.to_bits(), four.throughput_rps.to_bits());
+    }
+}
+
+/// A 1000-tenant consolidation cell — 1008 simulated environments over
+/// however many host cores the runner has — completes under the campaign
+/// supervisor's deadline machinery with a healthy outcome. Sample count
+/// is kept minimal: this pins scale, not statistics.
+#[test]
+fn thousand_environment_cell_completes_under_supervisor() {
+    let report = run_cell(
+        "cloud-scale",
+        Platform::Haswell.key(),
+        None,
+        Duration::from_secs(570),
+        || {
+            let mut spec = CloudSpec::new(Platform::Haswell, ProtectionConfig::raw(), 1000);
+            spec.samples = 12;
+            let r = run_cloud(&spec)?;
+            assert!(r.completed > 0, "no tenant requests completed at scale");
+            Ok(vec![tp_bench::campaign::ChannelResult {
+                channel: "cloud",
+                mechanism: "raw",
+                metric: "M_mb",
+                value: r.outcome.verdict.m.millibits(),
+                baseline: r.outcome.verdict.m0_millibits(),
+                leaks: r.outcome.verdict.leaks,
+                samples: r.outcome.dataset.len(),
+            }])
+        },
+    );
+    assert_eq!(report.outcome, CellOutcome::Ok, "{:?}", report.error);
+    assert_eq!(report.attempts, 1, "healthy cell must not retry");
+    let channels = report.channels.expect("Ok report carries channels");
+    assert!(channels[0].samples > 0, "empty aggregate dataset");
+}
+
+/// The campaign registry carries the cloud experiment on every platform.
+#[test]
+fn cloud_is_registered_everywhere() {
+    let reg = tp_bench::campaign::registry();
+    let def = reg
+        .iter()
+        .find(|d| d.name == "cloud")
+        .expect("cloud experiment registered");
+    for p in Platform::ALL {
+        assert!((def.supports)(p), "{} unsupported", p.key());
+    }
+}

@@ -45,13 +45,15 @@ fn kernel_clone_closes_the_kernel_image_channel() {
 /// Requirement 1: flushing on-core state closes the L1-D channel.
 #[test]
 fn on_core_flush_closes_l1d() {
-    let raw = cache::l1d_channel(&IntraCoreSpec::new(Platform::Sabre, Scenario::Raw, 8, 100));
-    let prot = cache::l1d_channel(&IntraCoreSpec::new(
+    let raw = cache::try_l1d_channel(&IntraCoreSpec::new(Platform::Sabre, Scenario::Raw, 8, 100))
+        .expect("sim run failed");
+    let prot = cache::try_l1d_channel(&IntraCoreSpec::new(
         Platform::Sabre,
         Scenario::Protected,
         8,
         100,
-    ));
+    ))
+    .expect("sim run failed");
     assert!(raw.verdict.leaks);
     assert!(!prot.verdict.leaks, "{}", prot.summary());
 }
@@ -81,8 +83,12 @@ fn padding_closes_the_flush_latency_channel() {
 /// Requirement 5: interrupt partitioning.
 #[test]
 fn irq_partitioning_closes_the_interrupt_channel() {
-    let raw = interrupt::interrupt_channel(&interrupt::paper_spec(Platform::Haswell, false, 100));
-    let part = interrupt::interrupt_channel(&interrupt::paper_spec(Platform::Haswell, true, 100));
+    let raw =
+        interrupt::try_interrupt_channel(&interrupt::paper_spec(Platform::Haswell, false, 100))
+            .expect("sim run failed");
+    let part =
+        interrupt::try_interrupt_channel(&interrupt::paper_spec(Platform::Haswell, true, 100))
+            .expect("sim run failed");
     assert!(raw.verdict.leaks, "{}", raw.summary());
     assert!(!part.verdict.leaks, "{}", part.summary());
 }
@@ -170,9 +176,10 @@ fn cross_domain_ipc_delivers_messages() {
 #[test]
 fn simulation_is_deterministic() {
     let run = || {
-        let o = cache::l1d_channel(
+        let o = cache::try_l1d_channel(
             &IntraCoreSpec::new(Platform::Haswell, Scenario::Raw, 4, 50).with_seed(77),
-        );
+        )
+        .expect("sim run failed");
         (o.dataset.outputs().to_vec(), o.verdict.m.bits)
     };
     let (a_out, a_mi) = run();

@@ -394,3 +394,81 @@ fn validate_rejects_broken_configs() {
     cfg.l2.line = 64; // mixed line sizes (platform line is 32)
     assert!(!cfg.validate().is_empty());
 }
+
+/// Build-and-run one fixed multi-environment workload under a chosen
+/// executor; used by the M-independence property below. Three domains on
+/// one core — a probing primary, a computing daemon and a paging daemon —
+/// exercise preemption, batched sweeps and kernel allocation paths.
+fn executor_fixture(
+    platform: tp_sim::Platform,
+    seed: u64,
+    mode: tp_core::ExecMode,
+) -> tp_core::SystemReport {
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+    use time_protection::attacks::probe::l1_probe;
+    use tp_core::{ProtectionConfig, SystemBuilder, UserEnv};
+
+    let obs: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let obs2 = Arc::clone(&obs);
+    let mut b = SystemBuilder::new(platform, ProtectionConfig::protected())
+        .seed(seed)
+        .slice_us(30.0)
+        .max_cycles(600_000_000)
+        .executor(mode);
+    let d0 = b.domain(None);
+    let d1 = b.domain(None);
+    let d2 = b.domain(None);
+    b.spawn(d0, 0, 100, move |env: &mut UserEnv| {
+        let buf = l1_probe(env, env.platform().l1d);
+        for _ in 0..6 {
+            obs2.lock().push(buf.probe(env));
+            let _ = env.wait_preempt();
+        }
+    });
+    b.spawn_daemon(d1, 0, 100, move |env: &mut UserEnv| loop {
+        env.compute(10_000);
+        env.sleep_slice();
+    });
+    b.spawn_daemon(d2, 0, 100, move |env: &mut UserEnv| {
+        let (va, _) = env.map_pages(4);
+        loop {
+            env.load(va);
+            env.store(va);
+            let _ = env.wait_preempt();
+        }
+    });
+    b.try_run().expect("fixture run")
+}
+
+proptest! {
+    /// The cooperative executor's host worker count is invisible: for any
+    /// platform and seed, running the same multi-environment workload under
+    /// the thread-per-environment executor and under cooperative executors
+    /// with 1, 2 and host-default workers produces the same final kernel
+    /// state hash and the same per-core cycle counts. This is the
+    /// structural determinism contract of the executor redesign.
+    #[test]
+    fn executor_worker_count_is_invisible(
+        p in proptest::sample::select(tp_sim::Platform::ALL),
+        seed in any::<u64>(),
+    ) {
+        use tp_core::ExecMode;
+        let base = executor_fixture(p, seed, ExecMode::Threads);
+        for mode in [
+            ExecMode::Coop { workers: 1 },
+            ExecMode::Coop { workers: 2 },
+            ExecMode::Coop { workers: 0 },
+        ] {
+            let r = executor_fixture(p, seed, mode);
+            prop_assert_eq!(
+                r.state_hash, base.state_hash,
+                "{}: {mode:?} state hash diverged from Threads", p.key()
+            );
+            prop_assert_eq!(
+                &r.cycles, &base.cycles,
+                "{}: {mode:?} cycle counts diverged from Threads", p.key()
+            );
+        }
+    }
+}

@@ -43,6 +43,7 @@ impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
         MutexGuard {
+            lock: &self.inner,
             inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
         }
     }
@@ -50,8 +51,12 @@ impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock only if it is immediately available.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Ok(g) => Some(MutexGuard {
+                lock: &self.inner,
+                inner: Some(g),
+            }),
             Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                lock: &self.inner,
                 inner: Some(p.into_inner()),
             }),
             Err(std::sync::TryLockError::WouldBlock) => None,
@@ -79,7 +84,28 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 /// temporarily surrender the underlying std guard; it is `Some` at every
 /// point user code can observe.
 pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a std::sync::Mutex<T>,
     inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> MutexGuard<'_, T> {
+    /// Temporarily release the lock while `f` runs, re-acquiring it before
+    /// returning (mirrors `parking_lot::MutexGuard::unlocked`).
+    ///
+    /// The guard is unusable *inside* `f` — the borrow checker already
+    /// enforces that, since `f` captures nothing from the guard — and is
+    /// fully re-armed afterwards. Used by the cooperative executor to park
+    /// a coroutine without holding the simulation lock across the suspend.
+    pub fn unlocked<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let inner = self
+            .inner
+            .take()
+            .expect("guard present outside Condvar::wait");
+        drop(inner);
+        let r = f();
+        self.inner = Some(self.lock.lock().unwrap_or_else(PoisonError::into_inner));
+        r
+    }
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
@@ -232,6 +258,24 @@ mod tests {
             cv.notify_all();
         }
         t.join().unwrap();
+    }
+
+    #[test]
+    fn unlocked_releases_and_reacquires() {
+        let m = Arc::new(Mutex::new(0u32));
+        let mut g = m.lock();
+        *g = 1;
+        let m2 = Arc::clone(&m);
+        g.unlocked(move || {
+            // The lock must be free while the closure runs.
+            let mut inner = m2.try_lock().expect("lock released inside unlocked()");
+            *inner += 1;
+        });
+        // And re-held (and usable) afterwards.
+        assert_eq!(*g, 2);
+        *g += 1;
+        drop(g);
+        assert_eq!(*m.lock(), 3);
     }
 
     #[test]
