@@ -384,6 +384,25 @@ fn main() -> ExitCode {
                     channels: report.channels.unwrap_or_default(),
                 },
             ));
+        } else if report.outcome == CellOutcome::EnvFailed {
+            // Graceful degradation: the cell completed over its surviving
+            // environments. Report the partial results but do not journal
+            // them — a resume must recompute the cell in full health.
+            eprintln!(
+                "[DEGRADED {} on {}: {}]",
+                name,
+                p.key(),
+                report.error.as_deref().unwrap_or("no detail"),
+            );
+            results.push((
+                i,
+                ExperimentResult {
+                    experiment: name,
+                    platform: p,
+                    seconds,
+                    channels: report.channels.unwrap_or_default(),
+                },
+            ));
         } else {
             eprintln!(
                 "[QUARANTINED {} on {}: {} after {} attempt(s): {}]",

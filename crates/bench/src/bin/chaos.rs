@@ -26,17 +26,20 @@
 //!
 //! Any mismatch exits nonzero.
 
+use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode, Stdio};
 use std::time::{Duration, Instant};
+use tp_bench::campaign::{self, ChannelResult, ExperimentDef};
 use tp_bench::cli;
 use tp_bench::store::write_atomic;
 use tp_bench::supervise::{
-    self, cell_timeout_override, probe_cell, quarantine_json, run_cell, CellOutcome,
-    QuarantineEntry,
+    self, cell_timeout_override, fleet_cell, pair_cell, probe_cell, quarantine_json, run_cell,
+    CellOutcome, QuarantineEntry,
 };
 use tp_bench::util::Table;
-use tp_core::{FaultKind, FaultPlan};
+use tp_core::{ExecMode, FaultKind, FaultPlan, SimError};
+use tp_sim::Platform;
 
 /// Where the quarantine ledger is written (same path as the campaign's).
 const QUARANTINE_PATH: &str = "goldens/quarantine.json";
@@ -54,6 +57,45 @@ fn expected_outcome(kind: FaultKind) -> CellOutcome {
         FaultKind::EnvStall { .. } => CellOutcome::TimedOut,
         FaultKind::CommitFlip { .. } => CellOutcome::ReplayDiverged,
         FaultKind::SnapshotCorrupt => CellOutcome::SnapshotCorrupt,
+        // The deadlock detector must classify the wedged token, never the
+        // wall-clock watchdog.
+        FaultKind::LostWakeup { .. } => CellOutcome::Deadlock,
+        // A killed worker's coroutines are adopted by the survivors; the
+        // cell completes as if nothing happened.
+        FaultKind::WorkerKill { .. } => CellOutcome::Ok,
+        FaultKind::StackOverflow => CellOutcome::StackOverflow,
+    }
+}
+
+/// The synthetic cell a fault class is exercised against. `lost-wakeup`
+/// needs cross-core token rotation (the pair cell) and `worker-kill`
+/// needs coroutines left to adopt (the fleet cell, two coop workers);
+/// both pin the cooperative executor explicitly — it is the component
+/// under test — so the matrix classifies identically under
+/// `TP_EXECUTOR=threads`. Everything else runs the probe cell under the
+/// process default executor.
+fn cell_body(
+    kind: FaultKind,
+    seed: u64,
+) -> Box<dyn Fn() -> Result<Vec<ChannelResult>, SimError> + Send + Sync> {
+    match kind {
+        FaultKind::LostWakeup { .. } => {
+            Box::new(move || pair_cell(seed, ExecMode::Coop { workers: 0 }))
+        }
+        FaultKind::WorkerKill { .. } => {
+            Box::new(move || fleet_cell(seed, ExecMode::Coop { workers: 2 }))
+        }
+        _ => Box::new(move || probe_cell(seed)),
+    }
+}
+
+/// Per-class deadline: `worker-kill` is expected to *complete* (adoption,
+/// not detection), so it gets the generous default instead of the tight
+/// stall-bounding one.
+fn class_deadline(kind: FaultKind, tight: Duration) -> Duration {
+    match kind {
+        FaultKind::WorkerKill { .. } => Duration::from_secs(120),
+        _ => tight,
     }
 }
 
@@ -356,19 +398,335 @@ fn run_store_fault(
     Ok(summary)
 }
 
-fn main() -> ExitCode {
-    // Chaos is driven entirely by `TP_FAULT`; it takes no flags of its
-    // own, but it shares the bad-flag convention (report + exit 2) so a
-    // typo'd invocation fails loudly instead of running the full matrix.
-    cli::parse_or_exit("chaos", || {
-        let mut it = cli::ArgStream::from_env();
-        match it.next() {
-            Some(other) => Err(format!(
-                "unknown argument {other:?} (chaos is configured via TP_FAULT)"
-            )),
-            None => Ok(()),
+// ---------------------------------------------------------- randomized sweep
+
+/// SplitMix64: the sweep's only randomness source, so a `--seed` replays
+/// the exact plan sequence.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Draw one fuzzed fault class with a fuzzed trigger ordinal in 1..=40.
+fn fuzz_kind(state: &mut u64) -> FaultKind {
+    let at = 1 + splitmix(state) % 40;
+    match splitmix(state) % 8 {
+        0 => FaultKind::EnvPanic { at },
+        1 => FaultKind::EnvStall { at },
+        2 => FaultKind::CommitFlip { index: at as usize },
+        3 => FaultKind::SnapshotCorrupt,
+        4 => FaultKind::NoisePoison { after: at * 8 },
+        5 => FaultKind::LostWakeup { at },
+        6 => FaultKind::WorkerKill { at },
+        _ => FaultKind::StackOverflow,
+    }
+}
+
+/// The classifications a fuzzed plan is allowed to produce on a real
+/// campaign cell. `Ok` is allowed wherever the fuzzed trigger may simply
+/// never fire (single-core cells never rotate the token; a cold boot has
+/// no snapshot to corrupt; environments that never syscall or
+/// `wait_preempt` — e.g. the bus channel's pure load/compute loops —
+/// never tick the interaction ordinal that arms env-level faults) — but
+/// an `Ok` faulted cell must then be byte-identical to the healthy
+/// reference, which the sweep enforces.
+fn allowed_outcomes(kind: FaultKind) -> Vec<CellOutcome> {
+    use CellOutcome as O;
+    match kind {
+        FaultKind::EnvPanic { .. } => vec![O::Panicked, O::EnvFailed, O::Ok],
+        FaultKind::EnvStall { .. } => vec![O::TimedOut, O::Ok],
+        FaultKind::CommitFlip { .. } => vec![O::ReplayDiverged],
+        FaultKind::SnapshotCorrupt => vec![O::SnapshotCorrupt, O::Ok],
+        FaultKind::NoisePoison { .. } => vec![O::Panicked, O::EnvFailed, O::Ok],
+        FaultKind::LostWakeup { .. } => match tp_core::default_exec_mode() {
+            // Without the coop driver there is no deadlock detector; the
+            // watchdog is the legacy engine's (acceptable) backstop.
+            ExecMode::Threads => vec![O::TimedOut, O::Ok],
+            // The detector needs every environment suspended. A cell with a
+            // spinning daemon (e.g. the bus sender's compute loop) turns a
+            // wedged token into a livelock, which only the watchdog can
+            // classify — `TimedOut` is the correct verdict there.
+            ExecMode::Coop { .. } => vec![O::Deadlock, O::TimedOut, O::Ok],
+        },
+        FaultKind::WorkerKill { .. } => vec![O::Ok],
+        FaultKind::StackOverflow => vec![O::StackOverflow, O::EnvFailed, O::Ok],
+    }
+}
+
+/// A bit-exact fingerprint of a cell's results, for the healthy-cells-
+/// byte-identical gate (`f64`s compared by bit pattern, not display).
+fn fingerprint(channels: &[ChannelResult]) -> String {
+    let mut s = String::new();
+    for c in channels {
+        let _ = writeln!(
+            s,
+            "{}/{}/{} v={:016x} b={:016x} leaks={} n={}",
+            c.channel,
+            c.mechanism,
+            c.metric,
+            c.value.to_bits(),
+            c.baseline.to_bits(),
+            c.leaks,
+            c.samples
+        );
+    }
+    s
+}
+
+/// The sweep universe: the four cheap registry experiments on two
+/// platforms — eight real campaign cells, fast enough to re-run dozens of
+/// times under fuzzed faults.
+fn sweep_universe(defs: &[ExperimentDef]) -> Vec<(&ExperimentDef, Platform)> {
+    const CHEAP: [&str; 4] = ["tlb", "btb", "bhb", "bus"];
+    let mut u = Vec::new();
+    for name in CHEAP {
+        if let Some(d) = defs.iter().find(|d| d.name == name) {
+            for p in [Platform::Haswell, Platform::Sabre] {
+                if (d.supports)(p) {
+                    u.push((d, p));
+                }
+            }
         }
+    }
+    u
+}
+
+/// Compare the reference pass's verdicts against the committed goldens,
+/// when the sample scale matches the pinned one. Returns the number of
+/// mismatches (0 when skipped).
+fn check_reference_verdicts(cells: &[(&ExperimentDef, Platform, Vec<ChannelResult>)]) -> usize {
+    let Ok((text, _)) = tp_bench::store::read_artifact("goldens/verdicts.json") else {
+        eprintln!("[sweep: goldens/verdicts.json unreadable; reference-verdict gate skipped]");
+        return 0;
+    };
+    let scale = tp_bench::util::effort();
+    match campaign::golden_tp_samples(&text) {
+        Some(pinned) if (pinned - scale).abs() < 1e-9 => {}
+        pinned => {
+            eprintln!(
+                "[sweep: goldens pinned at TP_SAMPLES={pinned:?}, run at {scale}; \
+                 reference-verdict gate skipped]"
+            );
+            return 0;
+        }
+    }
+    let golden = campaign::parse_golden(&text);
+    let mut mismatches = 0;
+    for (d, p, channels) in cells {
+        for c in channels {
+            let key = (
+                d.name.to_string(),
+                p.key().to_string(),
+                c.channel.to_string(),
+                c.mechanism.to_string(),
+            );
+            match golden.get(&key) {
+                Some(v) if v == c.verdict() => {}
+                Some(v) => {
+                    mismatches += 1;
+                    eprintln!(
+                        "sweep: reference verdict for {}/{}/{}/{} is {:?}, golden says {v:?}",
+                        d.name,
+                        p.key(),
+                        c.channel,
+                        c.mechanism,
+                        c.verdict()
+                    );
+                }
+                None => {} // platform-filtered goldens: absence is not a diff
+            }
+        }
+    }
+    mismatches
+}
+
+/// The randomized chaos sweep: fuzz `budget` seeded `(class, ordinal,
+/// cell)` fault plans across real campaign cells. Gates: every faulted
+/// cell classifies inside its allowed set (and the supervisor never
+/// unwinds — the sweep itself is the "faulted campaigns exit 0" proof);
+/// an `Ok` faulted cell and every interleaved healthy re-run must be
+/// byte-identical to the healthy reference pass.
+fn run_sweep(seed: u64, budget: usize) -> ExitCode {
+    let defs = campaign::registry();
+    let universe = sweep_universe(&defs);
+    eprintln!(
+        "[sweep: seed {seed:#x}, {budget} plan(s) over {} cell(s), executor {:?}]",
+        universe.len(),
+        tp_core::default_exec_mode()
+    );
+
+    // Healthy reference pass: fingerprints + per-cell wall times (which
+    // derive the faulted runs' deadlines) + the golden-verdict gate.
+    let mut reference: Vec<(String, f64)> = Vec::new();
+    let mut ref_cells: Vec<(&ExperimentDef, Platform, Vec<ChannelResult>)> = Vec::new();
+    for &(d, p) in &universe {
+        let t0 = Instant::now();
+        let run = d.run;
+        let report = run_cell(d.name, p.key(), None, Duration::from_secs(600), move || {
+            run(p)
+        });
+        let secs = t0.elapsed().as_secs_f64();
+        let Some(channels) = report
+            .channels
+            .filter(|_| report.outcome == CellOutcome::Ok)
+        else {
+            eprintln!(
+                "sweep: reference run of {} on {} came back {}: {}",
+                d.name,
+                p.key(),
+                report.outcome.name(),
+                report.error.as_deref().unwrap_or("no detail"),
+            );
+            return ExitCode::FAILURE;
+        };
+        reference.push((fingerprint(&channels), secs));
+        ref_cells.push((d, p, channels));
+        eprintln!("[sweep reference: {} on {} in {secs:.1}s]", d.name, p.key());
+    }
+    let mut failures = check_reference_verdicts(&ref_cells);
+
+    let mut t = Table::new(&["Plan", "Cell", "Outcome", "Attempts", "Result"]);
+    let mut state = seed;
+    for i in 0..budget {
+        let kind = fuzz_kind(&mut state);
+        let idx = (splitmix(&mut state) % universe.len() as u64) as usize;
+        let (d, p) = universe[idx];
+        let plan = FaultPlan {
+            kind,
+            cell: Some((d.name.to_string(), p.key().to_string())),
+        };
+        // A stalled attempt burns its whole deadline, so bound it by the
+        // cell's observed healthy runtime instead of the generous default.
+        let deadline = Duration::from_secs_f64((reference[idx].1 * 4.0).clamp(2.0, 600.0));
+        let run = d.run;
+        let report = run_cell(d.name, p.key(), Some(&plan), deadline, move || run(p));
+        let allowed = allowed_outcomes(kind);
+        let mut verdict = if allowed.contains(&report.outcome) {
+            "PASS"
+        } else {
+            failures += 1;
+            eprintln!(
+                "sweep: plan {plan} on {}/{} classified {} (allowed: {}): {}",
+                d.name,
+                p.key(),
+                report.outcome.name(),
+                allowed
+                    .iter()
+                    .map(|o| o.name())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                report.error.as_deref().unwrap_or("no detail"),
+            );
+            "FAIL"
+        };
+        if verdict == "PASS"
+            && report.outcome == CellOutcome::Ok
+            && !matches!(kind, FaultKind::LostWakeup { .. })
+        {
+            // The fault never fired: the cell must be indistinguishable
+            // from the healthy reference. (`lost-wakeup` is exempt: a
+            // wedged token starves off-token environments, and when the
+            // primaries can still finish the run completes `Ok` with
+            // legitimately degraded data — the strong detector guarantees
+            // are pinned on the dedicated pair cell instead.)
+            let fp = fingerprint(&report.channels.unwrap_or_default());
+            if fp != reference[idx].0 {
+                failures += 1;
+                verdict = "FAIL";
+                eprintln!(
+                    "sweep: plan {plan} on {}/{} came back ok but diverged from the reference",
+                    d.name,
+                    p.key()
+                );
+            }
+        }
+        t.row(&[
+            plan.to_string(),
+            format!("{}/{}", d.name, p.key()),
+            report.outcome.name().to_string(),
+            report.attempts.to_string(),
+            verdict.to_string(),
+        ]);
+
+        // One rotating healthy cell per plan: fault injection is scoped
+        // and thread-local, so sick plans must never contaminate healthy
+        // cells — byte-identical to the reference, every time.
+        let h = i % universe.len();
+        let (hd, hp) = universe[h];
+        let hrun = hd.run;
+        let healthy = run_cell(
+            hd.name,
+            hp.key(),
+            None,
+            Duration::from_secs(600),
+            move || hrun(hp),
+        );
+        let clean = healthy.outcome == CellOutcome::Ok
+            && fingerprint(&healthy.channels.unwrap_or_default()) == reference[h].0;
+        if !clean {
+            failures += 1;
+            eprintln!(
+                "sweep: healthy cell {} on {} diverged from the reference after plan {plan} ({})",
+                hd.name,
+                hp.key(),
+                healthy.outcome.name(),
+            );
+        }
+    }
+
+    println!("{}", t.render());
+    if failures == 0 {
+        println!("sweep: {budget} fuzzed plan(s) classified inside their allowed sets; healthy cells byte-identical");
+        ExitCode::SUCCESS
+    } else {
+        println!("sweep: {failures} gate failure(s)");
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    // The class matrix is driven by `TP_FAULT`; the randomized sweep by
+    // `--sweep`. Anything else is the shared bad-flag convention (report
+    // + exit 2) so a typo'd invocation fails loudly.
+    let sweep = cli::parse_or_exit("chaos", || {
+        let mut sweep: Option<(u64, usize)> = None;
+        let mut seed = 0xC4A0_5EED_u64;
+        let mut budget = 40_usize;
+        let mut flags = false;
+        let mut it = cli::ArgStream::from_env();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--sweep" => sweep = Some((0, 0)),
+                "--seed" => {
+                    seed = cli::parse_u64("--seed", &it.value("--seed")?)?;
+                    flags = true;
+                }
+                "--budget" => {
+                    budget = cli::parse_u64("--budget", &it.value("--budget")?)? as usize;
+                    flags = true;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown argument {other:?} (chaos takes --sweep [--seed N] \
+                         [--budget N]; the class matrix is configured via TP_FAULT)"
+                    ))
+                }
+            }
+        }
+        if sweep.is_none() && flags {
+            return Err("--seed/--budget require --sweep".into());
+        }
+        if budget == 0 {
+            return Err("--budget needs at least one plan".into());
+        }
+        Ok(sweep.map(|_| (seed, budget)))
     });
+    if let Some((seed, budget)) = sweep {
+        return run_sweep(seed, budget);
+    }
 
     // `TP_FAULT` selects either one store-level class (parsed here) or one
     // in-process class (parsed by `FaultPlan`); unset runs everything.
@@ -420,9 +778,21 @@ fn main() -> ExitCode {
             }
         }
         let name = plan.kind.class_name();
-        let report = run_cell("chaos", "haswell", Some(plan), deadline, move || {
-            probe_cell(seed)
-        });
+        let report = run_cell(
+            "chaos",
+            "haswell",
+            Some(plan),
+            class_deadline(plan.kind, deadline),
+            cell_body(plan.kind, seed),
+        );
+        if matches!(plan.kind, FaultKind::LostWakeup { .. }) {
+            // The CI deadlock smoke diffs this line across coroutine
+            // backends: same classification, same interaction ordinal.
+            println!(
+                "deadlock-detail: {}",
+                report.error.as_deref().unwrap_or("no detail")
+            );
+        }
         let pass = report.outcome == expected;
         if !pass {
             failures += 1;
@@ -449,6 +819,38 @@ fn main() -> ExitCode {
             expected.name().to_string(),
             report.outcome.name().to_string(),
             report.attempts.to_string(),
+            if pass { "PASS" } else { "FAIL" }.to_string(),
+        ]);
+    }
+
+    if !plans.is_empty() && raw_fault.is_none() {
+        // Per-environment isolation: an env-panic that lands on a daemon
+        // tenant of the fleet cell must *complete* with survivor-only
+        // results — `EnvFailed`, one attempt, partial report instead of a
+        // whole-cell quarantine.
+        let p = FaultPlan::new(FaultKind::EnvPanic { at: 2 });
+        let r = run_cell(
+            "chaos-fleet",
+            "haswell",
+            Some(&p),
+            Duration::from_secs(120),
+            || fleet_cell(0xC4A0_51EE, ExecMode::default()),
+        );
+        let pass = r.outcome == CellOutcome::EnvFailed && r.channels.is_some() && r.attempts == 1;
+        if !pass {
+            failures += 1;
+            eprintln!(
+                "chaos: fleet isolation demo came back {} after {} attempt(s): {}",
+                r.outcome.name(),
+                r.attempts,
+                r.error.as_deref().unwrap_or("no detail"),
+            );
+        }
+        t.row(&[
+            "env-panic@2 (fleet daemon)".to_string(),
+            "env-failed".to_string(),
+            r.outcome.name().to_string(),
+            r.attempts.to_string(),
             if pass { "PASS" } else { "FAIL" }.to_string(),
         ]);
     }

@@ -513,7 +513,7 @@ pub fn bench_json(results: &[ExperimentResult], total_seconds: f64) -> String {
     let sup = crate::supervise::counters();
     let _ = writeln!(
         s,
-        "  \"supervisor\": {{\"retries\": {}, \"timeouts\": {}, \"panics\": {}, \"snapshot_corrupt\": {}, \"replay_diverged\": {}, \"quarantined\": {}, \"fallback_boots\": {}}},",
+        "  \"supervisor\": {{\"retries\": {}, \"timeouts\": {}, \"panics\": {}, \"snapshot_corrupt\": {}, \"replay_diverged\": {}, \"quarantined\": {}, \"fallback_boots\": {}, \"env_failed\": {}, \"deadlocks\": {}, \"stack_overflows\": {}}},",
         sup.retries,
         sup.timeouts,
         sup.panics,
@@ -521,6 +521,9 @@ pub fn bench_json(results: &[ExperimentResult], total_seconds: f64) -> String {
         sup.replay_diverged,
         sup.quarantined,
         boot.fallback_boots,
+        sup.env_failed,
+        sup.deadlocks,
+        sup.stack_overflows,
     );
     // Resume/durability accounting: a clean (non-resumed, uncontended)
     // campaign reports all zeroes here, and CI gates on exactly that.

@@ -31,7 +31,9 @@ use std::sync::Arc;
 use tp_analysis::{leakage_test, Dataset};
 use tp_attacks::harness::{pair_logs, ChannelOutcome};
 use tp_attacks::probe::{l1_probe, ProbeBuf};
-use tp_core::{ExecMode, ProtectionConfig, SimError, SystemBuilder, SystemSpec, UserEnv};
+use tp_core::{
+    EnvOutcome, ExecMode, ProtectionConfig, SimError, SystemBuilder, SystemSpec, UserEnv,
+};
 use tp_sim::{ColorSet, Platform};
 
 /// Symbols the attacker pairs encode (8 ⇒ up to 3 bits per slice).
@@ -80,7 +82,7 @@ impl CloudSpec {
             samples: samples(120),
             slice_us: 50.0,
             seed: 0x5EED,
-            executor: ExecMode::Coop { workers: 0 },
+            executor: ExecMode::default(),
         }
     }
 
@@ -118,6 +120,10 @@ pub struct CloudReport {
     pub outcome: ChannelOutcome,
     /// Ordinary tenants simulated.
     pub tenants: usize,
+    /// Tenant environments that died in isolation during the run (the
+    /// fleet keeps running; throughput and sojourn stats cover the
+    /// survivors only).
+    pub failed_tenants: usize,
     /// Requests completed across all tenants.
     pub completed: usize,
     /// Simulated wall time of the run, seconds.
@@ -134,8 +140,13 @@ impl CloudReport {
     /// One-line summary for tables and logs.
     #[must_use]
     pub fn summary(&self) -> String {
+        let dead = if self.failed_tenants > 0 {
+            format!(" ({} dead, stats over survivors)", self.failed_tenants)
+        } else {
+            String::new()
+        };
         format!(
-            "{} tenants | {:.0} req/s, p50 {:.0} us, p95 {:.0} us | {}",
+            "{} tenants{dead} | {:.0} req/s, p50 {:.0} us, p95 {:.0} us | {}",
             self.tenants,
             self.throughput_rps,
             self.p50_us,
@@ -313,6 +324,15 @@ pub fn run_cloud(spec: &CloudSpec) -> Result<CloudReport, SimError> {
 
     let report = b.try_run()?;
 
+    // Per-environment isolation: a tenant daemon that died (panic, stack
+    // smash) is counted here, not propagated — the fleet completed and
+    // every stat below covers the survivors.
+    let failed_tenants = report
+        .env_outcomes
+        .iter()
+        .filter(|o| matches!(o, EnvOutcome::Failed { .. }))
+        .count();
+
     // Pool every pair's paired observations into one aggregate dataset.
     let mut dataset = Dataset::new(CLOUD_SYMBOLS);
     for (slog, rlog) in sender_logs.iter().zip(&receiver_logs) {
@@ -338,6 +358,7 @@ pub fn run_cloud(spec: &CloudSpec) -> Result<CloudReport, SimError> {
     Ok(CloudReport {
         outcome,
         tenants: spec.tenants,
+        failed_tenants,
         completed,
         sim_seconds,
         throughput_rps: if sim_seconds > 0.0 {
@@ -382,6 +403,32 @@ mod tests {
             prot.summary()
         );
         assert!(prot.completed > 0, "no tenant requests completed");
+    }
+
+    #[test]
+    fn dead_tenant_leaves_survivor_stats_standing() {
+        use tp_core::fault;
+        let run = |armed| {
+            let mut spec = CloudSpec::new(Platform::Sabre, ProtectionConfig::raw(), 12);
+            spec.samples = 24;
+            fault::arm(armed);
+            let r = run_cloud(&spec);
+            fault::arm(None);
+            r.expect("cloud run completes despite the dead tenant")
+        };
+        let clean = run(None);
+        assert_eq!(clean.failed_tenants, 0);
+
+        // The ordinal is calibrated so the panic lands on a daemon tenant
+        // (a primary's death would abort the run and fail this test).
+        let faulted = run(Some(tp_core::FaultKind::EnvPanic { at: 50 }));
+        assert_eq!(faulted.failed_tenants, 1, "{}", faulted.summary());
+        assert!(
+            faulted.completed > 0,
+            "survivors keep completing requests: {}",
+            faulted.summary()
+        );
+        assert!(faulted.summary().contains("stats over survivors"));
     }
 
     #[test]

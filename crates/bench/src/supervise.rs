@@ -64,6 +64,9 @@ static PANICS: AtomicU64 = AtomicU64::new(0);
 static SNAPSHOT_CORRUPT: AtomicU64 = AtomicU64::new(0);
 static REPLAY_DIVERGED: AtomicU64 = AtomicU64::new(0);
 static QUARANTINED: AtomicU64 = AtomicU64::new(0);
+static ENV_FAILED: AtomicU64 = AtomicU64::new(0);
+static DEADLOCKS: AtomicU64 = AtomicU64::new(0);
+static STACK_OVERFLOWS: AtomicU64 = AtomicU64::new(0);
 
 /// Process-wide supervisor accounting, serialised into
 /// `BENCH-campaign.json` as the `supervisor` object.
@@ -81,6 +84,13 @@ pub struct SupervisorCounters {
     pub replay_diverged: u64,
     /// Cells written to the quarantine ledger.
     pub quarantined: u64,
+    /// Cells that completed with at least one environment failed in
+    /// isolation (partial results over the survivors).
+    pub env_failed: u64,
+    /// Attempts classified as a deterministic scheduler deadlock.
+    pub deadlocks: u64,
+    /// Attempts killed by a dead stack guard canary.
+    pub stack_overflows: u64,
 }
 
 /// Snapshot the supervisor counters.
@@ -93,6 +103,9 @@ pub fn counters() -> SupervisorCounters {
         snapshot_corrupt: SNAPSHOT_CORRUPT.load(Ordering::Relaxed),
         replay_diverged: REPLAY_DIVERGED.load(Ordering::Relaxed),
         quarantined: QUARANTINED.load(Ordering::Relaxed),
+        env_failed: ENV_FAILED.load(Ordering::Relaxed),
+        deadlocks: DEADLOCKS.load(Ordering::Relaxed),
+        stack_overflows: STACK_OVERFLOWS.load(Ordering::Relaxed),
     }
 }
 
@@ -115,6 +128,14 @@ pub enum CellOutcome {
     SnapshotCorrupt,
     /// The commit-log replay selfcheck found a diverging commit.
     ReplayDiverged,
+    /// The cell completed, but one or more non-primary environments failed
+    /// in isolation: partial results over the survivors, not a quarantine.
+    EnvFailed,
+    /// Every attempt ended in a deterministic scheduler deadlock (the coop
+    /// driver proved no environment can ever be admitted again).
+    Deadlock,
+    /// Every attempt died on a clobbered stack guard canary.
+    StackOverflow,
 }
 
 impl CellOutcome {
@@ -127,6 +148,9 @@ impl CellOutcome {
             CellOutcome::TimedOut => "timed-out",
             CellOutcome::SnapshotCorrupt => "snapshot-corrupt",
             CellOutcome::ReplayDiverged => "replay-diverged",
+            CellOutcome::EnvFailed => "env-failed",
+            CellOutcome::Deadlock => "deadlock",
+            CellOutcome::StackOverflow => "stack-overflow",
         }
     }
 }
@@ -141,14 +165,21 @@ pub struct CellReport {
     pub channels: Option<Vec<ChannelResult>>,
     /// Attempts consumed (1 ⇒ no retry).
     pub attempts: u32,
+    /// Environments that failed in isolation during the reported attempt
+    /// (non-zero only for [`CellOutcome::EnvFailed`]).
+    pub env_failed: u64,
     /// Human-readable failure description for non-`Ok` outcomes.
     pub error: Option<String>,
 }
 
 enum Attempt {
-    Done(Vec<ChannelResult>, bool),
+    /// Completed: channels, whether a cold-boot fallback was seen, and how
+    /// many environments failed in isolation.
+    Done(Vec<ChannelResult>, bool, u64),
     Panicked(String),
     TimedOut(String),
+    Deadlocked(String),
+    StackOverflow(String),
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -168,6 +199,7 @@ fn run_attempt(
     f: Arc<dyn Fn() -> Result<Vec<ChannelResult>, SimError> + Send + Sync>,
 ) -> Attempt {
     let fallback_before = tp_core::boot_stats().fallback_boots;
+    let env_failed_before = tp_core::health_stats().env_failed;
     let (tx, rx) = mpsc::channel();
     let cutoff = Instant::now() + deadline;
     std::thread::spawn(move || {
@@ -194,6 +226,10 @@ fn run_attempt(
             let msg = panic_message(payload.as_ref());
             if msg.starts_with("watchdog") {
                 Attempt::TimedOut(msg)
+            } else if msg.starts_with("deadlock") {
+                Attempt::Deadlocked(msg)
+            } else if msg.starts_with("stack overflow") {
+                Attempt::StackOverflow(msg)
             } else {
                 Attempt::Panicked(msg)
             }
@@ -201,11 +237,31 @@ fn run_attempt(
         Ok(Ok(Err(e))) => match e.kind {
             SimErrorKind::Watchdog => Attempt::TimedOut(e.to_string()),
             SimErrorKind::ProgramPanic => Attempt::Panicked(e.to_string()),
+            SimErrorKind::Deadlock { .. } => Attempt::Deadlocked(e.to_string()),
+            SimErrorKind::StackOverflow => Attempt::StackOverflow(e.to_string()),
         },
         Ok(Ok(Ok(channels))) => {
             let fell_back = matches!(armed, Some(FaultKind::SnapshotCorrupt))
                 && tp_core::boot_stats().fallback_boots > fallback_before;
-            Attempt::Done(channels, fell_back)
+            // The env-failure delta is only trusted when the armed fault is
+            // one that can kill an environment — the counter is process-wide
+            // and concurrent healthy cells must not inherit a stray delta.
+            // (`noise-poison` qualifies: the exhausted stream panics inside
+            // whichever environment drew next, and when that is a daemon the
+            // isolation plane degrades the run instead of failing it.)
+            let env_failed = if matches!(
+                armed,
+                Some(FaultKind::EnvPanic { .. })
+                    | Some(FaultKind::StackOverflow)
+                    | Some(FaultKind::NoisePoison { .. })
+            ) {
+                tp_core::health_stats()
+                    .env_failed
+                    .saturating_sub(env_failed_before)
+            } else {
+                0
+            };
+            Attempt::Done(channels, fell_back, env_failed)
         }
     }
 }
@@ -233,13 +289,14 @@ pub fn run_cell(
         }
         let salt = u64::from(attempt).wrapping_mul(RETRY_SALT_STRIDE);
         match run_attempt(armed, deadline, salt, Arc::clone(&f)) {
-            Attempt::Done(channels, fell_back) => {
+            Attempt::Done(channels, fell_back, env_failed) => {
                 if fell_back {
                     SNAPSHOT_CORRUPT.fetch_add(1, Ordering::Relaxed);
                     return CellReport {
                         outcome: CellOutcome::SnapshotCorrupt,
                         channels: Some(channels),
                         attempts: attempt + 1,
+                        env_failed: 0,
                         error: Some(
                             "a warm-boot snapshot failed its state-hash check; \
                              the cell completed on the cold-boot fallback"
@@ -254,6 +311,7 @@ pub fn run_cell(
                             outcome: CellOutcome::ReplayDiverged,
                             channels: Some(channels),
                             attempts: attempt + 1,
+                            env_failed: 0,
                             error: Some(format!(
                                 "commit log fails replay: first divergence at commit #{} \
                                  (expected {:#018x}, got {:#018x})",
@@ -262,10 +320,27 @@ pub fn run_cell(
                         };
                     }
                 }
+                if env_failed > 0 {
+                    // Graceful degradation, not a quarantine: the cell
+                    // completed with partial results over the surviving
+                    // environments.
+                    ENV_FAILED.fetch_add(1, Ordering::Relaxed);
+                    return CellReport {
+                        outcome: CellOutcome::EnvFailed,
+                        channels: Some(channels),
+                        attempts: attempt + 1,
+                        env_failed,
+                        error: Some(format!(
+                            "{env_failed} environment(s) failed in isolation; \
+                             results cover the survivors"
+                        )),
+                    };
+                }
                 return CellReport {
                     outcome: CellOutcome::Ok,
                     channels: Some(channels),
                     attempts: attempt + 1,
+                    env_failed: 0,
                     error: None,
                 };
             }
@@ -279,12 +354,23 @@ pub fn run_cell(
                 last_error = Some(msg);
                 last_outcome = CellOutcome::TimedOut;
             }
+            Attempt::Deadlocked(msg) => {
+                DEADLOCKS.fetch_add(1, Ordering::Relaxed);
+                last_error = Some(msg);
+                last_outcome = CellOutcome::Deadlock;
+            }
+            Attempt::StackOverflow(msg) => {
+                STACK_OVERFLOWS.fetch_add(1, Ordering::Relaxed);
+                last_error = Some(msg);
+                last_outcome = CellOutcome::StackOverflow;
+            }
         }
     }
     CellReport {
         outcome: last_outcome,
         channels: None,
         attempts: MAX_ATTEMPTS,
+        env_failed: 0,
         error: last_error,
     }
 }
@@ -340,11 +426,21 @@ pub fn commit_flip_selfcheck(flip: usize) -> Option<tp_core::Divergence> {
 /// Returns the [`SimError`] when the simulation fails — which is the
 /// point: every injected fault class surfaces here.
 pub fn probe_cell(seed: u64) -> Result<Vec<ChannelResult>, SimError> {
+    probe_cell_with(seed, tp_core::ExecMode::default())
+}
+
+/// [`probe_cell`] under an explicit executor, for the differential
+/// regression that pins fault classification across engines.
+///
+/// # Errors
+/// As [`probe_cell`].
+pub fn probe_cell_with(seed: u64, mode: tp_core::ExecMode) -> Result<Vec<ChannelResult>, SimError> {
     use tp_core::{ProtectionConfig, Syscall, SystemBuilder, UserEnv};
     let mut b = SystemBuilder::new(tp_sim::Platform::Haswell, ProtectionConfig::raw())
         .seed(seed)
         .warm_boot(true)
-        .max_cycles(200_000_000);
+        .max_cycles(200_000_000)
+        .executor(mode);
     let d = b.domain(None);
     b.spawn(d, 0, 100, |env: &mut UserEnv| {
         let (base, _) = env.map_pages(32);
@@ -357,6 +453,93 @@ pub fn probe_cell(seed: u64) -> Result<Vec<ChannelResult>, SimError> {
     });
     b.try_run()?;
     Ok(Vec::new())
+}
+
+/// A two-core pair cell: one primary per core, each interleaving probe
+/// loads with `Yield`s, so forward progress *requires* cross-core token
+/// rotation. The `lost-wakeup` fault wedges the token here and the coop
+/// driver's deadlock detector must classify it — deterministically, at the
+/// same interaction ordinal for every worker count and coroutine backend.
+///
+/// # Errors
+/// The [`SimError`] when the simulation fails (under `lost-wakeup`, a
+/// [`tp_core::SimErrorKind::Deadlock`]).
+pub fn pair_cell_report(
+    seed: u64,
+    mode: tp_core::ExecMode,
+) -> Result<tp_core::SystemReport, SimError> {
+    use tp_core::{ProtectionConfig, Syscall, SystemBuilder, UserEnv};
+    let mut b = SystemBuilder::new(tp_sim::Platform::Haswell, ProtectionConfig::raw())
+        .seed(seed)
+        .max_cycles(400_000_000)
+        .executor(mode);
+    let d0 = b.domain(None);
+    let d1 = b.domain(None);
+    for (core, d) in [d0, d1].into_iter().enumerate() {
+        b.spawn(d, core, 100, move |env: &mut UserEnv| {
+            let (base, _) = env.map_pages(16);
+            for i in 0..400u64 {
+                env.load(tp_sim::VAddr(base.0 + (i % 16) * tp_sim::FRAME_SIZE));
+                if i % 25 == 0 {
+                    let _ = env.syscall(Syscall::Yield);
+                }
+            }
+        });
+    }
+    b.try_run()
+}
+
+/// [`pair_cell_report`] shaped as a supervised cell body.
+///
+/// # Errors
+/// As [`pair_cell_report`].
+pub fn pair_cell(seed: u64, mode: tp_core::ExecMode) -> Result<Vec<ChannelResult>, SimError> {
+    pair_cell_report(seed, mode).map(|_| Vec::new())
+}
+
+/// A small fleet cell: one primary plus two daemon tenants in their own
+/// domains on one core. The daemons issue all the early syscalls (tight
+/// `Yield` loops), so a low-ordinal `env-panic@N` deterministically kills a
+/// *daemon* — exercising per-environment isolation ([`CellOutcome::EnvFailed`],
+/// survivors unperturbed) — and `worker-kill@N` has suspended coroutines for
+/// the surviving workers to adopt.
+///
+/// # Errors
+/// The [`SimError`] when the simulation fails.
+pub fn fleet_cell_report(
+    seed: u64,
+    mode: tp_core::ExecMode,
+) -> Result<tp_core::SystemReport, SimError> {
+    use tp_core::{ProtectionConfig, Syscall, SystemBuilder, UserEnv};
+    let mut b = SystemBuilder::new(tp_sim::Platform::Haswell, ProtectionConfig::raw())
+        .seed(seed)
+        .slice_us(50.0)
+        .max_cycles(300_000_000)
+        .executor(mode);
+    let d0 = b.domain(None);
+    let d1 = b.domain(None);
+    let d2 = b.domain(None);
+    b.spawn(d0, 0, 100, |env: &mut UserEnv| {
+        let (base, _) = env.map_pages(16);
+        for i in 0..400u64 {
+            env.load(tp_sim::VAddr(base.0 + (i % 16) * tp_sim::FRAME_SIZE));
+            env.compute(500);
+        }
+    });
+    for d in [d1, d2] {
+        b.spawn_daemon(d, 0, 100, |env: &mut UserEnv| loop {
+            let _ = env.syscall(Syscall::Yield);
+        });
+    }
+    b.try_run()
+}
+
+/// [`fleet_cell_report`] shaped as a supervised cell body.
+///
+/// # Errors
+/// As [`fleet_cell_report`].
+pub fn fleet_cell(seed: u64, mode: tp_core::ExecMode) -> Result<Vec<ChannelResult>, SimError> {
+    fleet_cell_report(seed, mode).map(|_| Vec::new())
 }
 
 /// Parse a `TP_CELL_TIMEOUT` value (seconds). `None`/empty means "unset";
@@ -647,6 +830,82 @@ mod tests {
         );
         assert_eq!(hist.len(), 2);
         assert!((hist[&("l1d".into(), "haswell".into())] - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lost_wakeup_classifies_as_deadlock_at_one_ordinal() {
+        use tp_core::ExecMode;
+        let p = plan(FaultKind::LostWakeup { at: 2 });
+        let mut errors = Vec::new();
+        for workers in [1, 2] {
+            let r = run_cell(
+                "pair",
+                "haswell",
+                Some(&p),
+                Duration::from_secs(60),
+                move || pair_cell(0xA11C_E007, ExecMode::Coop { workers }),
+            );
+            assert_eq!(r.outcome, CellOutcome::Deadlock, "{:?}", r.error);
+            assert_eq!(r.attempts, MAX_ATTEMPTS, "deterministic on every attempt");
+            let err = r.error.expect("deadlock detail");
+            assert!(err.starts_with("deadlock:"), "{err}");
+            assert!(err.contains("at interaction"), "{err}");
+            errors.push(err);
+        }
+        assert_eq!(
+            errors[0], errors[1],
+            "deadlock ordinal must be worker-count-invariant"
+        );
+    }
+
+    #[test]
+    fn stack_overflow_classifies_and_names_the_guard() {
+        let p = plan(FaultKind::StackOverflow);
+        let r = run_cell("tiny", "haswell", Some(&p), Duration::from_secs(60), || {
+            tiny_cell(0xA11C_E008)
+        });
+        assert_eq!(r.outcome, CellOutcome::StackOverflow, "{:?}", r.error);
+        let err = r.error.expect("overflow detail");
+        assert!(err.starts_with("stack overflow"), "{err}");
+        assert!(err.contains("TP_STACK_KB"), "{err}");
+    }
+
+    #[test]
+    fn fleet_daemon_panic_degrades_to_env_failed() {
+        use tp_core::ExecMode;
+        let p = plan(FaultKind::EnvPanic { at: 2 });
+        let r = run_cell(
+            "fleet",
+            "haswell",
+            Some(&p),
+            Duration::from_secs(60),
+            || fleet_cell(0xA11C_E009, ExecMode::default()),
+        );
+        assert_eq!(r.outcome, CellOutcome::EnvFailed, "{:?}", r.error);
+        assert_eq!(r.attempts, 1, "partial completion, not a retry");
+        assert!(r.channels.is_some(), "survivor results are reported");
+        assert!(r.env_failed > 0);
+        assert!(
+            r.error.as_deref().unwrap_or("").contains("survivors"),
+            "{:?}",
+            r.error
+        );
+    }
+
+    #[test]
+    fn worker_kill_is_invisible_in_the_report() {
+        use tp_core::ExecMode;
+        let seed = 0xA11C_E00A;
+        let clean = fleet_cell_report(seed, ExecMode::Coop { workers: 2 }).expect("clean run");
+        fault::arm(Some(FaultKind::WorkerKill { at: 3 }));
+        let killed = fleet_cell_report(seed, ExecMode::Coop { workers: 2 });
+        fault::arm(None);
+        let killed = killed.expect("killed-worker run completes");
+        assert_eq!(
+            clean.state_hash, killed.state_hash,
+            "adopted coroutines must not perturb machine state"
+        );
+        assert_eq!(clean.cycles, killed.cycles);
     }
 
     #[test]

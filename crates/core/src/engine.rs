@@ -59,21 +59,48 @@ pub struct SimError {
 }
 
 /// Classification of a [`SimError`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimErrorKind {
     /// A simulated program (or the kernel under it) panicked.
     ProgramPanic,
     /// The engine watchdog aborted the cell: its wall-clock deadline passed
     /// while the simulation was making no progress.
     Watchdog,
+    /// The cooperative scheduler proved no progress is possible: every live
+    /// environment is suspended and no token rotation can admit one.
+    /// Detected deterministically from simulation state alone — same
+    /// `at_interaction` and `waiting_envs` for a given seed regardless of
+    /// worker count or coroutine backend; no wall clock involved.
+    Deadlock {
+        /// Thread ids of the environments still live when progress died,
+        /// in spawn order.
+        waiting_envs: Vec<u64>,
+        /// The global interaction ordinal (syscalls + preemption waits) at
+        /// which the deadlock was proven.
+        at_interaction: u64,
+    },
+    /// A coroutine's stack guard canary was found dead at a check point —
+    /// the environment overflowed its stack (or the `stack-overflow` fault
+    /// class simulated doing so).
+    StackOverflow,
 }
 
 impl SimError {
     /// Classify an engine error string: watchdog aborts announce themselves
-    /// with a `watchdog:` prefix, everything else is a program failure.
+    /// with a `watchdog:` prefix, deadlock reports with `deadlock`, canary
+    /// deaths with `stack overflow`; everything else is a program failure.
+    /// Typed deadlock details travel out-of-band through
+    /// `SimInner::deadlock`; this string fallback carries empty fields.
     pub(crate) fn from_message(message: String) -> Self {
         let kind = if message.starts_with("watchdog") {
             SimErrorKind::Watchdog
+        } else if message.starts_with("deadlock") {
+            SimErrorKind::Deadlock {
+                waiting_envs: Vec::new(),
+                at_interaction: 0,
+            }
+        } else if message.starts_with("stack overflow") {
+            SimErrorKind::StackOverflow
         } else {
             SimErrorKind::ProgramPanic
         };
@@ -85,9 +112,68 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.kind {
             SimErrorKind::ProgramPanic => write!(f, "simulated program failed: {}", self.message),
-            SimErrorKind::Watchdog => write!(f, "{}", self.message),
+            SimErrorKind::Watchdog
+            | SimErrorKind::Deadlock { .. }
+            | SimErrorKind::StackOverflow => write!(f, "{}", self.message),
         }
     }
+}
+
+/// Process-wide executor health counters, cumulative since process start.
+/// Consumers snapshot before and after a run and diff (the same pattern as
+/// `boot_stats`), because campaign cells share one process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthStats {
+    /// Environments that failed in isolation (non-primary panic) while
+    /// their siblings kept running.
+    pub env_failed: u64,
+    /// Deterministic scheduler deadlocks detected by the coop driver.
+    pub deadlocks: u64,
+    /// Stack guard canary deaths (real overflows or the `stack-overflow`
+    /// fault class).
+    pub stack_overflows: u64,
+}
+
+static ENV_FAILED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static DEADLOCKS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static STACK_OVERFLOWS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Snapshot the process-wide executor health counters.
+#[must_use]
+pub fn health_stats() -> HealthStats {
+    use std::sync::atomic::Ordering::Relaxed;
+    HealthStats {
+        env_failed: ENV_FAILED.load(Relaxed),
+        deadlocks: DEADLOCKS.load(Relaxed),
+        stack_overflows: STACK_OVERFLOWS.load(Relaxed),
+    }
+}
+
+/// Panic payload a failing environment's unwind is re-wrapped in before it
+/// crosses [`tp_exec::Coro::take_panic`] (or the thread-executor join), so
+/// quarantine records and exit messages can name the env, not just the cell.
+pub struct EnvPanicPayload {
+    /// The failing environment's thread id (`TcbId.0`).
+    pub env: u64,
+    /// The original panic message.
+    pub message: String,
+}
+
+/// Per-environment completion outcome, carried in `SystemReport` in spawn
+/// order so multi-tenant scenarios can report fleet statistics over
+/// survivors instead of quarantining the whole cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvOutcome {
+    /// The environment ran to completion (or unwound in a normal stop).
+    Completed,
+    /// The environment panicked and was isolated; its siblings kept
+    /// running.
+    Failed {
+        /// The failing environment's thread id.
+        env: u64,
+        /// Its panic message.
+        message: String,
+    },
 }
 
 impl std::error::Error for SimError {}
@@ -152,9 +238,28 @@ pub struct SimInner {
     fault_panic_at: Option<u64>,
     /// Injected fault: stop yielding after this (1-based) syscall ordinal.
     fault_stall_at: Option<u64>,
-    /// Syscalls executed so far — counted under the lock at execution time,
-    /// so the ordinal is schedule-deterministic.
+    /// Injected fault: swallow token rotations from the `at`-th would-move
+    /// onward (sticky, so the wedge cannot self-heal on a later rotate).
+    fault_lost_wakeup_at: Option<u64>,
+    /// Injected fault: a coop worker dies after the `at`-th task drive.
+    pub(crate) fault_worker_kill_at: Option<u64>,
+    /// Injected fault: clobber the running coroutine's stack canary and
+    /// raise the canonical overflow panic at the next interaction.
+    fault_stack_overflow: bool,
+    /// Token moves attempted while a lost-wakeup fault is armed, for the
+    /// trigger ordinal.
+    rotations_seen: u64,
+    /// Syscalls and preemption waits executed so far — counted under the
+    /// lock at execution time, so the ordinal is schedule-deterministic.
+    /// Always counted (not just when a fault is armed): deadlock reports
+    /// timestamp themselves with it.
     syscalls_seen: u64,
+    /// Detected scheduler deadlock: waiting env ids (spawn order) and the
+    /// interaction ordinal at which progress was proven impossible.
+    pub(crate) deadlock: Option<(Vec<u64>, u64)>,
+    /// Environments that failed in isolation, in failure order:
+    /// `(env id, panic message)`. The cell keeps running.
+    pub(crate) env_failures: Vec<(u64, String)>,
     seq: u64,
 }
 
@@ -164,6 +269,24 @@ enum EnvFault {
     Panic(u64),
     /// Return normally, then stop yielding (spin off-lock forever).
     Stall(u64),
+    /// Clobber the stack guard canary and raise the canonical overflow
+    /// panic.
+    StackSmash(u64),
+}
+
+/// The `stack-overflow` fault firing at interaction `n`: kill the running
+/// coroutine's guard canary (so the backend's own at-suspend check would
+/// trip too) and raise the canonical overflow panic directly. The direct
+/// panic keeps the fault deterministic and identical under both executors —
+/// the thread-per-environment engine never reaches a coroutine suspend
+/// point, and a cooperative task that stays admitted may not suspend again.
+fn smash_stack(n: u64) -> ! {
+    tp_exec::clobber_canary();
+    debug_assert!(!tp_exec::on_coroutine() || !tp_exec::canary_intact());
+    panic!(
+        "stack overflow: coroutine guard canary clobbered at interaction {n} \
+         (raise TP_STACK_KB)"
+    );
 }
 
 impl SimInner {
@@ -185,17 +308,30 @@ impl SimInner {
             deadline: None,
             fault_panic_at: None,
             fault_stall_at: None,
+            fault_lost_wakeup_at: None,
+            fault_worker_kill_at: None,
+            fault_stack_overflow: false,
+            rotations_seen: 0,
             syscalls_seen: 0,
+            deadlock: None,
+            env_failures: Vec::new(),
             seq: 0,
         }
     }
 
-    /// Arm an environment fault (panic or stall at syscall N). Other fault
-    /// classes are injected elsewhere and ignored here.
+    /// Arm an environment or executor fault. Other fault classes are
+    /// injected elsewhere and ignored here.
     pub fn arm_env_fault(&mut self, kind: crate::fault::FaultKind) {
         match kind {
             crate::fault::FaultKind::EnvPanic { at } => self.fault_panic_at = Some(at.max(1)),
             crate::fault::FaultKind::EnvStall { at } => self.fault_stall_at = Some(at.max(1)),
+            crate::fault::FaultKind::LostWakeup { at } => {
+                self.fault_lost_wakeup_at = Some(at.max(1));
+            }
+            crate::fault::FaultKind::WorkerKill { at } => {
+                self.fault_worker_kill_at = Some(at.max(1));
+            }
+            crate::fault::FaultKind::StackOverflow => self.fault_stack_overflow = true,
             _ => {}
         }
     }
@@ -203,9 +339,6 @@ impl SimInner {
     /// Count one environment interaction (syscall or preemption wait) and
     /// report the fault (if any) due at this ordinal.
     fn env_fault_tick(&mut self) -> Option<EnvFault> {
-        if self.fault_panic_at.is_none() && self.fault_stall_at.is_none() {
-            return None;
-        }
         self.syscalls_seen += 1;
         if self.fault_panic_at == Some(self.syscalls_seen) {
             return Some(EnvFault::Panic(self.syscalls_seen));
@@ -213,7 +346,48 @@ impl SimInner {
         if self.fault_stall_at == Some(self.syscalls_seen) {
             return Some(EnvFault::Stall(self.syscalls_seen));
         }
+        if self.fault_stack_overflow {
+            self.fault_stack_overflow = false;
+            return Some(EnvFault::StackSmash(self.syscalls_seen));
+        }
         None
+    }
+
+    /// The interaction ordinal so far (syscalls + preemption waits).
+    #[must_use]
+    pub fn interactions(&self) -> u64 {
+        self.syscalls_seen
+    }
+
+    /// Whether an armed lost-wakeup fault swallows the token move the
+    /// caller is about to make. Sticky from the `at`-th would-move on, so
+    /// the wedge cannot be healed by a later rotation attempt.
+    fn lost_wakeup_swallows(&mut self) -> bool {
+        let Some(n) = self.fault_lost_wakeup_at else {
+            return false;
+        };
+        self.rotations_seen += 1;
+        self.rotations_seen >= n
+    }
+
+    /// Record a proven scheduler deadlock: stop the simulation with a typed
+    /// report (`waiting_envs` in spawn order, the current interaction
+    /// ordinal) instead of waiting for the wall-clock watchdog.
+    pub(crate) fn note_deadlock(&mut self, waiting_envs: Vec<u64>) {
+        let at = self.syscalls_seen;
+        if self.deadlock.is_none() {
+            DEADLOCKS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if self.error.is_none() {
+                self.error = Some(format!(
+                    "deadlock: {} environment(s) suspended with no runnable progress \
+                     at interaction {at}",
+                    waiting_envs.len()
+                ));
+            }
+            self.deadlock = Some((waiting_envs, at));
+        }
+        self.stop = true;
+        self.epoch += 1;
     }
 
     /// Schedule an event on a core at an absolute cycle.
@@ -310,7 +484,7 @@ impl SimInner {
         }
         let Some((lcy, lidx)) = laggard else { return };
         if !token_active {
-            if self.token != lidx {
+            if self.token != lidx && !self.lost_wakeup_swallows() {
                 self.token = lidx;
                 self.epoch += 1;
                 self.kernel
@@ -319,7 +493,10 @@ impl SimInner {
             }
             return;
         }
-        if self.machine.cycles(self.token) > lcy + self.window && lidx != self.token {
+        if self.machine.cycles(self.token) > lcy + self.window
+            && lidx != self.token
+            && !self.lost_wakeup_swallows()
+        {
             self.token = lidx;
             self.epoch += 1;
             self.kernel
@@ -858,6 +1035,7 @@ impl UserEnv {
             match g.env_fault_tick() {
                 Some(EnvFault::Panic(n)) => panic!("injected fault: env-panic at syscall {n}"),
                 Some(EnvFault::Stall(n)) => stall_after = Some(n),
+                Some(EnvFault::StackSmash(n)) => smash_stack(n),
                 None => {}
             }
             let SimInner {
@@ -933,6 +1111,7 @@ impl UserEnv {
                         drop(g);
                         self.stall_loop();
                     }
+                    Some(EnvFault::StackSmash(n)) => smash_stack(n),
                     None => {}
                 }
             }
@@ -1067,17 +1246,37 @@ fn finish_program(
     primary: bool,
     payload: Option<Box<dyn std::any::Any + Send>>,
 ) {
+    use std::sync::atomic::Ordering::Relaxed;
     let mut g = ctl.inner.lock();
     if let Some(p) = payload {
         if !p.is::<SimExit>() {
-            let msg = p
-                .downcast_ref::<String>()
-                .cloned()
-                .or_else(|| p.downcast_ref::<&str>().map(|s| (*s).to_string()))
-                .unwrap_or_else(|| "worker panicked".to_string());
-            g.stop = true;
-            if g.error.is_none() {
-                g.error = Some(msg);
+            let (env, msg) = match p.downcast::<EnvPanicPayload>() {
+                Ok(ep) => (ep.env, ep.message),
+                Err(p) => (
+                    tcb.0 as u64,
+                    p.downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| p.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                        .unwrap_or_else(|| "worker panicked".to_string()),
+                ),
+            };
+            if msg.starts_with("stack overflow") {
+                STACK_OVERFLOWS.fetch_add(1, Relaxed);
+            }
+            if primary {
+                // A dead primary ends the cell: the result it was supposed
+                // to produce cannot exist. Surface the error, naming the
+                // failing environment.
+                g.stop = true;
+                if g.error.is_none() {
+                    g.error = Some(format!("{msg} (env {env})"));
+                }
+            } else {
+                // A dead daemon is isolated: record the per-env outcome and
+                // let the siblings keep running. `thread_exited` below
+                // retires it from the scheduler like a normal exit.
+                ENV_FAILED.fetch_add(1, Relaxed);
+                g.env_failures.push((env, msg));
             }
         }
     }
@@ -1099,6 +1298,25 @@ fn finish_program(
     ctl.cv.notify_all();
 }
 
+/// Tag a failing environment's unwind payload with its env id (unless it is
+/// a normal [`SimExit`] or already tagged), so everything downstream —
+/// [`finish_program`], `Coro::take_panic`, supervisor quarantine records —
+/// can name the env.
+fn wrap_env_payload(tcb: TcbId, p: Box<dyn std::any::Any + Send>) -> Box<dyn std::any::Any + Send> {
+    if p.is::<SimExit>() || p.is::<EnvPanicPayload>() {
+        return p;
+    }
+    let message = p
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| p.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "environment panicked".to_string());
+    Box::new(EnvPanicPayload {
+        env: tcb.0 as u64,
+        message,
+    })
+}
+
 /// The legacy executor: one host thread per program, parked in `wait_turn`
 /// on the scheduler condvar whenever its environment is not admitted.
 fn run_programs_threads(ctl: Arc<SimCtl>, programs: Vec<ProgramSpec>) -> Arc<SimCtl> {
@@ -1117,7 +1335,12 @@ fn run_programs_threads(ctl: Arc<SimCtl>, programs: Vec<ProgramSpec>) -> Arc<Sim
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 prog.run(&mut env);
             }));
-            finish_program(&ctl2, tcb, primary, result.err());
+            finish_program(
+                &ctl2,
+                tcb,
+                primary,
+                result.err().map(|p| wrap_env_payload(tcb, p)),
+            );
         }));
     }
     for h in handles {
@@ -1147,6 +1370,19 @@ struct CoopState {
     driving: bool,
     /// Tasks not yet run to completion.
     remaining: usize,
+    /// Completed task drives, for the `worker-kill@N` trigger ordinal
+    /// (deterministic: drives are serialized by `driving`).
+    drives: u64,
+    /// Armed `worker-kill@N` fault: the worker that completes the `N`-th
+    /// drive exits instead of looping. Its suspended coroutines stay in
+    /// `tasks` and are adopted by the surviving workers — results must be
+    /// bit-identical (worker identity is invisible by construction).
+    kill_at: Option<u64>,
+    /// The kill fired (one worker dies at most).
+    kill_fired: bool,
+    /// Workers still in their drive loop; the kill is suppressed rather
+    /// than orphan the executor when only one worker remains.
+    workers_alive: usize,
 }
 
 impl CoopState {
@@ -1223,8 +1459,24 @@ fn coop_decide(g: &mut parking_lot::MutexGuard<'_, SimInner>, st: &CoopState) ->
         }
         // The token core is inactive but some core is running: the rotate
         // moves the token to the laggard active core, so the next iteration
-        // finds a scheduled thread there.
+        // finds a scheduled thread there. In a healthy simulation that move
+        // is unconditional (the laggard scan only considers active cores,
+        // and the token core is not one of them) — so a rotate that changes
+        // nothing proves the scheduler is wedged: no environment can ever
+        // be admitted again. Classify immediately and deterministically,
+        // from simulation state alone, instead of hanging until the
+        // wall-clock watchdog.
+        let before = (g.token, g.epoch);
         g.rotate_token();
+        if (g.token, g.epoch) == before {
+            let waiting: Vec<u64> = st
+                .tasks
+                .iter()
+                .filter(|t| !t.done)
+                .map(|t| t.tcb.0 as u64)
+                .collect();
+            g.note_deadlock(waiting);
+        }
     }
 }
 
@@ -1241,11 +1493,11 @@ fn run_programs_coop(ctl: Arc<SimCtl>, programs: Vec<ProgramSpec>, workers: usiz
     if programs.is_empty() {
         return ctl;
     }
-    let cfg = ctl.inner.lock().machine.cfg;
-    {
+    let (cfg, kill_at) = {
         let mut g = ctl.inner.lock();
         g.primaries_left = programs.iter().filter(|p| p.5).count();
-    }
+        (g.machine.cfg, g.fault_worker_kill_at)
+    };
     let stack_bytes = tp_exec::default_stack_bytes();
     let mut tasks = Vec::with_capacity(programs.len());
     let mut by_tcb: Vec<Option<usize>> = Vec::new();
@@ -1253,7 +1505,12 @@ fn run_programs_coop(ctl: Arc<SimCtl>, programs: Vec<ProgramSpec>, workers: usiz
         let ctl2 = Arc::clone(&ctl);
         let coro = tp_exec::Coro::with_stack(stack_bytes, move || {
             let mut env = UserEnv::new(ctl2, tcb, core, domain, cfg, colors);
-            prog.run(&mut env);
+            // Catch-and-retag so the payload crossing `take_panic` names
+            // the env; `wrap_env_payload` passes SimExit through untouched.
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prog.run(&mut env)));
+            if let Err(p) = r {
+                std::panic::resume_unwind(wrap_env_payload(tcb, p));
+            }
         });
         if by_tcb.len() <= tcb.0 {
             by_tcb.resize(tcb.0 + 1, None);
@@ -1267,16 +1524,20 @@ fn run_programs_coop(ctl: Arc<SimCtl>, programs: Vec<ProgramSpec>, workers: usiz
         });
     }
     let n = tasks.len();
+    let m = workers.clamp(1, n);
     let exec = Arc::new((
         Mutex::new(CoopState {
             tasks,
             by_tcb,
             driving: false,
             remaining: n,
+            drives: 0,
+            kill_at,
+            kill_fired: false,
+            workers_alive: m,
         }),
         Condvar::new(),
     ));
-    let m = workers.clamp(1, n);
     let mut handles = Vec::with_capacity(m);
     for _ in 0..m {
         let ctl2 = Arc::clone(&ctl);
@@ -1342,7 +1603,22 @@ fn coop_worker(ctl: &SimCtl, exec: &(Mutex<CoopState>, Condvar)) {
             t.coro = Some(coro);
         }
         st.driving = false;
+        st.drives += 1;
+        // Armed worker-kill: this worker dies after the N-th drive. Its
+        // state is already back in `st`, so the survivors adopt every
+        // suspended coroutine transparently.
+        let die = match st.kill_at {
+            Some(at) if !st.kill_fired && st.drives >= at && st.workers_alive > 1 => {
+                st.kill_fired = true;
+                st.workers_alive -= 1;
+                true
+            }
+            _ => false,
+        };
         cv.notify_all();
+        if die {
+            return;
+        }
     }
 }
 

@@ -52,6 +52,27 @@ pub enum FaultKind {
         /// Number of draws that still succeed before the stream faults.
         after: u64,
     },
+    /// The `at`-th cross-core token rotation is swallowed and the token
+    /// wedges — modelling a lost scheduler wakeup that nothing re-delivers.
+    /// The cooperative executor's deadlock detector must classify the
+    /// resulting stall as [`crate::SimErrorKind::Deadlock`] at a
+    /// deterministic interaction ordinal, never as a wall-clock watchdog.
+    LostWakeup {
+        /// 1-based token-rotation ordinal at which rotations stop.
+        at: u64,
+    },
+    /// One cooperative-executor worker thread dies after its `at`-th drive;
+    /// the coroutines it was multiplexing are adopted by the surviving
+    /// workers, so the run must complete with bit-identical results.
+    WorkerKill {
+        /// 1-based drive ordinal after which the worker exits.
+        at: u64,
+    },
+    /// The environment's coroutine stack guard canary is clobbered at its
+    /// next interaction, exercising the stack-overflow detection that runs
+    /// at every suspend (uniform across the asm and thread-backed
+    /// coroutine backends).
+    StackOverflow,
 }
 
 impl FaultKind {
@@ -64,19 +85,25 @@ impl FaultKind {
             FaultKind::CommitFlip { .. } => "commit-flip",
             FaultKind::SnapshotCorrupt => "snapshot-corrupt",
             FaultKind::NoisePoison { .. } => "noise-poison",
+            FaultKind::LostWakeup { .. } => "lost-wakeup",
+            FaultKind::WorkerKill { .. } => "worker-kill",
+            FaultKind::StackOverflow => "stack-overflow",
         }
     }
 
-    /// All five classes at their default trigger points, in a fixed order —
+    /// All eight classes at their default trigger points, in a fixed order —
     /// what the chaos binary iterates when `TP_FAULT` is unset.
     #[must_use]
-    pub fn all_defaults() -> [FaultKind; 5] {
+    pub fn all_defaults() -> [FaultKind; 8] {
         [
             FaultKind::EnvPanic { at: 3 },
             FaultKind::EnvStall { at: 3 },
             FaultKind::CommitFlip { index: 17 },
             FaultKind::SnapshotCorrupt,
             FaultKind::NoisePoison { after: 64 },
+            FaultKind::LostWakeup { at: 2 },
+            FaultKind::WorkerKill { at: 3 },
+            FaultKind::StackOverflow,
         ]
     }
 }
@@ -89,6 +116,9 @@ impl fmt::Display for FaultKind {
             FaultKind::CommitFlip { index } => write!(f, "commit-flip@{index}"),
             FaultKind::SnapshotCorrupt => write!(f, "snapshot-corrupt"),
             FaultKind::NoisePoison { after } => write!(f, "noise-poison@{after}"),
+            FaultKind::LostWakeup { at } => write!(f, "lost-wakeup@{at}"),
+            FaultKind::WorkerKill { at } => write!(f, "worker-kill@{at}"),
+            FaultKind::StackOverflow => write!(f, "stack-overflow"),
         }
     }
 }
@@ -116,11 +146,13 @@ impl FaultPlan {
     /// plan  := class [ "@" N ] [ ":cell=" experiment "/" platform ]
     /// class := "env-panic" | "env-stall" | "commit-flip"
     ///        | "snapshot-corrupt" | "noise-poison"
+    ///        | "lost-wakeup" | "worker-kill" | "stack-overflow"
     /// ```
     ///
-    /// `@N` sets the trigger point (syscall ordinal, commit index or draw
-    /// count depending on class) and defaults per class; `snapshot-corrupt`
-    /// has no trigger point and rejects one.
+    /// `@N` sets the trigger point (interaction ordinal, commit index,
+    /// draw count, rotation ordinal or drive ordinal depending on class)
+    /// and defaults per class; `snapshot-corrupt` and `stack-overflow`
+    /// have no trigger point and reject one.
     ///
     /// # Errors
     /// Returns a human-readable message for an unknown class, a malformed
@@ -167,10 +199,23 @@ impl FaultPlan {
             "noise-poison" => FaultKind::NoisePoison {
                 after: at.unwrap_or(64),
             },
+            "lost-wakeup" => FaultKind::LostWakeup {
+                at: at.unwrap_or(2),
+            },
+            "worker-kill" => FaultKind::WorkerKill {
+                at: at.unwrap_or(3),
+            },
+            "stack-overflow" => {
+                if at.is_some() {
+                    return Err("stack-overflow takes no trigger point".into());
+                }
+                FaultKind::StackOverflow
+            }
             other => {
                 return Err(format!(
                     "unknown fault class `{other}` (expected env-panic, env-stall, \
-                     commit-flip, snapshot-corrupt or noise-poison)"
+                     commit-flip, snapshot-corrupt, noise-poison, lost-wakeup, \
+                     worker-kill or stack-overflow)"
                 ))
             }
         };
@@ -270,6 +315,22 @@ mod tests {
             FaultPlan::parse("noise-poison@1000").unwrap().kind,
             FaultKind::NoisePoison { after: 1000 }
         );
+        assert_eq!(
+            FaultPlan::parse("lost-wakeup@7").unwrap().kind,
+            FaultKind::LostWakeup { at: 7 }
+        );
+        assert_eq!(
+            FaultPlan::parse("lost-wakeup").unwrap().kind,
+            FaultKind::LostWakeup { at: 2 }
+        );
+        assert_eq!(
+            FaultPlan::parse("worker-kill").unwrap().kind,
+            FaultKind::WorkerKill { at: 3 }
+        );
+        assert_eq!(
+            FaultPlan::parse("stack-overflow").unwrap().kind,
+            FaultKind::StackOverflow
+        );
     }
 
     #[test]
@@ -288,6 +349,7 @@ mod tests {
         assert!(FaultPlan::parse("frob").is_err());
         assert!(FaultPlan::parse("env-panic@lots").is_err());
         assert!(FaultPlan::parse("snapshot-corrupt@3").is_err());
+        assert!(FaultPlan::parse("stack-overflow@3").is_err());
         assert!(FaultPlan::parse("env-panic:cell=flush").is_err());
         assert!(FaultPlan::parse("env-panic:cell=/haswell").is_err());
     }
@@ -300,6 +362,9 @@ mod tests {
             "commit-flip@17",
             "snapshot-corrupt",
             "noise-poison@64",
+            "lost-wakeup@2",
+            "worker-kill@3",
+            "stack-overflow",
             "env-panic@5:cell=flush/haswell",
         ] {
             let p = FaultPlan::parse(spec).unwrap();

@@ -9,7 +9,8 @@
 use crate::commit::Commit;
 use crate::config::ProtectionConfig;
 use crate::engine::{
-    run_programs_with, EvKind, ExecMode, SimCtl, SimError, SimInner, UserProgram, DEFAULT_WINDOW,
+    run_programs_with, EnvOutcome, EvKind, ExecMode, SimCtl, SimError, SimErrorKind, SimInner,
+    UserProgram, DEFAULT_WINDOW,
 };
 use crate::kernel::{EngineMode, Kernel, KernelStats};
 use crate::objects::{DomainId, TcbId};
@@ -157,7 +158,7 @@ impl SystemSpec {
             window: DEFAULT_WINDOW,
             max_cycles: u64::MAX,
             scheduling: EngineMode::Slotted,
-            executor: ExecMode::Coop { workers: 0 },
+            executor: ExecMode::default(),
         }
     }
 }
@@ -590,9 +591,43 @@ impl SystemBuilder {
 
         let ctl = run_programs_with(ctl, programs, self.spec.executor);
         let mut g = ctl.inner.lock();
+        // The typed deadlock slot outranks the error string: it carries the
+        // waiting-env set and the exact interaction ordinal the detector
+        // proved the wedge at.
+        if let Some((waiting_envs, at_interaction)) = g.deadlock.take() {
+            let message = g.error.take().unwrap_or_else(|| {
+                format!(
+                    "deadlock: {} environment(s) suspended with no runnable progress \
+                     at interaction {at_interaction}",
+                    waiting_envs.len()
+                )
+            });
+            return Err(SimError {
+                kind: SimErrorKind::Deadlock {
+                    waiting_envs,
+                    at_interaction,
+                },
+                message,
+            });
+        }
         if let Some(e) = g.error.take() {
             return Err(SimError::from_message(e));
         }
+        // Per-env outcomes in spawn order: isolated daemon failures are a
+        // report property, not a cell error.
+        let failures = std::mem::take(&mut g.env_failures);
+        let env_outcomes = tcbs
+            .iter()
+            .map(
+                |t| match failures.iter().find(|(env, _)| *env == t.0 as u64) {
+                    Some((env, message)) => EnvOutcome::Failed {
+                        env: *env,
+                        message: message.clone(),
+                    },
+                    None => EnvOutcome::Completed,
+                },
+            )
+            .collect();
         Ok(SystemReport {
             cfg: g.machine.cfg,
             stats: g.kernel.stats,
@@ -601,6 +636,7 @@ impl SystemBuilder {
                 .collect(),
             domains: domain_ids,
             state_hash: g.kernel.state_hash(),
+            env_outcomes,
             commits: g.kernel.log.take(),
         })
     }
@@ -621,6 +657,11 @@ pub struct SystemReport {
     /// fingerprint the executor-equivalence property tests compare across
     /// [`ExecMode`]s.
     pub state_hash: u64,
+    /// Per-environment outcome in spawn order: which environments completed
+    /// and which failed in isolation (non-primary panics that did not end
+    /// the cell). Multi-tenant scenarios report fleet statistics over the
+    /// survivors.
+    pub env_outcomes: Vec<EnvOutcome>,
     /// The commit log, when recording was requested with
     /// [`SystemBuilder::record_commits`] (empty otherwise). Engine runs
     /// issue unlogged user-program machine traffic, so this is an audit

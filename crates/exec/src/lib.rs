@@ -70,6 +70,51 @@ pub fn default_stack_bytes() -> usize {
     })
 }
 
+/// Guard value written at the base (lowest address) of every stack-backend
+/// coroutine stack, and mirrored as a per-task slot by the thread backend so
+/// both backends share one overflow-detection contract. An overflowing
+/// coroutine overwrites the base of its stack last, so a dead canary at a
+/// suspend point means the stack was exhausted (or deliberately clobbered by
+/// the `stack-overflow` fault class).
+const CANARY: u64 = 0x7A5E_CA11_DEAD_F00D;
+
+/// The canonical stack-overflow panic: every canary-check failure raises
+/// this message, so the engine and supervisor classify overflows uniformly
+/// across backends.
+fn overflow_panic(stack_bytes: Option<usize>) -> ! {
+    match stack_bytes {
+        Some(b) => panic!(
+            "stack overflow: coroutine guard canary clobbered (stack {} KiB; raise TP_STACK_KB)",
+            b / 1024
+        ),
+        None => panic!("stack overflow: coroutine guard canary clobbered (raise TP_STACK_KB)"),
+    }
+}
+
+/// Whether the running coroutine's stack guard canary is intact. Always
+/// `true` from plain host code (there is no coroutine stack to guard).
+pub fn canary_intact() -> bool {
+    match current_get() {
+        Current::Host => true,
+        #[cfg(target_arch = "x86_64")]
+        Current::Stack(inner) => unsafe { stack::canary_ok(inner) },
+        Current::Thread(task) => unsafe { thread_impl::canary_ok(task) },
+    }
+}
+
+/// Deliberately kill the running coroutine's stack guard canary — the
+/// deterministic injection point for the `stack-overflow` fault class. The
+/// next canary check (every [`suspend`], or an explicit [`canary_intact`])
+/// reports the overflow. No-op from plain host code.
+pub fn clobber_canary() {
+    match current_get() {
+        Current::Host => {}
+        #[cfg(target_arch = "x86_64")]
+        Current::Stack(inner) => unsafe { stack::clobber_canary(inner) },
+        Current::Thread(task) => unsafe { thread_impl::clobber_canary(task) },
+    }
+}
+
 /// Which coroutine implementation backs a [`Coro`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Backend {
@@ -377,6 +422,9 @@ mod stack {
         // SAFETY: layout has non-zero size.
         let stack = unsafe { alloc(layout) };
         assert!(!stack.is_null(), "coroutine stack allocation failed");
+        // SAFETY: the stack is at least MIN_STACK_BYTES and 64-aligned, so
+        // the guard slot at its base is in-bounds and aligned.
+        unsafe { (stack as *mut u64).write(super::CANARY) };
         let mut inner = Box::new(Inner {
             co_rsp: 0,
             host_rsp: 0,
@@ -388,6 +436,27 @@ mod stack {
         });
         inner.co_rsp = seed_stack(stack, size, &mut *inner);
         StackCoro { inner }
+    }
+
+    /// Whether the guard slot at the base of this coroutine's stack still
+    /// holds [`super::CANARY`].
+    ///
+    /// # Safety
+    ///
+    /// `inner` must be the live `Inner` of the coroutine currently running
+    /// on this thread (the pointer stored in `CURRENT`).
+    pub(super) unsafe fn canary_ok(inner: *mut Inner) -> bool {
+        ((*inner).stack as *const u64).read() == super::CANARY
+    }
+
+    /// Overwrite the guard slot, simulating the final write of a stack
+    /// overflow (the `stack-overflow` fault class).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`canary_ok`].
+    pub(super) unsafe fn clobber_canary(inner: *mut Inner) {
+        ((*inner).stack as *mut u64).write(0);
     }
 
     impl StackCoro {
@@ -422,6 +491,9 @@ mod stack {
     /// from inside its closure), with `inner` the pointer stored in the
     /// thread's `CURRENT` slot.
     pub(super) unsafe fn suspend(inner: *mut Inner) {
+        if !canary_ok(inner) {
+            super::overflow_panic(Some((*inner).layout.size()));
+        }
         switch(&mut (*inner).co_rsp, &(*inner).host_rsp);
     }
 
@@ -453,6 +525,11 @@ mod thread_impl {
     pub(super) struct TaskSide {
         status_tx: SyncSender<Status>,
         go_rx: Receiver<()>,
+        /// Stand-in for the stack backend's base-of-stack guard slot: OS
+        /// thread stacks have their own guard pages, but keeping a live
+        /// canary per task gives both backends the identical
+        /// clobber/check/panic contract for the `stack-overflow` fault.
+        canary: std::cell::Cell<u64>,
     }
 
     /// Unwind payload used to cancel a task whose handle was dropped before
@@ -474,7 +551,11 @@ mod thread_impl {
         let handle = std::thread::Builder::new()
             .name("tp-exec-task".into())
             .spawn(move || {
-                let task = TaskSide { status_tx, go_rx };
+                let task = TaskSide {
+                    status_tx,
+                    go_rx,
+                    canary: std::cell::Cell::new(super::CANARY),
+                };
                 // Stay parked until the first resume (a dropped handle never
                 // runs the closure at all, matching the stack backend).
                 if task.go_rx.recv().is_err() {
@@ -510,12 +591,33 @@ mod thread_impl {
     /// `CURRENT` being thread-local).
     pub(super) unsafe fn suspend(task: *const TaskSide) {
         let task = &*task;
+        if task.canary.get() != super::CANARY {
+            super::overflow_panic(None);
+        }
         if task.status_tx.send(Status::Yielded).is_err() {
             std::panic::panic_any(Cancelled);
         }
         if task.go_rx.recv().is_err() {
             std::panic::panic_any(Cancelled);
         }
+    }
+
+    /// Whether this task's guard canary is intact.
+    ///
+    /// # Safety
+    ///
+    /// Must be called on the task thread owning `task`.
+    pub(super) unsafe fn canary_ok(task: *const TaskSide) -> bool {
+        (*task).canary.get() == super::CANARY
+    }
+
+    /// Kill this task's guard canary (the `stack-overflow` fault class).
+    ///
+    /// # Safety
+    ///
+    /// Must be called on the task thread owning `task`.
+    pub(super) unsafe fn clobber_canary(task: *const TaskSide) {
+        (*task).canary.set(0);
     }
 
     impl ThreadCoro {
@@ -687,6 +789,50 @@ mod tests {
             }
         }
         assert_eq!(counter.load(Ordering::SeqCst), 3 * n);
+    }
+
+    #[test]
+    fn canary_is_intact_on_healthy_coroutines_and_host() {
+        assert!(canary_intact(), "host code always reports intact");
+        clobber_canary(); // no-op on the host
+        assert!(canary_intact());
+        for mut co in both(|| {
+            Box::new(|| {
+                assert!(canary_intact(), "fresh coroutine starts intact");
+                suspend();
+                assert!(canary_intact(), "still intact after a round trip");
+            })
+        }) {
+            assert!(!co.resume());
+            assert!(co.resume());
+            assert!(co.take_panic().is_none());
+        }
+    }
+
+    #[test]
+    fn clobbered_canary_panics_at_next_suspend_on_both_backends() {
+        for mut co in both(|| {
+            Box::new(|| {
+                suspend();
+                clobber_canary();
+                assert!(!canary_intact());
+                suspend(); // must raise the canonical overflow panic
+                unreachable!("suspend past a dead canary");
+            })
+        }) {
+            assert!(!co.resume());
+            assert!(co.resume(), "overflow panic completes the task");
+            let p = co.take_panic().expect("overflow panic captured");
+            let msg = p
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                .expect("string panic payload");
+            assert!(
+                msg.starts_with("stack overflow: coroutine guard canary clobbered"),
+                "canonical message, got: {msg}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Executor health plane: differential fault classification and the
+//! deterministic deadlock detector.
+//!
+//! Two contracts are pinned here, in their own process (fault injection
+//! necessarily trips the supervisor's global counters, which
+//! `tests/supervision.rs` asserts stay zero in a fault-free process):
+//!
+//! * **Differential regression**: every pre-existing `TP_FAULT` class
+//!   yields the *same* supervisor classification whether the cell runs
+//!   under the legacy thread-per-environment executor or the cooperative
+//!   executor — including the `env-stall@N` ordinal, which counts
+//!   `wait_preempt` interactions identically on both engines.
+//! * **Deadlock bit-identity**: a `lost-wakeup` wedge is classified by
+//!   the coop driver as a typed [`tp_core::SimErrorKind::Deadlock`] at
+//!   one exact interaction ordinal, bit-identical across worker counts —
+//!   never by the wall-clock watchdog.
+
+use std::time::Duration;
+use tp_bench::supervise::{pair_cell_report, probe_cell_with, run_cell, CellOutcome};
+use tp_core::{fault, ExecMode, FaultKind, FaultPlan, SimErrorKind};
+
+/// Supervise one probe cell under an explicit executor with `kind` armed.
+fn classify(kind: FaultKind, seed: u64, mode: ExecMode) -> CellOutcome {
+    let plan = FaultPlan::new(kind);
+    run_cell(
+        "probe",
+        "haswell",
+        Some(&plan),
+        Duration::from_secs(2),
+        move || probe_cell_with(seed, mode),
+    )
+    .outcome
+}
+
+/// Every pre-existing fault class classifies identically under both
+/// executors. (The three new classes are exercised by the chaos binary
+/// and the supervise unit tests; `lost-wakeup` legitimately differs —
+/// only the coop driver has a deadlock detector.)
+#[test]
+fn legacy_fault_classes_classify_identically_across_executors() {
+    let cases: [(FaultKind, CellOutcome); 5] = [
+        (FaultKind::EnvPanic { at: 3 }, CellOutcome::Panicked),
+        (FaultKind::EnvStall { at: 3 }, CellOutcome::TimedOut),
+        (
+            FaultKind::CommitFlip { index: 17 },
+            CellOutcome::ReplayDiverged,
+        ),
+        (FaultKind::SnapshotCorrupt, CellOutcome::SnapshotCorrupt),
+        (FaultKind::NoisePoison { after: 64 }, CellOutcome::Panicked),
+    ];
+    for (i, (kind, expected)) in cases.into_iter().enumerate() {
+        let seed = 0x0D1F_F000 + i as u64;
+        for mode in [ExecMode::Threads, ExecMode::Coop { workers: 0 }] {
+            if kind == FaultKind::SnapshotCorrupt {
+                // Prime the boot cache for this shape so the supervised
+                // run restores a (corrupted) snapshot.
+                probe_cell_with(seed, mode).expect("cache-priming run");
+            }
+            let got = classify(kind, seed, mode);
+            assert_eq!(
+                got,
+                expected,
+                "{kind} under {mode:?} classified {} (expected {})",
+                got.name(),
+                expected.name(),
+            );
+        }
+    }
+}
+
+/// The env-stall ordinal counts interactions the same way on both
+/// engines: a stall armed *beyond* the cell's interaction count never
+/// fires under either executor.
+#[test]
+fn env_stall_ordinal_counts_interactions_identically() {
+    for mode in [ExecMode::Threads, ExecMode::Coop { workers: 0 }] {
+        let got = classify(FaultKind::EnvStall { at: 1_000_000 }, 0x0D1F_F100, mode);
+        assert_eq!(
+            got,
+            CellOutcome::Ok,
+            "an unreachable stall ordinal must be inert under {mode:?}"
+        );
+    }
+}
+
+/// The deadlock detector fires deterministically: same typed error —
+/// waiting environments *and* interaction ordinal — for 1, 2 and
+/// host-default coop workers, and the message names the ordinal so logs
+/// are diffable across hosts.
+#[test]
+fn lost_wakeup_deadlock_is_bit_identical_across_worker_counts() {
+    let run = |workers| {
+        fault::arm(Some(FaultKind::LostWakeup { at: 2 }));
+        let r = pair_cell_report(0x0D1F_F200, ExecMode::Coop { workers });
+        fault::arm(None);
+        r.expect_err("the wedged token must be detected, not completed")
+    };
+    let base = run(1);
+    match &base.kind {
+        SimErrorKind::Deadlock {
+            waiting_envs,
+            at_interaction,
+        } => {
+            assert!(!waiting_envs.is_empty());
+            assert!(*at_interaction > 0);
+            assert!(
+                base.message
+                    .contains(&format!("at interaction {at_interaction}")),
+                "{}",
+                base.message
+            );
+        }
+        other => panic!("expected a typed deadlock, got {other:?}: {}", base.message),
+    }
+    for workers in [2, 0] {
+        let e = run(workers);
+        assert_eq!(
+            e, base,
+            "deadlock detection must be bit-identical across worker counts"
+        );
+    }
+}

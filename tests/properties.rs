@@ -404,6 +404,16 @@ fn executor_fixture(
     seed: u64,
     mode: tp_core::ExecMode,
 ) -> tp_core::SystemReport {
+    executor_fixture_result(platform, seed, mode).expect("fixture run")
+}
+
+/// [`executor_fixture`] without the unwrap, for the fault-isolation
+/// property (a fault aimed at the primary surfaces here as `Err`).
+fn executor_fixture_result(
+    platform: tp_sim::Platform,
+    seed: u64,
+    mode: tp_core::ExecMode,
+) -> Result<tp_core::SystemReport, tp_core::SimError> {
     use parking_lot::Mutex;
     use std::sync::Arc;
     use time_protection::attacks::probe::l1_probe;
@@ -438,7 +448,7 @@ fn executor_fixture(
             let _ = env.wait_preempt();
         }
     });
-    b.try_run().expect("fixture run")
+    b.try_run()
 }
 
 proptest! {
@@ -469,6 +479,88 @@ proptest! {
                 &r.cycles, &base.cycles,
                 "{}: {mode:?} cycle counts diverged from Threads", p.key()
             );
+        }
+    }
+
+    /// Per-environment failure isolation is executor- and worker-count-
+    /// invariant: arm an `env-panic` at an arbitrary interaction ordinal
+    /// and the outcome — whichever environment dies, the survivors' final
+    /// kernel state hash, per-core cycle counts and the typed
+    /// [`tp_core::EnvOutcome`] list — is bit-identical under the
+    /// thread-per-environment executor and cooperative executors with 1,
+    /// 2 and host-default workers. A panic that lands on a daemon must
+    /// never abort the run or perturb its siblings; one that lands on the
+    /// primary must produce the identical error everywhere.
+    #[test]
+    fn env_failure_isolation_is_executor_invariant(
+        p in proptest::sample::select(tp_sim::Platform::ALL),
+        seed in any::<u64>(),
+        at in 2u64..18,
+    ) {
+        use tp_core::{fault, EnvOutcome, ExecMode, FaultKind};
+        let run = |mode| {
+            fault::arm(Some(FaultKind::EnvPanic { at }));
+            let r = executor_fixture_result(p, seed, mode);
+            fault::arm(None);
+            r
+        };
+        let base = run(ExecMode::Threads);
+        for mode in [
+            ExecMode::Coop { workers: 1 },
+            ExecMode::Coop { workers: 2 },
+            ExecMode::Coop { workers: 0 },
+        ] {
+            match (&base, &run(mode)) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(
+                        b.state_hash, a.state_hash,
+                        "{}: {mode:?} survivor state diverged from Threads", p.key()
+                    );
+                    prop_assert_eq!(&b.cycles, &a.cycles);
+                    prop_assert_eq!(&b.env_outcomes, &a.env_outcomes);
+                }
+                (Err(a), Err(b)) => {
+                    prop_assert_eq!(
+                        a.to_string(), b.to_string(),
+                        "{}: {mode:?} primary-death error diverged", p.key()
+                    );
+                }
+                (a, b) => {
+                    panic!(
+                        "{}: Threads {} but {mode:?} {}",
+                        p.key(),
+                        if a.is_ok() { "completed" } else { "errored" },
+                        if b.is_ok() { "completed" } else { "errored" },
+                    );
+                }
+            }
+        }
+        if let Ok(a) = &base {
+            let failed = a
+                .env_outcomes
+                .iter()
+                .filter(|o| matches!(o, EnvOutcome::Failed { .. }))
+                .count();
+            if failed == 0 {
+                // The ordinal was beyond the run's interaction count: the
+                // armed-but-inert fault must leave no trace at all.
+                let clean = executor_fixture_result(p, seed, ExecMode::Threads)
+                    .expect("clean fixture");
+                prop_assert_eq!(
+                    a.state_hash, clean.state_hash,
+                    "{}: inert env-panic@{} perturbed the run", p.key(), at
+                );
+            } else {
+                // Contained, not collapsed: at least one daemon survived.
+                // (A death mid-critical-section can legitimately take a
+                // sibling with it — the cascade is itself deterministic
+                // and executor-invariant, pinned by the `env_outcomes`
+                // equality above.)
+                prop_assert!(
+                    failed < a.env_outcomes.len(),
+                    "{}: env-panic@{} took the whole fleet down", p.key(), at
+                );
+            }
         }
     }
 }
